@@ -1,0 +1,38 @@
+// Fig. 10 reproduction: YCSB execution-time breakdown for Simurgh — the
+// paper's point is that Simurgh's file-system share drops below ~10% of
+// the application runtime, so further FS optimization cannot help much.
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/runner.h"
+#include "workloads/ycsb.h"
+
+using namespace simurgh;
+using namespace simurgh::bench;
+
+namespace {
+std::string pct(double f) { return Table::num(f * 100.0) + "%"; }
+}  // namespace
+
+int main() {
+  const double scale = bench_scale();
+  const YcsbWorkload workloads[] = {
+      YcsbWorkload::load_a, YcsbWorkload::run_a, YcsbWorkload::run_b,
+      YcsbWorkload::run_c,  YcsbWorkload::run_d, YcsbWorkload::run_e,
+      YcsbWorkload::load_e, YcsbWorkload::run_f};
+
+  Table t("Fig 10 — YCSB execution-time breakdown for Simurgh "
+          "[paper: FS share < ~10%]");
+  t.header({"workload", "application", "data copy", "file system"});
+  for (auto w : workloads) {
+    sim::SimWorld world;
+    auto fs = make_backend(Backend::simurgh, world);
+    YcsbConfig cfg;
+    cfg.record_count = static_cast<std::uint64_t>(5000 * scale);
+    cfg.ops = static_cast<std::uint64_t>(5000 * scale);
+    auto r = run_ycsb(*fs, w, cfg);
+    t.row({ycsb_name(w), pct(r.frac_app), pct(r.frac_copy), pct(r.frac_fs)});
+  }
+  t.print();
+  return 0;
+}

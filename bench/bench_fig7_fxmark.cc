@@ -1,0 +1,91 @@
+// Fig. 7 reproduction: the twelve FxMark panels, each a (backend x thread)
+// sweep printing ops/sec.  Pass panel letters (a-l) to run a subset:
+//   ./bench_fig7_fxmark b d     # only 7b and 7d
+// SIMURGH_BENCH_SCALE scales ops per thread (default 1.0).
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "harness/runner.h"
+
+using namespace simurgh;
+using namespace simurgh::bench;
+
+namespace {
+
+struct Panel {
+  char letter;
+  FxOp op;
+  const char* paper_note;
+};
+
+const Panel kPanels[] = {
+    {'a', FxOp::create_private, "Simurgh 3.4x NOVA @1T, 2.2x @10T"},
+    {'b', FxOp::create_shared, "only Simurgh scales; >17x NOVA @10T"},
+    {'c', FxOp::delete_private, "Simurgh delete faster than create"},
+    {'d', FxOp::rename_shared, "2.2x EXT4 @1T -> 18.8x @10T"},
+    {'e', FxOp::resolve_private, "kernel FSs equal; Simurgh above; SplitFS below"},
+    {'f', FxOp::resolve_shared, "others plateau (dentry contention); Simurgh scales"},
+    {'g', FxOp::append_private, "SplitFS wins low T; PMFS flat >4T; Simurgh scales"},
+    {'h', FxOp::fallocate_private, "PMFS best base, no scaling; EXT4 flat"},
+    {'i', FxOp::read_shared, "Simurgh saturates NVMM BW; others collapse"},
+    {'j', FxOp::read_private, "everyone scales; Simurgh leads"},
+    {'k', FxOp::write_shared, "Simurgh leads; relaxed variant scales"},
+    {'l', FxOp::write_private, "Simurgh fastest; SplitFS absent"},
+};
+
+FxConfig config_for(FxOp op) {
+  FxConfig cfg;
+  const double scale = bench_scale();
+  cfg.ops_per_thread = static_cast<std::uint64_t>(1500 * scale);
+  switch (op) {
+    case FxOp::read_shared:
+    case FxOp::read_private:
+    case FxOp::write_shared:
+    case FxOp::write_private:
+      cfg.file_bytes = 16 << 20;
+      cfg.ops_per_thread = static_cast<std::uint64_t>(2000 * scale);
+      break;
+    case FxOp::fallocate_private:
+      // Scaled from the paper's 1000 x 4 MB to fit the emulated device.
+      cfg.falloc_chunk = 1 << 20;
+      cfg.ops_per_thread = static_cast<std::uint64_t>(150 * scale);
+      break;
+    case FxOp::append_private:
+      cfg.ops_per_thread = static_cast<std::uint64_t>(1500 * scale);
+      break;
+    default:
+      break;
+  }
+  return cfg;
+}
+
+std::vector<Backend> backends_for(FxOp op) {
+  auto list = all_backends();
+  if (op == FxOp::write_shared) list.push_back(Backend::simurgh_relaxed);
+  if (op == FxOp::write_private) {
+    // §5.2: "We were unable to run SplitFS for this benchmark."
+    std::erase(list, Backend::splitfs);
+  }
+  return list;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<char, bool> want;
+  for (int i = 1; i < argc; ++i)
+    for (const char* c = argv[i]; *c; ++c) want[*c] = true;
+
+  const auto threads = sweep_threads();
+  for (const Panel& panel : kPanels) {
+    if (!want.empty() && !want.count(panel.letter)) continue;
+    const FxConfig cfg = config_for(panel.op);
+    auto series = sweep_fxmark(panel.op, cfg, backends_for(panel.op), threads);
+    const std::string title = std::string("Fig 7") + panel.letter + " — " +
+                              fx_name(panel.op) + "  [ops/s; paper: " +
+                              panel.paper_note + "]";
+    sweep_table(title, series, threads).print();
+  }
+  return 0;
+}

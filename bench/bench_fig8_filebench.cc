@@ -1,0 +1,58 @@
+// Fig. 8 reproduction: Filebench throughput for the four Table 2 workloads
+// across all file systems.
+//
+// Paper shapes: varmail — Simurgh 1.7x NOVA, EXT4-DAX poor (small files);
+// webserver — all similar (private reads dominate); webproxy — Simurgh
+// +11% over NOVA, PMFS poor (unsorted dirent list hurts unlink);
+// fileserver — NOVA ≈ Simurgh (reads dominate).
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness/runner.h"
+#include "workloads/filebench.h"
+
+using namespace simurgh;
+using namespace simurgh::bench;
+
+int main() {
+  const double scale = bench_scale();
+
+  // Table 2 (inputs).
+  Table t2("Table 2 — Filebench workload settings (paper defaults)");
+  t2.header({"Workload", "# Files", "Dir Width", "File Size", "# Threads"});
+  t2.row({"Varmail", "1,000", "1,000,000", "128KB", "16"});
+  t2.row({"Webserver", "1,000", "20", "128KB", "100"});
+  t2.row({"Webproxy", "10,000", "1,000,000", "16KB", "100"});
+  t2.row({"Fileserver", "10,000", "20", "128KB", "50"});
+  t2.print();
+
+  Table t("Fig 8 — Filebench throughput [ops/s]");
+  std::vector<std::string> header{"backend"};
+  const FilebenchKind kinds[] = {FilebenchKind::varmail,
+                                 FilebenchKind::webserver,
+                                 FilebenchKind::webproxy,
+                                 FilebenchKind::fileserver};
+  for (auto k : kinds) header.push_back(filebench_name(k));
+  t.header(std::move(header));
+
+  for (Backend b : all_backends()) {
+    std::vector<std::string> row{backend_name(b)};
+    for (auto k : kinds) {
+      sim::SimWorld world;
+      auto fs = make_backend(b, world);
+      FilebenchConfig cfg;
+      cfg.kind = k;
+      cfg.scale = 0.08 * scale;
+      cfg.flows_per_thread =
+          static_cast<std::uint64_t>(40 * scale);
+      auto r = run_filebench(*fs, cfg);
+      row.push_back(Table::num(r.ops_per_sec));
+    }
+    t.row(std::move(row));
+  }
+  t.print();
+  std::puts(
+      "paper: varmail Simurgh=1.7x NOVA; webserver ~equal; webproxy "
+      "Simurgh=+11% vs NOVA, PMFS poor; fileserver NOVA~=Simurgh");
+  return 0;
+}

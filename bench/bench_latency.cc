@@ -1,0 +1,112 @@
+// Per-operation latency distributions (supplementary — the paper reports
+// throughput; §3.1/§5.2 argue in latency terms: "the time for trapping
+// into the kernel for file system operations like stat and open can be
+// more costly than the file system operations themselves", and removing
+// the ~330 syscall cycles "can reduce the operation's latency by half").
+//
+// This bench reports single-client op latencies (median and p99 under a
+// 10-thread contended run) for stat / create / unlink / append / read 4K
+// across all backends, in nanoseconds of modeled time.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/runner.h"
+
+using namespace simurgh;
+using namespace simurgh::bench;
+
+namespace {
+
+struct Dist {
+  double p50 = 0, p99 = 0;
+};
+
+Dist dist_of(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  Dist d;
+  if (v.empty()) return d;
+  d.p50 = v[v.size() / 2];
+  d.p99 = v[std::min(v.size() - 1, v.size() * 99 / 100)];
+  return d;
+}
+
+// Runs `ops` of one kind on `threads` logical threads, collecting per-op
+// latencies from thread 0 (the observed client).
+std::vector<double> latencies(Backend b, const char* kind, int threads,
+                              int ops) {
+  sim::SimWorld world;
+  auto fs = make_backend(b, world);
+  sim::SimThread setup(-1);
+  SIMURGH_CHECK(fs->mkdir(setup, "/d").is_ok());
+  for (int i = 0; i < 256; ++i)
+    SIMURGH_CHECK(fs->create(setup, "/d/seed" + std::to_string(i)).is_ok());
+  SIMURGH_CHECK(fs->append(setup, "/d/seed0", 1 << 20).is_ok());
+
+  std::vector<double> out;
+  std::vector<sim::Executor::ThreadFn> streams;
+  for (int t = 0; t < threads; ++t) {
+    streams.push_back([&fs, kind, t, ops, &out, n = 0,
+                       rng = Rng(t)](sim::SimThread& th) mutable {
+      if (n >= ops) return false;
+      const sim::Cycles before = th.now();
+      const std::string k(kind);
+      const std::string mine =
+          "/d/t" + std::to_string(t) + "_" + std::to_string(n);
+      if (k == "stat")
+        (void)fs->resolve(th, "/d/seed" + std::to_string(rng.below(256)));
+      else if (k == "create")
+        (void)fs->create(th, mine);
+      else if (k == "unlink") {
+        (void)fs->create(th, mine);
+        const sim::Cycles mid = th.now();
+        (void)fs->unlink(th, mine);
+        if (t == 0) out.push_back(static_cast<double>(th.now() - mid) /
+                                  sim::kClockHz * 1e9);
+        ++n;
+        return true;
+      } else if (k == "append")
+        (void)fs->append(th, "/d/seed" + std::to_string(t), 4096);
+      else if (k == "read4k")
+        (void)fs->read(th, "/d/seed0", rng.below(200) * 4096, 4096);
+      if (t == 0)
+        out.push_back(static_cast<double>(th.now() - before) /
+                      sim::kClockHz * 1e9);
+      ++n;
+      return true;
+    });
+  }
+  std::vector<sim::SimThread> states;
+  for (int t = 0; t < threads; ++t) {
+    states.emplace_back(t);
+    states.back().set_now(setup.now());
+  }
+  (void)sim::Executor::run(std::move(streams), states, 0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int ops = static_cast<int>(400 * bench_scale());
+  for (const char* kind : {"stat", "create", "unlink", "append", "read4k"}) {
+    Table t(std::string("op latency — ") + kind +
+            "  [ns modeled; median@1T / median@10T / p99@10T]");
+    t.header({"backend", "p50 1T", "p50 10T", "p99 10T"});
+    for (Backend b : all_backends()) {
+      auto solo = latencies(b, kind, 1, ops);
+      auto busy = latencies(b, kind, 10, ops);
+      const Dist d1 = dist_of(solo);
+      const Dist d10 = dist_of(busy);
+      t.row({backend_name(b), Table::num(d1.p50), Table::num(d10.p50),
+             Table::num(d10.p99)});
+    }
+    t.print();
+  }
+  std::puts(
+      "expectation (Sec 3.1/5.2): Simurgh's stat latency sits well below "
+      "every syscall-based FS, and its contended p99 stays flat where "
+      "shared locks inflate the kernel FSs'");
+  return 0;
+}

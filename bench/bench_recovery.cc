@@ -1,0 +1,67 @@
+// §5.5 reproduction: full-system recovery time.
+//
+// The paper crashes a file system holding 10 Linux source trees (672,940
+// files, 88,780 directories) and measures 4.1 s for the mark-and-sweep to
+// reach a healthy state.  This bench builds scaled file sets on the *real*
+// Simurgh file system, simulates a crash (volatile state dropped, unclean
+// superblock), runs recover(), and reports wall time plus a linear
+// extrapolation to the paper's scale — the paper itself notes that
+// recovery memory/time are linear in the number of files and directories.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/fs.h"
+#include "harness/runner.h"
+
+using namespace simurgh;
+
+int main() {
+  const double scale = bench::bench_scale();
+  Table t("Sec 5.5 — full recovery (mark-and-sweep) on the real FS");
+  t.header({"files", "dirs", "recovery seconds", "us per object",
+            "extrapolated to paper scale"});
+
+  for (std::uint64_t n_files :
+       {static_cast<std::uint64_t>(10000 * scale),
+        static_cast<std::uint64_t>(30000 * scale),
+        static_cast<std::uint64_t>(60000 * scale)}) {
+    nvmm::Device dev(3ull << 30);
+    nvmm::Device shm(64ull << 20);
+    auto fs = core::FileSystem::format(dev, shm);
+    auto proc = fs->open_process(1000, 1000);
+    const std::uint64_t n_dirs = std::max<std::uint64_t>(1, n_files / 8);
+    std::vector<std::string> dirs;
+    dirs.reserve(n_dirs);
+    for (std::uint64_t d = 0; d < n_dirs; ++d) {
+      const std::string dir = "/d" + std::to_string(d);
+      SIMURGH_CHECK(proc->mkdir(dir).is_ok());
+      dirs.push_back(dir);
+    }
+    for (std::uint64_t i = 0; i < n_files; ++i) {
+      const std::string f = dirs[i % n_dirs] + "/f" + std::to_string(i);
+      auto fd = proc->open(f, core::kOpenCreate | core::kOpenWrite);
+      SIMURGH_CHECK(fd.is_ok());
+      SIMURGH_CHECK(proc->close(*fd).is_ok());
+    }
+    proc.reset();
+    fs.reset();   // crash: no unmount, volatile state discarded
+    shm.wipe();
+    fs = core::FileSystem::mount(dev, shm);  // recovery runs inside mount
+    const auto report = fs->recover();       // timed steady-state pass
+    const double objects =
+        static_cast<double>(report.files + report.directories);
+    const double us_per_obj = report.seconds * 1e6 / std::max(1.0, objects);
+    const double extrapolated = us_per_obj * (672940.0 + 88780.0) / 1e6;
+    t.row({std::to_string(report.files), std::to_string(report.directories),
+           Table::num(report.seconds), Table::num(us_per_obj),
+           Table::num(extrapolated) + " s (paper: 4.1 s)"});
+  }
+  t.print();
+  std::puts(
+      "paper: 4.1 s for 672,940 files / 88,780 dirs; runtime (per-line) "
+      "recovery is not measurable — see test_fs_crash for that path");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Decentralized crash recovery walkthrough (§4.3, §5.5).
+//
+// Demonstrates the paper's two recovery paths on live structures:
+//  1. runtime recovery — a client dies holding a directory-line busy lock
+//     mid-delete; a *surviving* client on the same hash line detects the
+//     expired lease, repairs the line and continues (no daemon, no kernel);
+//  2. full recovery — the whole system "loses power" mid-rename and the
+//     next mount's mark-and-sweep restores a consistent namespace.
+#include <cstdio>
+
+#include "common/failpoint.h"
+#include "core/fs.h"
+
+using namespace simurgh;
+
+int main() {
+  nvmm::Device pmem(256ull << 20);
+  nvmm::Device shm(16ull << 20);
+  auto fs = core::FileSystem::format(pmem, shm);
+  fs->set_lease_ns(2'000'000);  // 2 ms lease so the demo is instant
+  auto alice = fs->open_process(1000, 1000);
+  auto bob = fs->open_process(1001, 1000);
+
+  SIMURGH_CHECK(alice->mkdir("/shared", 0777).is_ok());
+  SIMURGH_CHECK(
+      alice->open("/shared/doc", core::kOpenCreate | core::kOpenWrite)
+          .is_ok());
+
+  // --- 1. runtime recovery -------------------------------------------
+  std::printf("[1] alice dies mid-unlink (entry invalidated, line locked)\n");
+  FailPoint::arm("dir.remove.entry_invalidated");
+  try {
+    (void)alice->unlink("/shared/doc");
+  } catch (const CrashedException&) {
+    std::printf("    ...alice is gone; the line's busy flag is abandoned\n");
+  }
+  FailPoint::disarm();
+
+  // Bob touches the same name: same hash line. He waits out the lease,
+  // steals the lock, finishes alice's delete, and proceeds with his own op.
+  auto st = bob->stat("/shared/doc");
+  std::printf("[1] bob stats the file: %s (the interrupted delete was "
+              "completed by the survivor)\n",
+              std::string(errc_name(st.code())).c_str());
+  SIMURGH_CHECK(st.code() == Errc::not_found);
+  SIMURGH_CHECK(
+      bob->open("/shared/doc", core::kOpenCreate | core::kOpenWrite)
+          .is_ok());
+  std::printf("[1] bob recreated the name: runtime recovery OK\n\n");
+
+  // --- 2. full-system recovery ---------------------------------------
+  std::printf("[2] power fails mid-rename (hash line left inconsistent)\n");
+  FailPoint::arm("dir.rename.line_inconsistent");
+  try {
+    (void)bob->rename("/shared/doc", "/shared/doc.v2");
+  } catch (const CrashedException&) {
+    std::printf("    ...system down between rename steps 5 and 7\n");
+  }
+  FailPoint::disarm();
+
+  alice.reset();
+  bob.reset();
+  fs.reset();   // all volatile state gone
+  shm.wipe();
+  fs = core::FileSystem::mount(pmem, shm);  // unclean -> recovery runs
+  auto report = fs->recover();
+  auto proc = fs->open_process(1000, 1000);
+  const bool old_name = proc->stat("/shared/doc").is_ok();
+  const bool new_name = proc->stat("/shared/doc.v2").is_ok();
+  std::printf("[2] after mark-and-sweep (%llu committed, %llu reclaimed): "
+              "old=%d new=%d — exactly one name survives\n",
+              static_cast<unsigned long long>(report.committed_objects),
+              static_cast<unsigned long long>(report.reclaimed_objects),
+              old_name, new_name);
+  SIMURGH_CHECK(old_name != new_name);
+  std::printf("crash_recovery OK\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Protected functions beyond file systems (§3: "the concept of protected
+// functions can be applied to the protected execution of arbitrary user
+// level services ... or to the design of complete microkernel operating
+// systems").
+//
+// This example builds such a service: an in-memory quota ledger whose
+// state lives on kernel-marked pages that user code cannot touch, with all
+// mutation going through jmpp entry points that enforce per-user quotas.
+// A "malicious" caller then tries every bypass the hardware model must
+// stop: writing the state directly, jumping into the middle of the code,
+// remapping the protected page, and returning without pret.
+#include <cstdio>
+
+#include "protsec/bootstrap.h"
+
+using namespace simurgh;
+using namespace simurgh::protsec;
+
+namespace {
+
+struct LedgerState {
+  static constexpr int kUsers = 4;
+  std::uint64_t used[kUsers] = {};
+  std::uint64_t quota[kUsers] = {100, 100, 50, 10};
+};
+
+struct ChargeArgs {
+  std::uint32_t user;
+  std::uint64_t amount;
+};
+
+}  // namespace
+
+int main() {
+  PageTable pt;
+  Gateway gw(pt);
+  Bootstrap boot(pt, gw);
+  boot.whitelist("quota-service");
+
+  // The service state lives on a kernel page (user bit off): requirement 1
+  // of §3.1 — normal functions cannot access service data.
+  LedgerState state;
+  Pte data_page;
+  data_page.user = false;
+  data_page.writable = true;
+  const std::uint64_t state_vaddr = 0x4200'0000;
+  SIMURGH_CHECK(pt.map(Cpl::kernel, state_vaddr, data_page) == Fault::none);
+
+  // Entry 0: charge(user, amount) -> 1 on success, 0 if over quota.
+  // Entry 1: usage(user) -> used amount.
+  auto h = boot.load_protected(
+      "quota-service",
+      {[&](void* a) -> std::uint64_t {
+         const auto* args = static_cast<const ChargeArgs*>(a);
+         if (args->user >= LedgerState::kUsers) return 0;
+         if (state.used[args->user] + args->amount >
+             state.quota[args->user])
+           return 0;
+         state.used[args->user] += args->amount;
+         return 1;
+       },
+       [&](void* a) -> std::uint64_t {
+         const auto u = *static_cast<const std::uint32_t*>(a);
+         return u < LedgerState::kUsers ? state.used[u] : ~0ull;
+       }},
+      Credentials{1000, 1000});
+  SIMURGH_CHECK(h.is_ok());
+
+  // --- legitimate use through jmpp ---
+  std::uint64_t ok = 0;
+  ChargeArgs c{2, 30};
+  SIMURGH_CHECK(gw.jmpp(h->entry(0), &c, &ok) == Fault::none);
+  std::printf("charge(user=2, 30): %s\n", ok ? "granted" : "denied");
+  c.amount = 25;
+  SIMURGH_CHECK(gw.jmpp(h->entry(0), &c, &ok) == Fault::none);
+  std::printf("charge(user=2, 25): %s (quota 50)\n",
+              ok ? "granted" : "denied");
+  std::uint32_t u = 2;
+  std::uint64_t used = 0;
+  SIMURGH_CHECK(gw.jmpp(h->entry(1), &u, &used) == Fault::none);
+  std::printf("usage(user=2) = %llu\n",
+              static_cast<unsigned long long>(used));
+
+  // --- attacks the hardware model must stop ---
+  std::printf("\nattack 1: write the ledger page from user mode -> %s\n",
+              std::string(fault_name(
+                  pt.check_write(Cpl::user, state_vaddr)))
+                  .c_str());
+  std::printf("attack 2: jmpp into the middle of the service code -> %s\n",
+              std::string(fault_name(gw.jmpp(h->entry(0) + 0x20, &c)))
+                  .c_str());
+  Pte writable;
+  writable.user = true;
+  writable.writable = true;
+  std::printf("attack 3: remap the protected page writable -> %s\n",
+              std::string(fault_name(
+                  pt.remap(Cpl::user, h->base_vaddr, writable)))
+                  .c_str());
+  std::printf("attack 4: pret without a jmpp -> %s\n",
+              std::string(fault_name(gw.pret())).c_str());
+  std::printf("attack 5: mark an attacker page ep from user mode -> %s\n",
+              std::string(fault_name(pt.map(Cpl::user, 0x6660000, [] {
+                Pte p;
+                p.ep = true;
+                return p;
+              }()))).c_str());
+
+  // The ledger is intact after all of it: the first charge (30) was
+  // granted, the second (25) denied at the 50 quota.
+  SIMURGH_CHECK(gw.jmpp(h->entry(1), &u, &used) == Fault::none);
+  SIMURGH_CHECK(used == 30);
+  std::printf("\nledger intact (user 2 at %llu of quota 50)\n",
+              static_cast<unsigned long long>(used));
+  std::printf("protected_service OK\n");
+  return 0;
+}

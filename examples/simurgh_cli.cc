@@ -1,0 +1,163 @@
+// simurgh_cli — mkfs/fsck/shell utility over a *file-backed* device, so the
+// file system persists across invocations (the fsdax-style deployment).
+//
+//   simurgh_cli <image> mkfs [size_mb]
+//   simurgh_cli <image> ls <dir>
+//   simurgh_cli <image> mkdir <dir>
+//   simurgh_cli <image> put <path> <text...>
+//   simurgh_cli <image> cat <path>
+//   simurgh_cli <image> rm <path>
+//   simurgh_cli <image> mv <from> <to>
+//   simurgh_cli <image> stat <path>
+//   simurgh_cli <image> df
+//   simurgh_cli <image> fsck          # force a full mark-and-sweep
+//
+// Example session:
+//   ./simurgh_cli /tmp/pm.img mkfs 256
+//   ./simurgh_cli /tmp/pm.img mkdir /notes
+//   ./simurgh_cli /tmp/pm.img put /notes/a.txt hello persistent world
+//   ./simurgh_cli /tmp/pm.img cat /notes/a.txt
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/fs.h"
+
+using namespace simurgh;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: simurgh_cli <image> "
+               "{mkfs [mb]|ls|mkdir|put|cat|rm|mv|stat|df|fsck} [args]\n");
+  return 2;
+}
+
+const char* type_name(std::uint32_t mode) {
+  switch (mode & core::kModeTypeMask) {
+    case core::kModeDir: return "dir";
+    case core::kModeFile: return "file";
+    case core::kModeSymlink: return "symlink";
+  }
+  return "?";
+}
+
+int err(const char* what, Errc e) {
+  std::fprintf(stderr, "%s: %s\n", what,
+               std::string(errc_name(e)).c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string image = argv[1];
+  const std::string cmd = argv[2];
+
+  if (cmd == "mkfs") {
+    const std::size_t mb = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 256;
+    nvmm::Device dev(image, mb << 20);
+    dev.wipe();  // re-formatting a used image must clear stale state
+    nvmm::Device shm(8ull << 20);
+    auto fs = core::FileSystem::format(dev, shm);
+    fs->unmount();
+    std::printf("formatted %s: %zu MB, block size 4096\n", image.c_str(), mb);
+    return 0;
+  }
+
+  // All other commands mount the existing image.  The shm device is
+  // volatile per-invocation, exactly as a reboot would leave it.
+  struct ::stat sb {};
+  if (::stat(image.c_str(), &sb) != 0 || sb.st_size == 0) {
+    std::fprintf(stderr, "%s: no such image (run mkfs first)\n",
+                 image.c_str());
+    return 1;
+  }
+  nvmm::Device pmem(image, static_cast<std::size_t>(sb.st_size));
+  nvmm::Device shm(8ull << 20);
+  auto fs = core::FileSystem::mount(pmem, shm);
+  auto proc = fs->open_process(1000, 1000);
+  int rc = 0;
+
+  if (cmd == "ls") {
+    const std::string dir = argc > 3 ? argv[3] : "/";
+    auto entries = proc->readdir(dir);
+    if (!entries.is_ok()) return err("ls", entries.code());
+    for (const auto& e : *entries) {
+      auto st = proc->stat(dir + "/" + e.name);
+      std::printf("%-8s %10llu  %s\n",
+                  st.is_ok() ? type_name(st->mode) : "?",
+                  st.is_ok() ? static_cast<unsigned long long>(st->size) : 0,
+                  e.name.c_str());
+    }
+  } else if (cmd == "mkdir" && argc > 3) {
+    Status st = proc->mkdir(argv[3]);
+    if (!st.is_ok()) rc = err("mkdir", st.code());
+  } else if (cmd == "put" && argc > 4) {
+    std::string text;
+    for (int i = 4; i < argc; ++i) {
+      if (i > 4) text += ' ';
+      text += argv[i];
+    }
+    text += '\n';
+    auto fd = proc->open(argv[3], core::kOpenCreate | core::kOpenWrite |
+                                      core::kOpenTrunc);
+    if (!fd.is_ok()) return err("put", fd.code());
+    auto n = proc->write(*fd, text.data(), text.size());
+    if (!n.is_ok()) rc = err("put", n.code());
+  } else if (cmd == "cat" && argc > 3) {
+    auto fd = proc->open(argv[3], core::kOpenRead);
+    if (!fd.is_ok()) return err("cat", fd.code());
+    char buf[4096];
+    for (;;) {
+      auto n = proc->read(*fd, buf, sizeof buf);
+      if (!n.is_ok()) return err("cat", n.code());
+      if (*n == 0) break;
+      std::fwrite(buf, 1, *n, stdout);
+    }
+  } else if (cmd == "rm" && argc > 3) {
+    Status st = proc->unlink(argv[3]);
+    if (st.code() == Errc::is_dir) st = proc->rmdir(argv[3]);
+    if (!st.is_ok()) rc = err("rm", st.code());
+  } else if (cmd == "mv" && argc > 4) {
+    Status st = proc->rename(argv[3], argv[4]);
+    if (!st.is_ok()) rc = err("mv", st.code());
+  } else if (cmd == "stat" && argc > 3) {
+    auto st = proc->stat(argv[3]);
+    if (!st.is_ok()) return err("stat", st.code());
+    std::printf("%s: %s mode=%o uid=%u gid=%u nlink=%u size=%llu ino=%llu\n",
+                argv[3], type_name(st->mode), st->mode & 0xFFF, st->uid,
+                st->gid, st->nlink,
+                static_cast<unsigned long long>(st->size),
+                static_cast<unsigned long long>(st->inode));
+  } else if (cmd == "df") {
+    auto st = fs->fsstat();
+    std::printf("blocks: %llu total, %llu free (%.1f%% used), "
+                "%llu live inodes\n",
+                static_cast<unsigned long long>(st.total_blocks),
+                static_cast<unsigned long long>(st.free_blocks),
+                100.0 * static_cast<double>(st.total_blocks - st.free_blocks) /
+                    static_cast<double>(st.total_blocks),
+                static_cast<unsigned long long>(st.live_inodes));
+  } else if (cmd == "fsck") {
+    auto report = fs->recover();
+    std::printf("fsck: %llu files, %llu dirs, %llu symlinks; "
+                "%llu committed, %llu reclaimed; %.3fs\n",
+                static_cast<unsigned long long>(report.files),
+                static_cast<unsigned long long>(report.directories),
+                static_cast<unsigned long long>(report.symlinks),
+                static_cast<unsigned long long>(report.committed_objects),
+                static_cast<unsigned long long>(report.reclaimed_objects),
+                report.seconds);
+  } else {
+    return usage();
+  }
+
+  fs->unmount();
+  return rc;
+}

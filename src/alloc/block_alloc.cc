@@ -1,0 +1,262 @@
+#include "alloc/block_alloc.h"
+
+#include <time.h>
+
+#include <algorithm>
+
+#include "common/failpoint.h"
+
+namespace simurgh::alloc {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53494d5f424c4b31ull;  // "SIM_BLK1"
+
+std::uint64_t monotonic_ns() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Owner tokens: any nonzero value unique per thread.
+std::uint64_t self_token() noexcept {
+  thread_local const std::uint64_t token =
+      monotonic_ns() | 1;  // nonzero, distinct enough per thread start
+  return token;
+}
+
+}  // namespace
+
+BlockAllocator BlockAllocator::format(nvmm::Device& dev,
+                                      std::uint64_t header_off,
+                                      std::uint64_t data_off,
+                                      std::uint64_t data_len,
+                                      unsigned n_segments) {
+  SIMURGH_CHECK(n_segments > 0);
+  SIMURGH_CHECK(data_off % kBlockSize == 0);
+  BlockAllocator a(dev, header_off);
+  auto& h = a.header();
+  h.magic = kMagic;
+  h.n_segments = n_segments;
+  h.data_off = data_off;
+  h.n_blocks = data_len / kBlockSize;
+  nvmm::persist_now(h);
+
+  SegmentHeader* segs = a.segments();
+  const std::uint64_t per_seg = (h.n_blocks + n_segments - 1) / n_segments;
+  for (unsigned s = 0; s < n_segments; ++s) {
+    new (&segs[s]) SegmentHeader();
+    const std::uint64_t first = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(s) * per_seg, h.n_blocks);
+    const std::uint64_t count = std::min<std::uint64_t>(
+        per_seg, h.n_blocks - first);
+    if (count > 0) {
+      const std::uint64_t range_off = data_off + first * kBlockSize;
+      auto* range = reinterpret_cast<FreeRange*>(dev.at(range_off));
+      range->next = nvmm::pptr<FreeRange>();
+      range->n_blocks = count;
+      nvmm::persist_obj(*range);
+      segs[s].free_head.store(nvmm::pptr<FreeRange>(range_off));
+      segs[s].free_blocks.store(count, std::memory_order_relaxed);
+    }
+    nvmm::persist_obj(segs[s]);
+  }
+  nvmm::fence();
+  return a;
+}
+
+BlockAllocator BlockAllocator::attach(nvmm::Device& dev,
+                                      std::uint64_t header_off) {
+  BlockAllocator a(dev, header_off);
+  SIMURGH_CHECK(a.header().magic == kMagic);
+  return a;
+}
+
+unsigned BlockAllocator::segment_of(std::uint64_t block_off) const noexcept {
+  const BlockAllocHeader& h = header();
+  const std::uint64_t idx = (block_off - h.data_off) / kBlockSize;
+  const std::uint64_t per_seg =
+      (h.n_blocks + h.n_segments - 1) / h.n_segments;
+  return static_cast<unsigned>(idx / per_seg);
+}
+
+bool BlockAllocator::try_lock_segment(SegmentHeader& seg) {
+  std::uint64_t expected = 0;
+  if (seg.lock.owner.compare_exchange_strong(expected, self_token(),
+                                             std::memory_order_acquire)) {
+    seg.lock.last_accessed_ns.store(monotonic_ns(),
+                                    std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool BlockAllocator::lock_segment(SegmentHeader& seg) {
+  for (;;) {
+    if (try_lock_segment(seg)) return false;
+    // Lease check: a holder that has not refreshed last_accessed within the
+    // lease is considered crashed; steal the lock (paper §4.2).
+    const std::uint64_t stamp =
+        seg.lock.last_accessed_ns.load(std::memory_order_relaxed);
+    const std::uint64_t owner =
+        seg.lock.owner.load(std::memory_order_relaxed);
+    if (owner != 0 && monotonic_ns() - stamp > lease_ns_) {
+      std::uint64_t expected = owner;
+      if (seg.lock.owner.compare_exchange_strong(
+              expected, self_token(), std::memory_order_acquire)) {
+        seg.lock.last_accessed_ns.store(monotonic_ns(),
+                                        std::memory_order_relaxed);
+        ++stats_.lock_steals;
+        return true;
+      }
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void BlockAllocator::unlock_segment(SegmentHeader& seg) noexcept {
+  seg.lock.owner.store(0, std::memory_order_release);
+}
+
+Result<std::uint64_t> BlockAllocator::alloc(std::uint64_t n_blocks,
+                                            std::uint64_t hint) {
+  SIMURGH_CHECK(n_blocks > 0);
+  BlockAllocHeader& h = header();
+  SegmentHeader* segs = segments();
+  const unsigned start =
+      static_cast<unsigned>((hint / kBlockSize) % h.n_segments);
+
+  // First pass: prefer an immediately free segment (the "move to the next
+  // segment if busy" rule).  Second pass: wait on each in turn.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (unsigned i = 0; i < h.n_segments; ++i) {
+      SegmentHeader& seg = segs[(start + i) % h.n_segments];
+      if (pass == 0) {
+        if (!try_lock_segment(seg)) {
+          ++stats_.segment_hops;
+          continue;
+        }
+      } else {
+        lock_segment(seg);
+      }
+      auto r = alloc_from(seg, n_blocks);
+      unlock_segment(seg);
+      if (r.is_ok()) {
+        ++stats_.allocs;
+        return r;
+      }
+    }
+  }
+  return Errc::no_space;
+}
+
+Result<std::uint64_t> BlockAllocator::alloc_from(SegmentHeader& seg,
+                                                 std::uint64_t n) {
+  // First-fit over the address-ordered free-range list.
+  nvmm::pptr<FreeRange> prev;
+  nvmm::pptr<FreeRange> cur = seg.free_head.load();
+  while (cur) {
+    FreeRange* range = cur.in(*dev_);
+    if (range->n_blocks >= n) {
+      const std::uint64_t remaining = range->n_blocks - n;
+      // Carve from the *tail* so the list node stays in place unless the
+      // range is consumed entirely.
+      if (remaining > 0) {
+        range->n_blocks = remaining;
+        nvmm::persist_obj(*range);
+        SIMURGH_FAILPOINT("blockalloc.split");
+        seg.free_blocks.fetch_sub(n, std::memory_order_relaxed);
+        nvmm::fence();
+        return cur.raw() + remaining * kBlockSize;
+      }
+      // Unlink the whole range.
+      const nvmm::pptr<FreeRange> next = range->next;
+      if (prev) {
+        prev.in(*dev_)->next = next;
+        nvmm::persist_obj(*prev.in(*dev_));
+      } else {
+        seg.free_head.store(next);
+        nvmm::persist_obj(seg.free_head);
+      }
+      SIMURGH_FAILPOINT("blockalloc.unlink");
+      seg.free_blocks.fetch_sub(n, std::memory_order_relaxed);
+      nvmm::fence();
+      return cur.raw();
+    }
+    prev = cur;
+    cur = range->next;
+  }
+  return Errc::no_space;
+}
+
+void BlockAllocator::free(std::uint64_t block_off, std::uint64_t n_blocks) {
+  SIMURGH_CHECK(n_blocks > 0);
+  SegmentHeader& seg = segments()[segment_of(block_off)];
+  lock_segment(seg);
+  free_into(seg, block_off, n_blocks);
+  unlock_segment(seg);
+  ++stats_.frees;
+}
+
+void BlockAllocator::free_into(SegmentHeader& seg, std::uint64_t block_off,
+                               std::uint64_t n) {
+  // Address-ordered insert with two-sided coalescing.
+  nvmm::pptr<FreeRange> prev;
+  nvmm::pptr<FreeRange> cur = seg.free_head.load();
+  while (cur && cur.raw() < block_off) {
+    prev = cur;
+    cur = cur.in(*dev_)->next;
+  }
+  auto* node = reinterpret_cast<FreeRange*>(dev_->at(block_off));
+  node->next = cur;
+  node->n_blocks = n;
+
+  bool merged_prev = false;
+  if (prev) {
+    FreeRange* p = prev.in(*dev_);
+    if (prev.raw() + p->n_blocks * kBlockSize == block_off) {
+      p->n_blocks += n;
+      // Forward-merge with cur if now adjacent.
+      if (cur && prev.raw() + p->n_blocks * kBlockSize == cur.raw()) {
+        p->n_blocks += cur.in(*dev_)->n_blocks;
+        p->next = cur.in(*dev_)->next;
+      }
+      nvmm::persist_obj(*p);
+      merged_prev = true;
+    }
+  }
+  if (!merged_prev) {
+    if (cur && block_off + n * kBlockSize == cur.raw()) {
+      node->n_blocks += cur.in(*dev_)->n_blocks;
+      node->next = cur.in(*dev_)->next;
+    }
+    nvmm::persist_obj(*node);
+    if (prev) {
+      prev.in(*dev_)->next = nvmm::pptr<FreeRange>(block_off);
+      nvmm::persist_obj(*prev.in(*dev_));
+    } else {
+      seg.free_head.store(nvmm::pptr<FreeRange>(block_off));
+      nvmm::persist_obj(seg.free_head);
+    }
+  }
+  seg.free_blocks.fetch_add(n, std::memory_order_relaxed);
+  nvmm::fence();
+}
+
+std::uint64_t BlockAllocator::free_blocks() const noexcept {
+  const BlockAllocHeader& h = header();
+  const SegmentHeader* segs = segments();
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < h.n_segments; ++s)
+    total += segs[s].free_blocks.load(std::memory_order_relaxed);
+  return total;
+}
+
+unsigned BlockAllocator::n_segments() const noexcept {
+  return static_cast<unsigned>(header().n_segments);
+}
+
+}  // namespace simurgh::alloc

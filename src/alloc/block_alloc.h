@@ -1,0 +1,166 @@
+// Segmented concurrent block allocator (§4.2 "Block allocation").
+//
+// The device's data area is divided into `2 x n_cores` segments, each owning
+// a contiguous block range with its own free list, so concurrent threads
+// rarely collide (Hoard-style).  Each segment is guarded by an atomic lock
+// word paired with a `last_accessed` lease timestamp: a waiter that observes
+// the lease expired concludes the holder crashed and steals the lock — the
+// decentralized crash-detection rule of the paper (no kernel, no daemon).
+//
+// Free space is kept as an address-ordered linked list of free *ranges*
+// threaded through the free blocks themselves (a free range's first block
+// stores {next, n_blocks}), allocated first-fit and coalesced on free.
+// Allocation picks the segment `(hint / align) % n_segments` so blocks of
+// one file cluster in one segment and files spread across segments; a busy
+// segment is skipped in favor of the next (paper's contention-avoidance
+// hop).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "nvmm/device.h"
+#include "nvmm/persist.h"
+#include "nvmm/pptr.h"
+
+namespace simurgh::alloc {
+
+constexpr std::uint64_t kBlockSize = 4096;
+
+// Lock word + lease. 0 means free; otherwise an owner token.
+struct SegmentLock {
+  std::atomic<std::uint64_t> owner{0};
+  std::atomic<std::uint64_t> last_accessed_ns{0};
+};
+
+// Persistent per-segment state.
+struct SegmentHeader {
+  SegmentLock lock;
+  nvmm::atomic_pptr<struct FreeRange> free_head;
+  std::atomic<std::uint64_t> free_blocks{0};
+};
+
+// Stored in the first block of every free range.
+struct FreeRange {
+  nvmm::pptr<FreeRange> next;
+  std::uint64_t n_blocks = 0;
+};
+
+// Persistent allocator header (lives where the caller says, typically right
+// after the superblock).
+struct BlockAllocHeader {
+  std::uint64_t magic = 0;
+  std::uint64_t n_segments = 0;
+  std::uint64_t data_off = 0;   // first block, device offset
+  std::uint64_t n_blocks = 0;   // total blocks in the data area
+  // SegmentHeader[n_segments] follows immediately.
+};
+
+struct BlockAllocStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t segment_hops = 0;  // busy-segment skips
+  std::uint64_t lock_steals = 0;   // expired leases taken over
+};
+
+class BlockAllocator {
+ public:
+  // Formats the allocator over device blocks [data_off, data_off+len) with
+  // its persistent header at `header_off`.
+  static BlockAllocator format(nvmm::Device& dev, std::uint64_t header_off,
+                               std::uint64_t data_off, std::uint64_t data_len,
+                               unsigned n_segments);
+  // Attaches to an already formatted allocator (normal mount).
+  static BlockAllocator attach(nvmm::Device& dev, std::uint64_t header_off);
+
+  // Allocates `n_blocks` contiguous blocks; returns the device offset of
+  // the first block.  `hint` (typically the file's inode offset) selects
+  // the starting segment.
+  Result<std::uint64_t> alloc(std::uint64_t n_blocks, std::uint64_t hint);
+
+  // Returns blocks to the segment that owns their address range.
+  void free(std::uint64_t block_off, std::uint64_t n_blocks);
+
+  [[nodiscard]] std::uint64_t free_blocks() const noexcept;
+  [[nodiscard]] unsigned n_segments() const noexcept;
+  [[nodiscard]] std::uint64_t data_off() const noexcept {
+    return header().data_off;
+  }
+  [[nodiscard]] std::uint64_t n_blocks_total() const noexcept {
+    return header().n_blocks;
+  }
+
+  // Lease after which a lock holder counts as crashed.  Short values are
+  // used by the crash tests; production default is 100 ms.
+  void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
+
+  BlockAllocStats& stats() noexcept { return stats_; }
+
+  // Recovery: rebuild every segment's free list from a caller-provided
+  // "block in use" predicate (mark phase done by the FS sweep).
+  template <typename InUseFn>
+  void rebuild_free_lists(InUseFn&& in_use);
+
+ private:
+  BlockAllocator(nvmm::Device& dev, std::uint64_t header_off)
+      : dev_(&dev), header_off_(header_off) {}
+
+  [[nodiscard]] BlockAllocHeader& header() const noexcept {
+    return *reinterpret_cast<BlockAllocHeader*>(dev_->at(header_off_));
+  }
+  [[nodiscard]] SegmentHeader* segments() const noexcept {
+    return reinterpret_cast<SegmentHeader*>(dev_->at(header_off_) +
+                                            sizeof(BlockAllocHeader));
+  }
+  [[nodiscard]] unsigned segment_of(std::uint64_t block_off) const noexcept;
+
+  // Spin-acquire with lease stealing; returns true if the lock was stolen.
+  bool lock_segment(SegmentHeader& seg);
+  void unlock_segment(SegmentHeader& seg) noexcept;
+  bool try_lock_segment(SegmentHeader& seg);
+
+  Result<std::uint64_t> alloc_from(SegmentHeader& seg, std::uint64_t n);
+  void free_into(SegmentHeader& seg, std::uint64_t block_off, std::uint64_t n);
+
+  nvmm::Device* dev_;
+  std::uint64_t header_off_;
+  std::uint64_t lease_ns_ = 100'000'000;  // 100 ms
+  BlockAllocStats stats_;
+};
+
+template <typename InUseFn>
+void BlockAllocator::rebuild_free_lists(InUseFn&& in_use) {
+  BlockAllocHeader& h = header();
+  SegmentHeader* segs = segments();
+  const std::uint64_t per_seg =
+      (h.n_blocks + h.n_segments - 1) / h.n_segments;
+  for (unsigned s = 0; s < h.n_segments; ++s) {
+    segs[s].lock.owner.store(0, std::memory_order_relaxed);
+    segs[s].free_head.store(nvmm::pptr<FreeRange>());
+    segs[s].free_blocks.store(0, std::memory_order_relaxed);
+  }
+  // Sweep the data area, accumulating maximal free runs per segment.
+  std::uint64_t run_start = 0, run_len = 0;
+  auto flush_run = [&] {
+    while (run_len > 0) {
+      const std::uint64_t seg_idx = run_start / per_seg;
+      const std::uint64_t seg_end = (seg_idx + 1) * per_seg;
+      const std::uint64_t take = std::min(run_len, seg_end - run_start);
+      free_into(segs[seg_idx], h.data_off + run_start * kBlockSize, take);
+      run_start += take;
+      run_len -= take;
+    }
+  };
+  for (std::uint64_t b = 0; b < h.n_blocks; ++b) {
+    if (in_use(h.data_off + b * kBlockSize)) {
+      flush_run();
+    } else {
+      if (run_len == 0) run_start = b;
+      ++run_len;
+    }
+  }
+  flush_run();
+}
+
+}  // namespace simurgh::alloc

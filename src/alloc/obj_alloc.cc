@@ -1,0 +1,141 @@
+#include "alloc/obj_alloc.h"
+
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace simurgh::alloc {
+
+ObjectAllocator ObjectAllocator::format(nvmm::Device& dev,
+                                        BlockAllocator& blocks,
+                                        std::uint64_t pool_header_off,
+                                        std::uint64_t payload_size,
+                                        std::uint64_t objs_per_segment) {
+  ObjectAllocator a(dev, blocks, pool_header_off);
+  PoolHeader& p = a.pool();
+  p.payload_size = payload_size;
+  p.stride = (sizeof(ObjectHeader) + payload_size + 63) / 64 * 64;
+  p.objs_per_segment = objs_per_segment;
+  p.seg_head.store(nvmm::pptr<PoolSegment>());
+  nvmm::persist_now(p);
+  return a;
+}
+
+ObjectAllocator ObjectAllocator::attach(nvmm::Device& dev,
+                                        BlockAllocator& blocks,
+                                        std::uint64_t pool_header_off) {
+  ObjectAllocator a(dev, blocks, pool_header_off);
+  SIMURGH_CHECK(a.pool().stride != 0);
+  return a;
+}
+
+Status ObjectAllocator::grow() {
+  PoolHeader& p = pool();
+  const std::uint64_t seg_bytes =
+      first_obj_off(0) + p.objs_per_segment * p.stride;
+  const std::uint64_t n_blocks = (seg_bytes + kBlockSize - 1) / kBlockSize;
+  SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t seg_off,
+                           blocks_->alloc(n_blocks, pool_off_));
+  std::memset(dev_->at(seg_off), 0, n_blocks * kBlockSize);
+  auto* seg = reinterpret_cast<PoolSegment*>(dev_->at(seg_off));
+  seg->n_objects = p.objs_per_segment;
+  seg->n_blocks = n_blocks;
+  // Publish with a CAS push; the segment list is only ever prepended.
+  nvmm::pptr<PoolSegment> head = p.seg_head.load();
+  do {
+    seg->next = head;
+    nvmm::persist_obj(*seg);
+  } while (!p.seg_head.compare_exchange(head, nvmm::pptr<PoolSegment>(seg_off)));
+  nvmm::persist_obj(p.seg_head);
+  nvmm::fence();
+  return Status::ok();
+}
+
+void ObjectAllocator::refill_cache() {
+  // Collect candidates (flags == 00) without claiming them; alloc() claims
+  // with a CAS so duplicates across shards/mounts are harmless.
+  scan([this](std::uint64_t payload_off, std::uint32_t flags) {
+    if (flags == 0) cache_.push_back(payload_off);
+  });
+}
+
+Result<std::uint64_t> ObjectAllocator::alloc() {
+  std::lock_guard lock(*cache_mu_);
+  for (;;) {
+    while (!cache_.empty()) {
+      const std::uint64_t off = cache_.back();
+      cache_.pop_back();
+      ObjectHeader& hdr = header_of(off);
+      std::uint32_t expected = 0;
+      if (hdr.flags.compare_exchange_strong(expected, kObjValid | kObjDirty,
+                                            std::memory_order_acq_rel)) {
+        nvmm::persist_now(hdr.flags);
+        SIMURGH_FAILPOINT("objalloc.claimed");
+        return off;
+      }
+    }
+    refill_cache();
+    if (!cache_.empty()) continue;
+    if (Status st = grow(); !st.is_ok()) return st.code();
+    refill_cache();
+    if (cache_.empty()) return Errc::no_space;
+  }
+}
+
+void ObjectAllocator::commit(std::uint64_t payload_off) {
+  ObjectHeader& hdr = header_of(payload_off);
+  hdr.flags.fetch_and(~kObjDirty, std::memory_order_release);
+  nvmm::persist_now(hdr.flags);
+}
+
+void ObjectAllocator::free(std::uint64_t payload_off) {
+  ObjectHeader& hdr = header_of(payload_off);
+  // Step 1: unset valid, set dirty ("deallocation in progress").
+  hdr.flags.store(kObjDirty, std::memory_order_release);
+  nvmm::persist_now(hdr.flags);
+  SIMURGH_FAILPOINT("objalloc.free.valid_cleared");
+  finish_pending_free(payload_off);
+}
+
+void ObjectAllocator::finish_pending_free(std::uint64_t payload_off) {
+  // Step 2: zero the payload so stale pointers read as null.
+  std::memset(dev_->at(payload_off), 0, pool().payload_size);
+  nvmm::persist(dev_->at(payload_off), pool().payload_size);
+  SIMURGH_FAILPOINT("objalloc.free.zeroed");
+  // Step 3: unset dirty — object is free again.
+  ObjectHeader& hdr = header_of(payload_off);
+  hdr.flags.store(0, std::memory_order_release);
+  nvmm::persist_now(hdr.flags);
+  std::lock_guard lock(*cache_mu_);
+  cache_.push_back(payload_off);
+}
+
+std::uint32_t ObjectAllocator::flags_of(std::uint64_t payload_off) const {
+  return header_of(payload_off).flags.load(std::memory_order_acquire);
+}
+
+void ObjectAllocator::set_flags(std::uint64_t payload_off,
+                                std::uint32_t flags) {
+  ObjectHeader& hdr = header_of(payload_off);
+  hdr.flags.store(flags, std::memory_order_release);
+  nvmm::persist_now(hdr.flags);
+}
+
+bool ObjectAllocator::owns_block(std::uint64_t block_off) const {
+  nvmm::pptr<PoolSegment> seg = pool().seg_head.load();
+  while (seg) {
+    const PoolSegment* s = seg.in(*dev_);
+    if (block_off >= seg.raw() &&
+        block_off < seg.raw() + s->n_blocks * kBlockSize)
+      return true;
+    seg = s->next;
+  }
+  return false;
+}
+
+void ObjectAllocator::drop_volatile_cache() {
+  std::lock_guard lock(*cache_mu_);
+  cache_.clear();
+}
+
+}  // namespace simurgh::alloc

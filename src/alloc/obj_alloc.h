@@ -1,0 +1,155 @@
+// Slab-style metadata object allocator (§4.2 "Data structure allocator").
+//
+// Fixed-size metadata objects (inodes, file entries, directory hash blocks)
+// are carved from pool segments obtained from the block allocator.  Each
+// object carries two atomic persistence bits in its header:
+//
+//      valid dirty   meaning                          recovery action
+//        0     0     free                             (none)
+//        1     1     allocated, not yet processed     reclaim if unreachable
+//        1     0     live object                      keep if reachable
+//        0     1     deallocation in progress         finish: zero + clear
+//
+// Allocation claims an object by CAS-ing 00 -> 11 and persisting the flags;
+// when the file-system operation that uses the object completes, it clears
+// the dirty bit (commit).  Deallocation clears valid, zeroes the payload,
+// then clears dirty — so a crash at any point leaves a state the recovery
+// scan maps to exactly one decision (the paper's two-bit protocol).
+//
+// A volatile sharded free-list caches offsets of free objects so the hot
+// path is O(1); shards only fall back to scanning pool segments on refill.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "alloc/block_alloc.h"
+#include "common/status.h"
+
+namespace simurgh::alloc {
+
+constexpr std::uint32_t kObjValid = 1u;
+constexpr std::uint32_t kObjDirty = 2u;
+
+struct ObjectHeader {
+  std::atomic<std::uint32_t> flags{0};
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(ObjectHeader) == 8);
+
+// Persistent pool descriptor; the FS superblock reserves one per pool.
+struct PoolHeader {
+  std::uint64_t payload_size = 0;  // bytes usable by the caller
+  std::uint64_t stride = 0;        // header + payload, 64B aligned
+  std::uint64_t objs_per_segment = 0;
+  nvmm::atomic_pptr<struct PoolSegment> seg_head;
+};
+
+struct PoolSegment {
+  nvmm::pptr<PoolSegment> next;
+  std::uint64_t n_objects = 0;
+  std::uint64_t n_blocks = 0;  // segment size, for recovery/mark
+  // objects follow at 64-byte alignment
+};
+
+class ObjectAllocator {
+ public:
+  // Formats/attaches a pool with objects of `payload_size` bytes.
+  static ObjectAllocator format(nvmm::Device& dev, BlockAllocator& blocks,
+                                std::uint64_t pool_header_off,
+                                std::uint64_t payload_size,
+                                std::uint64_t objs_per_segment = 1024);
+  static ObjectAllocator attach(nvmm::Device& dev, BlockAllocator& blocks,
+                                std::uint64_t pool_header_off);
+
+  // Claims a free object (flags 00 -> 11, persisted) and returns the
+  // *payload* device offset, zero-filled.
+  Result<std::uint64_t> alloc();
+
+  // Marks the object's operation complete: clears dirty, persists.
+  void commit(std::uint64_t payload_off);
+
+  // Two-bit deallocation protocol: valid off -> zero payload -> dirty off.
+  void free(std::uint64_t payload_off);
+
+  // Completes a deallocation found half-done after a crash (flags == 01).
+  void finish_pending_free(std::uint64_t payload_off);
+
+  [[nodiscard]] std::uint32_t flags_of(std::uint64_t payload_off) const;
+  void set_flags(std::uint64_t payload_off, std::uint32_t flags);
+
+  [[nodiscard]] std::uint64_t payload_size() const noexcept {
+    return pool().payload_size;
+  }
+
+  // Iterates every object slot: fn(payload_off, flags).  Used by recovery
+  // and by the mark-and-sweep reachability pass.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    const PoolHeader& p = pool();
+    nvmm::pptr<PoolSegment> seg = p.seg_head.load();
+    while (seg) {
+      const PoolSegment* s = seg.in(*dev_);
+      const std::uint64_t first = first_obj_off(seg.raw());
+      for (std::uint64_t i = 0; i < s->n_objects; ++i) {
+        const std::uint64_t obj = first + i * p.stride;
+        const auto* hdr = reinterpret_cast<const ObjectHeader*>(dev_->at(obj));
+        fn(obj + sizeof(ObjectHeader),
+           hdr->flags.load(std::memory_order_acquire));
+      }
+      seg = s->next;
+    }
+  }
+
+  // True if `off` lies inside one of this pool's segments (sweep helper).
+  [[nodiscard]] bool owns_block(std::uint64_t block_off) const;
+
+  // Iterates pool segments: fn(segment_dev_off, n_blocks).  Recovery marks
+  // these blocks as in use before rebuilding the block allocator.
+  template <typename Fn>
+  void for_each_segment(Fn&& fn) const {
+    nvmm::pptr<PoolSegment> seg = pool().seg_head.load();
+    while (seg) {
+      const PoolSegment* s = seg.in(*dev_);
+      fn(seg.raw(), s->n_blocks);
+      seg = s->next;
+    }
+  }
+
+  // Drops the volatile free cache (simulated process restart).
+  void drop_volatile_cache();
+
+ private:
+  ObjectAllocator(nvmm::Device& dev, BlockAllocator& blocks,
+                  std::uint64_t pool_header_off)
+      : dev_(&dev), blocks_(&blocks), pool_off_(pool_header_off) {}
+
+  [[nodiscard]] PoolHeader& pool() const noexcept {
+    return *reinterpret_cast<PoolHeader*>(dev_->at(pool_off_));
+  }
+  [[nodiscard]] static std::uint64_t first_obj_off(
+      std::uint64_t seg_off) noexcept {
+    return (seg_off + sizeof(PoolSegment) + 63) / 64 * 64;
+  }
+  [[nodiscard]] ObjectHeader& header_of(std::uint64_t payload_off) const {
+    return *reinterpret_cast<ObjectHeader*>(
+        dev_->at(payload_off - sizeof(ObjectHeader)));
+  }
+
+  Status grow();
+  void refill_cache();
+
+  nvmm::Device* dev_;
+  BlockAllocator* blocks_;
+  std::uint64_t pool_off_;
+
+  // Volatile free cache (per-mount, rebuilt on attach/refill).  Heap-held
+  // so the allocator stays movable.
+  std::unique_ptr<std::mutex> cache_mu_ = std::make_unique<std::mutex>();
+  std::vector<std::uint64_t> cache_;
+};
+
+}  // namespace simurgh::alloc

@@ -1,0 +1,34 @@
+// EXT4-DAX behavioural profile (mainline ext4 with the DAX data path).
+//
+// Structure captured: the jbd2 journal (every metadata op opens a handle
+// whose commit-side work serializes on the journal state), htree
+// directories (no linear scan), and a group-locked extent allocator that
+// behaves serially under this workload concurrency.  EXT4 is "optimized
+// towards large files and access sizes" (§5.3): competitive on streaming
+// data, weakest on small-file metadata (varmail) and on rename (Fig. 7d:
+// Simurgh is 2.2x faster at 1 thread, 18.8x at 10).
+#include "baselines/kernelfs.h"
+
+namespace simurgh::bench {
+
+KernelProfile ext4dax_profile() {
+  KernelProfile p;
+  p.name = "EXT4-DAX";
+  p.create_held = 8200;   // handle + inode bitmap + htree insert
+  p.unlink_held = 6800;
+  p.rename_held = 5300;   // + journal serialization below
+  p.stat_extra = 250;
+  p.read_cpu = 450;       // DAX read path is lean
+  p.write_cpu = 1450;     // handle + extent status tree
+  p.append_cpu = 1800;    // extent append + journal credits
+  p.fallocate_cpu = 800;
+  p.meta_write_bytes = 1024;  // journal descriptor + metadata blocks
+  p.linear_dir = false;   // htree
+  p.serial_alloc = true;  // group locks behave serially here (Fig. 7h)
+  p.alloc_hold = 2500;
+  p.journal = true;
+  p.journal_hold = 150;   // serialized slice of a jbd2 handle
+  return p;
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,79 @@
+// The benchmark-facing file-system interface.
+//
+// Every system compared in the paper's evaluation — Simurgh, NOVA, PMFS,
+// EXT4-DAX, SplitFS — is driven through this interface by the workloads.
+// Operations take the calling logical thread (sim::SimThread) so each
+// backend can charge its modeled costs: fixed CPU cycles, virtual lock
+// acquisitions (contention emerges in the DES) and NVMM/DRAM bandwidth.
+//
+// Functional semantics are real (names exist or not, sizes grow, renames
+// move files); performance comes from each backend's cost model.  The
+// Simurgh backend executes the actual core::FileSystem code; the kernel
+// baselines share one in-memory namespace substrate (kernelfs.h) and differ
+// in the lock structure and per-op work they model — which is exactly what
+// differentiates their curves in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/desim.h"
+
+namespace simurgh::bench {
+
+class FsBackend {
+ public:
+  virtual ~FsBackend() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // ---- namespace ----
+  virtual Status create(sim::SimThread& t, const std::string& path) = 0;
+  virtual Status mkdir(sim::SimThread& t, const std::string& path) = 0;
+  virtual Status unlink(sim::SimThread& t, const std::string& path) = 0;
+  virtual Status rename(sim::SimThread& t, const std::string& from,
+                        const std::string& to) = 0;
+  // Path resolution / stat (resolvepath, open, stat share this cost shape).
+  virtual Status resolve(sim::SimThread& t, const std::string& path) = 0;
+  virtual Result<std::uint64_t> file_size(sim::SimThread& t,
+                                          const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> readdir(
+      sim::SimThread& t, const std::string& path) = 0;
+
+  // ---- data ----
+  virtual Status read(sim::SimThread& t, const std::string& path,
+                      std::uint64_t off, std::uint64_t len) = 0;
+  virtual Status write(sim::SimThread& t, const std::string& path,
+                       std::uint64_t off, std::uint64_t len) = 0;
+  virtual Status append(sim::SimThread& t, const std::string& path,
+                        std::uint64_t len) = 0;
+  virtual Status fallocate(sim::SimThread& t, const std::string& path,
+                           std::uint64_t len) = 0;
+  virtual Status fsync(sim::SimThread& t, const std::string& path) = 0;
+
+  // Backends that distinguish cached vs. NVMM-bound reads (Fig. 6) expose
+  // a knob; default is the adapted-FxMark behaviour (always NVMM-bound).
+  virtual void set_cached_reads(bool) {}
+
+  // Applications that keep files open (LevelDB, databases) do not resolve
+  // paths on the data path: with fd_workload set, read/write/append/fsync
+  // charge no per-op path-walk (the descriptor already holds the inode).
+  virtual void set_fd_workload(bool) {}
+};
+
+// Identifiers for the factory used by the harness & bench binaries.
+enum class Backend { simurgh, simurgh_relaxed, nova, pmfs, ext4dax, splitfs };
+
+[[nodiscard]] const char* backend_name(Backend b) noexcept;
+
+// Creates a fresh backend over a fresh world.  `world` must outlive the
+// backend.  Every figure/table iteration builds a new (world, backend) pair
+// so no reservation state leaks between data points.
+std::unique_ptr<FsBackend> make_backend(Backend b, sim::SimWorld& world);
+
+// All kernel-side baselines plus Simurgh, in the order the figures list.
+[[nodiscard]] std::vector<Backend> all_backends();
+
+}  // namespace simurgh::bench

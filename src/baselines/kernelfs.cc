@@ -1,0 +1,334 @@
+#include "baselines/kernelfs.h"
+
+#include "baselines/simurgh_backend.h"
+
+namespace simurgh::bench {
+
+// ------------------------------------------------------------- NameTree
+
+NameTree::Node* NameTree::resolve(const std::string& path) {
+  Node* cur = &root_;
+  for (const std::string& comp : split_path(path)) {
+    if (!cur->is_dir) return nullptr;
+    auto it = cur->children.find(comp);
+    if (it == cur->children.end()) return nullptr;
+    cur = it->second.get();
+  }
+  return cur;
+}
+
+NameTree::Node* NameTree::resolve_parent(const std::string& path,
+                                         std::string* leaf) {
+  const auto comps = split_path(path);
+  if (comps.empty()) return nullptr;
+  *leaf = comps.back();
+  Node* cur = &root_;
+  for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+    if (!cur->is_dir) return nullptr;
+    auto it = cur->children.find(comps[i]);
+    if (it == cur->children.end()) return nullptr;
+    cur = it->second.get();
+  }
+  return cur->is_dir ? cur : nullptr;
+}
+
+Status NameTree::create(const std::string& path, bool is_dir) {
+  std::string leaf;
+  Node* parent = resolve_parent(path, &leaf);
+  if (parent == nullptr) return Status(Errc::not_found);
+  auto [it, inserted] = parent->children.emplace(leaf, nullptr);
+  if (!inserted) return Status(Errc::exists);
+  it->second = std::make_unique<Node>();
+  it->second->is_dir = is_dir;
+  return Status::ok();
+}
+
+Status NameTree::unlink(const std::string& path) {
+  std::string leaf;
+  Node* parent = resolve_parent(path, &leaf);
+  if (parent == nullptr) return Status(Errc::not_found);
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end()) return Status(Errc::not_found);
+  if (it->second->is_dir && !it->second->children.empty())
+    return Status(Errc::not_empty);
+  parent->children.erase(it);
+  return Status::ok();
+}
+
+Status NameTree::rename(const std::string& from, const std::string& to) {
+  std::string from_leaf, to_leaf;
+  Node* from_parent = resolve_parent(from, &from_leaf);
+  Node* to_parent = resolve_parent(to, &to_leaf);
+  if (from_parent == nullptr || to_parent == nullptr)
+    return Status(Errc::not_found);
+  auto it = from_parent->children.find(from_leaf);
+  if (it == from_parent->children.end()) return Status(Errc::not_found);
+  std::unique_ptr<Node> node = std::move(it->second);
+  from_parent->children.erase(it);
+  to_parent->children[to_leaf] = std::move(node);  // replaces any target
+  return Status::ok();
+}
+
+// ------------------------------------------------------------- KernelFs
+
+std::uint64_t KernelFs::dir_entries(const std::string& dir_path) {
+  NameTree::Node* d = tree_.resolve(dir_path);
+  return d == nullptr ? 0 : d->children.size();
+}
+
+void KernelFs::journal_charge(sim::SimThread& t) {
+  if (!p_.journal) return;
+  sim::Resource& j = world_.mutex("jbd2");
+  t.acquire(j);
+  t.cpu(p_.journal_hold);
+  t.release(j);
+}
+
+void KernelFs::alloc_charge(sim::SimThread& t, std::uint64_t blocks) {
+  if (!p_.serial_alloc) return;
+  sim::Resource& a = world_.mutex("blockalloc");
+  t.acquire(a);
+  // The serial allocator is O(1)-ish per call but fully serialized; cost
+  // grows mildly with the request size.
+  t.cpu(p_.alloc_hold + static_cast<std::uint32_t>(blocks / 64));
+  t.release(a);
+}
+
+Status KernelFs::do_create(sim::SimThread& t, const std::string& path,
+                           bool is_dir) {
+  vfs_.syscall(t);
+  vfs_.path_walk(t, path);
+  const std::string dir = parent_of(path);
+  sim::Resource& sem = vfs_.dir_rwsem(dir);
+  t.acquire(sem);
+  meta_cpu(t, p_.create_held);
+  if (p_.linear_dir)
+    meta_cpu(t, static_cast<std::uint32_t>(p_.per_entry * dir_entries(dir)));
+  journal_charge(t);
+  t.release(sem);
+  t.cpu(vfs_.costs().dentry_update);
+  t.transfer(vfs_.nvmm_write(), p_.meta_write_bytes);
+  return tree_.create(path, is_dir);
+}
+
+Status KernelFs::create(sim::SimThread& t, const std::string& path) {
+  return do_create(t, path, false);
+}
+
+Status KernelFs::mkdir(sim::SimThread& t, const std::string& path) {
+  return do_create(t, path, true);
+}
+
+Status KernelFs::unlink(sim::SimThread& t, const std::string& path) {
+  vfs_.syscall(t);
+  vfs_.path_walk(t, path);
+  const std::string dir = parent_of(path);
+  sim::Resource& sem = vfs_.dir_rwsem(dir);
+  t.acquire(sem);
+  meta_cpu(t, p_.unlink_held);
+  if (p_.linear_dir)
+    meta_cpu(t,
+             static_cast<std::uint32_t>(p_.per_entry * dir_entries(dir) / 2));
+  journal_charge(t);
+  t.release(sem);
+  t.cpu(vfs_.costs().dentry_update);
+  t.transfer(vfs_.nvmm_write(), p_.meta_write_bytes);
+  return tree_.unlink(path);
+}
+
+Status KernelFs::rename(sim::SimThread& t, const std::string& from,
+                        const std::string& to) {
+  vfs_.syscall(t);
+  vfs_.path_walk(t, from);
+  vfs_.path_walk(t, to);
+  const std::string d1 = parent_of(from);
+  const std::string d2 = parent_of(to);
+  // Lock ordering by name, as the kernel orders by inode address.
+  sim::Resource& a = vfs_.dir_rwsem(d1 < d2 ? d1 : d2);
+  t.acquire(a);
+  sim::Resource* b = nullptr;
+  if (d1 != d2) {
+    b = &vfs_.dir_rwsem(d1 < d2 ? d2 : d1);
+    t.acquire(*b);
+  }
+  meta_cpu(t, p_.rename_held);
+  if (p_.linear_dir)
+    meta_cpu(t, static_cast<std::uint32_t>(p_.per_entry * dir_entries(d1)));
+  journal_charge(t);
+  if (b != nullptr) t.release(*b);
+  t.release(a);
+  t.cpu(2 * vfs_.costs().dentry_update);
+  t.transfer(vfs_.nvmm_write(), p_.meta_write_bytes);
+  return tree_.rename(from, to);
+}
+
+Status KernelFs::resolve(sim::SimThread& t, const std::string& path) {
+  vfs_.syscall(t);
+  vfs_.path_walk(t, path);
+  meta_cpu(t, p_.stat_extra);
+  return tree_.resolve(path) != nullptr ? Status::ok()
+                                        : Status(Errc::not_found);
+}
+
+Result<std::uint64_t> KernelFs::file_size(sim::SimThread& t,
+                                          const std::string& path) {
+  SIMURGH_RETURN_IF_ERROR(resolve(t, path));
+  return tree_.resolve(path)->size;
+}
+
+Result<std::vector<std::string>> KernelFs::readdir(sim::SimThread& t,
+                                                   const std::string& path) {
+  vfs_.syscall(t);
+  vfs_.path_walk(t, path);
+  NameTree::Node* d = tree_.resolve(path);
+  if (d == nullptr || !d->is_dir) return Errc::not_dir;
+  std::vector<std::string> out;
+  out.reserve(d->children.size());
+  for (const auto& [name, node] : d->children) {
+    t.cpu(p_.linear_dir ? p_.per_entry : 40);
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status KernelFs::read(sim::SimThread& t, const std::string& path,
+                      std::uint64_t off, std::uint64_t len) {
+  if (!p_.user_space_data) {
+    vfs_.syscall(t);
+    if (!fd_workload_) vfs_.path_walk(t, path);
+  }
+  NameTree::Node* f = tree_.resolve(path);
+  if (f == nullptr) return Status(Errc::not_found);
+  (void)off;
+  sim::Resource& sem = vfs_.file_rwsem(path);
+  t.acquire_shared(sem);
+  t.cpu(p_.read_cpu);
+  {
+    sim::SimThread::Scope copy(t, sim::SimThread::Attr::data_copy);
+    t.transfer(cached_reads_ ? vfs_.cache_read() : vfs_.nvmm_read(), len);
+  }
+  t.release_shared(sem);
+  return Status::ok();
+}
+
+Status KernelFs::write(sim::SimThread& t, const std::string& path,
+                       std::uint64_t off, std::uint64_t len) {
+  vfs_.syscall(t);
+  if (!fd_workload_) vfs_.path_walk(t, path);
+  NameTree::Node* f = tree_.resolve(path);
+  if (f == nullptr) return Status(Errc::not_found);
+  sim::Resource& sem = vfs_.file_rwsem(path);
+  t.acquire(sem);
+  meta_cpu(t, p_.write_cpu);
+  const std::uint64_t end = off + len;
+  if (end > f->allocated) {
+    alloc_charge(t, (end - f->allocated + 4095) / 4096);
+    f->allocated = end;
+  }
+  journal_charge(t);
+  {
+    sim::SimThread::Scope copy(t, sim::SimThread::Attr::data_copy);
+    t.transfer(vfs_.nvmm_write(), len);
+  }
+  if (end > f->size) f->size = end;
+  t.release(sem);
+  return Status::ok();
+}
+
+Status KernelFs::append(sim::SimThread& t, const std::string& path,
+                        std::uint64_t len) {
+  NameTree::Node* f = tree_.resolve(path);
+  if (f == nullptr) return Status(Errc::not_found);
+  if (p_.user_space_data) {
+    // SplitFS: staged append in user space — no syscall, no VFS.
+    t.cpu(p_.append_cpu);
+    alloc_charge(t, (len + 4095) / 4096);
+    sim::SimThread::Scope copy(t, sim::SimThread::Attr::data_copy);
+    t.transfer(vfs_.nvmm_write(), len);
+    f->size += len;
+    f->allocated = f->size;
+    return Status::ok();
+  }
+  vfs_.syscall(t);
+  if (!fd_workload_) vfs_.path_walk(t, path);
+  sim::Resource& sem = vfs_.file_rwsem(path);
+  t.acquire(sem);
+  meta_cpu(t, p_.append_cpu);
+  // Only newly needed blocks hit the allocator.
+  const std::uint64_t new_alloc =
+      (f->size + len + 4095) / 4096 - f->allocated / 4096;
+  if (new_alloc > 0) alloc_charge(t, new_alloc);
+  journal_charge(t);
+  {
+    sim::SimThread::Scope copy(t, sim::SimThread::Attr::data_copy);
+    t.transfer(vfs_.nvmm_write(), len);
+  }
+  f->size += len;
+  if (f->allocated < f->size) f->allocated = (f->size + 4095) / 4096 * 4096;
+  t.release(sem);
+  return Status::ok();
+}
+
+Status KernelFs::fallocate(sim::SimThread& t, const std::string& path,
+                           std::uint64_t len) {
+  vfs_.syscall(t);
+  vfs_.path_walk(t, path);
+  NameTree::Node* f = tree_.resolve(path);
+  if (f == nullptr) return Status(Errc::not_found);
+  sim::Resource& sem = vfs_.file_rwsem(path);
+  t.acquire(sem);
+  meta_cpu(t, p_.fallocate_cpu);
+  alloc_charge(t, (len + 4095) / 4096);
+  journal_charge(t);
+  f->allocated += len;
+  f->size = f->allocated;
+  t.release(sem);
+  t.transfer(vfs_.nvmm_write(), p_.meta_write_bytes);
+  return Status::ok();
+}
+
+Status KernelFs::fsync(sim::SimThread& t, const std::string& path) {
+  if (!p_.user_space_data) vfs_.syscall(t);
+  t.cpu(200);  // flush + barrier bookkeeping
+  (void)path;
+  return Status::ok();
+}
+
+// ------------------------------------------------------------- factory
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::simurgh: return "Simurgh";
+    case Backend::simurgh_relaxed: return "Simurgh-relaxed";
+    case Backend::nova: return "NOVA";
+    case Backend::pmfs: return "PMFS";
+    case Backend::ext4dax: return "EXT4-DAX";
+    case Backend::splitfs: return "SplitFS";
+  }
+  return "?";
+}
+
+std::unique_ptr<FsBackend> make_backend(Backend b, sim::SimWorld& world) {
+  switch (b) {
+    case Backend::simurgh:
+      return std::make_unique<SimurghBackend>(world, false);
+    case Backend::simurgh_relaxed:
+      return std::make_unique<SimurghBackend>(world, true);
+    case Backend::nova:
+      return std::make_unique<KernelFs>(world, nova_profile());
+    case Backend::pmfs:
+      return std::make_unique<KernelFs>(world, pmfs_profile());
+    case Backend::ext4dax:
+      return std::make_unique<KernelFs>(world, ext4dax_profile());
+    case Backend::splitfs:
+      return std::make_unique<KernelFs>(world, splitfs_profile());
+  }
+  return nullptr;
+}
+
+std::vector<Backend> all_backends() {
+  return {Backend::simurgh, Backend::nova, Backend::pmfs, Backend::ext4dax,
+          Backend::splitfs};
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,133 @@
+// Shared substrate for the kernel-side baseline file systems.
+//
+// NOVA, PMFS, EXT4-DAX and SplitFS share one functional namespace
+// (NameTree) and one op skeleton (KernelFs); a KernelProfile captures what
+// structurally differentiates each system in the paper:
+//   * NOVA      — per-inode logs, per-CPU allocator: good private-dir
+//                 scaling, still VFS-bound in shared directories.
+//   * PMFS      — undo log, *linear* directory entry search, serial block
+//                 allocator (flat append curve beyond ~4 threads, Fig. 7g).
+//   * EXT4-DAX  — jbd2 journal, htree directories, serial-ish extent
+//                 allocator; tuned for large files, weak metadata.
+//   * SplitFS   — data ops in user space (cheap appends), metadata
+//                 pass-through to the EXT4 model with extra coordination.
+//
+// The DES executes one op at a time, so NameTree needs no internal locking
+// (the *modeled* locks live in VfsModel resources).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/fs_backend.h"
+#include "baselines/vfs.h"
+
+namespace simurgh::bench {
+
+// In-memory functional namespace: real create/unlink/rename semantics so
+// workloads observe correct results; sizes tracked, no data stored.
+class NameTree {
+ public:
+  struct Node {
+    bool is_dir = false;
+    std::uint64_t size = 0;
+    std::uint64_t allocated = 0;  // fallocate high-water mark
+    std::unordered_map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  NameTree() { root_.is_dir = true; }
+
+  Node* resolve(const std::string& path);
+  // Resolves the parent and returns the leaf name via `leaf`.
+  Node* resolve_parent(const std::string& path, std::string* leaf);
+
+  Status create(const std::string& path, bool is_dir);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+
+  Node& root() { return root_; }
+
+ private:
+  Node root_;
+};
+
+struct KernelProfile {
+  const char* name = "?";
+  // Cycles of FS work performed *while holding* the directory inode rwsem.
+  std::uint32_t create_held = 0;
+  std::uint32_t unlink_held = 0;
+  std::uint32_t rename_held = 0;
+  std::uint32_t stat_extra = 0;     // beyond syscall+walk
+  std::uint32_t read_cpu = 0;       // per read op, excl. data movement
+  std::uint32_t write_cpu = 0;      // per write op (held under file rwsem)
+  std::uint32_t append_cpu = 0;     // per 4 KB append
+  std::uint32_t fallocate_cpu = 0;  // per fallocate call
+  std::uint32_t meta_write_bytes = 512;  // journal/log bytes per metadata op
+
+  bool linear_dir = false;          // PMFS: O(n) entry search
+  std::uint32_t per_entry = 0;      // cycles per scanned entry
+
+  bool serial_alloc = false;        // PMFS/EXT4: global allocator lock
+  std::uint32_t alloc_hold = 0;     // hold per allocating op
+
+  bool journal = false;             // EXT4: jbd2 handle
+  std::uint32_t journal_hold = 0;   // serialized portion per handle
+
+  bool user_space_data = false;     // SplitFS: no syscall on the data path
+  double meta_passthrough = 1.0;    // SplitFS: metadata indirection factor
+  bool supports_shared_write = true;  // SplitFS could not run DWOL (Fig. 7l)
+};
+
+KernelProfile nova_profile();
+KernelProfile pmfs_profile();
+KernelProfile ext4dax_profile();
+KernelProfile splitfs_profile();
+
+class KernelFs : public FsBackend {
+ public:
+  KernelFs(sim::SimWorld& world, KernelProfile profile)
+      : vfs_(world), world_(world), p_(profile) {}
+
+  [[nodiscard]] std::string name() const override { return p_.name; }
+
+  Status create(sim::SimThread& t, const std::string& path) override;
+  Status mkdir(sim::SimThread& t, const std::string& path) override;
+  Status unlink(sim::SimThread& t, const std::string& path) override;
+  Status rename(sim::SimThread& t, const std::string& from,
+                const std::string& to) override;
+  Status resolve(sim::SimThread& t, const std::string& path) override;
+  Result<std::uint64_t> file_size(sim::SimThread& t,
+                                  const std::string& path) override;
+  Result<std::vector<std::string>> readdir(sim::SimThread& t,
+                                           const std::string& path) override;
+  Status read(sim::SimThread& t, const std::string& path, std::uint64_t off,
+              std::uint64_t len) override;
+  Status write(sim::SimThread& t, const std::string& path, std::uint64_t off,
+               std::uint64_t len) override;
+  Status append(sim::SimThread& t, const std::string& path,
+                std::uint64_t len) override;
+  Status fallocate(sim::SimThread& t, const std::string& path,
+                   std::uint64_t len) override;
+  Status fsync(sim::SimThread& t, const std::string& path) override;
+  void set_cached_reads(bool cached) override { cached_reads_ = cached; }
+  void set_fd_workload(bool fd) override { fd_workload_ = fd; }
+
+ private:
+  Status do_create(sim::SimThread& t, const std::string& path, bool is_dir);
+  void meta_cpu(sim::SimThread& t, std::uint32_t cycles) {
+    t.cpu(static_cast<std::uint32_t>(cycles * p_.meta_passthrough));
+  }
+  void journal_charge(sim::SimThread& t);
+  void alloc_charge(sim::SimThread& t, std::uint64_t blocks);
+  std::uint64_t dir_entries(const std::string& dir_path);
+
+  VfsModel vfs_;
+  sim::SimWorld& world_;
+  KernelProfile p_;
+  NameTree tree_;
+  bool cached_reads_ = false;
+  bool fd_workload_ = false;
+};
+
+}  // namespace simurgh::bench

@@ -1,0 +1,33 @@
+// PMFS behavioural profile (Dulloor et al., EuroSys'14).
+//
+// Structure captured: undo logging for metadata, an *unsorted linear*
+// directory entry list (O(n) search — the paper blames this for PMFS's poor
+// deletefile and webproxy results), and a serial block allocator (the flat
+// appendfile curve beyond four threads, Fig. 7g).  Its simplicity makes
+// single-threaded fallocate the fastest in the field (Fig. 7h) while
+// nothing about it scales.
+#include "baselines/kernelfs.h"
+
+namespace simurgh::bench {
+
+KernelProfile pmfs_profile() {
+  KernelProfile p;
+  p.name = "PMFS";
+  p.create_held = 5200;   // undo-log record + inode table slot
+  p.unlink_held = 4400;
+  p.rename_held = 6200;
+  p.stat_extra = 300;
+  p.read_cpu = 520;
+  p.write_cpu = 1150;
+  p.append_cpu = 1250;
+  p.fallocate_cpu = 250;  // simplest allocator in the field: cheap...
+  p.meta_write_bytes = 640;  // undo log writes old + new
+  p.linear_dir = true;    // unsorted dirent list
+  p.per_entry = 12;       // cycles per scanned dirent
+  p.serial_alloc = true;  // ...but fully serialized
+  p.alloc_hold = 1400;
+  p.journal = false;
+  return p;
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,303 @@
+#include "baselines/simurgh_backend.h"
+
+#include <algorithm>
+
+namespace simurgh::bench {
+
+SimurghBackend::SimurghBackend(sim::SimWorld& world, bool relaxed_writes,
+                               std::size_t device_size)
+    : SimurghBackend(world, [&] {
+        SimurghModelOptions o;
+        o.relaxed_writes = relaxed_writes;
+        o.device_size = device_size;
+        return o;
+      }()) {}
+
+SimurghBackend::SimurghBackend(sim::SimWorld& world,
+                               const SimurghModelOptions& opts)
+    : world_(world),
+      opts_(opts),
+      relaxed_(opts.relaxed_writes),
+      dev_(opts.device_size),
+      shm_(64ull << 20),
+      scratch_(1 << 20, '\0'),
+      nvmm_read_(world.bandwidth("nvmm.read", kCosts.nvmm_read_bpc,
+                                 kCosts.nvmm_read_lat)),
+      nvmm_write_(world.bandwidth("nvmm.write", kCosts.nvmm_write_bpc,
+                                  kCosts.nvmm_write_lat)),
+      cache_read_(world.bandwidth("cpu.cache", kCosts.cache_read_bpc, 30)) {
+  fs_ = core::FileSystem::format(dev_, shm_);
+  fs_->set_relaxed_writes(relaxed_);
+  proc_ = fs_->open_process(1000, 1000);
+}
+
+void SimurghBackend::walk_cost(sim::SimThread& t, const std::string& path) {
+  const auto comps = split_path(path);
+  t.cpu(static_cast<std::uint32_t>(comps.size()) * kCosts.sim_component);
+}
+
+void SimurghBackend::line_critical(sim::SimThread& t, const std::string& dir,
+                                   const std::string& leaf,
+                                   std::uint32_t hold) {
+  // Same hash -> same line as the on-media layout, so the virtual lock has
+  // exactly the granularity of the real busy-line flag.  (The ablation
+  // knob folds lines together, down to one lock per directory.)
+  const unsigned line = core::line_of(leaf) %
+                        std::max(1u, opts_.lock_lines);
+  sim::Resource& r =
+      world_.mutex("simline:" + dir + ":" + std::to_string(line));
+  t.acquire(r);
+  t.cpu(hold);
+  t.release(r);
+}
+
+void SimurghBackend::segment_critical(sim::SimThread& t,
+                                      const std::string& path,
+                                      std::uint32_t hold) {
+  const std::uint32_t n_segs = std::max(1u, opts_.alloc_segments);
+  const std::uint32_t seg =
+      static_cast<std::uint32_t>(fnv1a64(path) % n_segs);
+  sim::Resource& r = world_.mutex("simseg:" + std::to_string(seg));
+  // Real behaviour: a busy segment is skipped, not waited on; model the
+  // hop as trying up to three segments before queueing.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    sim::Resource& cand =
+        world_.mutex("simseg:" + std::to_string((seg + i) % n_segs));
+    if (t.try_acquire(cand)) {
+      t.cpu(hold);
+      t.release(cand);
+      return;
+    }
+    t.cpu(20);  // hop cost
+  }
+  t.acquire(r);
+  t.cpu(hold);
+  t.release(r);
+}
+
+Result<int> SimurghBackend::cached_fd(const std::string& path, bool create) {
+  auto it = fds_.find(path);
+  if (it != fds_.end()) return it->second;
+  const int flags = core::kOpenRead | core::kOpenWrite |
+                    (create ? core::kOpenCreate : 0);
+  auto fd = proc_->open(path, flags);
+  if (!fd.is_ok() && fds_.size() > 3000) {
+    for (auto& [p, f] : fds_) (void)proc_->close(f);
+    fds_.clear();
+    fd = proc_->open(path, flags);
+  }
+  if (!fd.is_ok()) return fd.status();
+  fds_[path] = *fd;
+  return *fd;
+}
+
+void SimurghBackend::evict_fd(const std::string& path) {
+  auto it = fds_.find(path);
+  if (it != fds_.end()) {
+    (void)proc_->close(it->second);
+    fds_.erase(it);
+  }
+}
+
+Status SimurghBackend::create(sim::SimThread& t, const std::string& path) {
+  entry_cost(t);
+  walk_cost(t, path);
+  // Fine-grained design: only the slot publish runs under the line lock.
+  // The coarse ablation (lock_lines < kLines) mimics a VFS-style directory
+  // lock: the whole modification path is serialized.
+  const bool coarse = opts_.lock_lines < core::kLines;
+  if (!coarse) t.cpu(kCosts.sim_create);
+  line_critical(t, parent_of(path), split_path(path).back(),
+                kCosts.sim_line_hold + (coarse ? kCosts.sim_create : 0));
+  t.transfer(nvmm_write_, kCosts.sim_meta_create);
+  auto fd = proc_->open(path, core::kOpenCreate | core::kOpenExcl |
+                                  core::kOpenWrite);
+  if (!fd.is_ok()) return fd.status();
+  return proc_->close(*fd);
+}
+
+Status SimurghBackend::mkdir(sim::SimThread& t, const std::string& path) {
+  entry_cost(t);
+  walk_cost(t, path);
+  t.cpu(kCosts.sim_create + 800);  // + first hash block
+  line_critical(t, parent_of(path), split_path(path).back(),
+                kCosts.sim_line_hold);
+  t.transfer(nvmm_write_, 4096 + kCosts.sim_meta_create);
+  return proc_->mkdir(path);
+}
+
+Status SimurghBackend::unlink(sim::SimThread& t, const std::string& path) {
+  entry_cost(t);
+  walk_cost(t, path);
+  const bool coarse = opts_.lock_lines < core::kLines;
+  if (!coarse) t.cpu(kCosts.sim_unlink);
+  line_critical(t, parent_of(path), split_path(path).back(),
+                kCosts.sim_line_hold + (coarse ? kCosts.sim_unlink : 0));
+  t.transfer(nvmm_write_, kCosts.sim_meta_unlink);
+  evict_fd(path);
+  return proc_->unlink(path);
+}
+
+Status SimurghBackend::rename(sim::SimThread& t, const std::string& from,
+                              const std::string& to) {
+  entry_cost(t);
+  walk_cost(t, from);
+  walk_cost(t, to);
+  t.cpu(kCosts.sim_rename);
+  line_critical(t, parent_of(from), split_path(from).back(),
+                kCosts.sim_line_hold);
+  line_critical(t, parent_of(to), split_path(to).back(),
+                kCosts.sim_line_hold);
+  t.transfer(nvmm_write_, kCosts.sim_meta_rename);
+  evict_fd(from);
+  evict_fd(to);
+  return proc_->rename(from, to);
+}
+
+Status SimurghBackend::resolve(sim::SimThread& t, const std::string& path) {
+  entry_cost(t);
+  walk_cost(t, path);
+  t.cpu(120);  // permission bits + attribute read, straight off NVMM
+  return proc_->stat(path).status();
+}
+
+Result<std::uint64_t> SimurghBackend::file_size(sim::SimThread& t,
+                                                const std::string& path) {
+  SIMURGH_RETURN_IF_ERROR(resolve(t, path));
+  return proc_->stat(path)->size;
+}
+
+Result<std::vector<std::string>> SimurghBackend::readdir(
+    sim::SimThread& t, const std::string& path) {
+  entry_cost(t);
+  walk_cost(t, path);
+  SIMURGH_ASSIGN_OR_RETURN(auto entries, proc_->readdir(path));
+  t.cpu(static_cast<std::uint32_t>(30 * entries.size()));
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (auto& e : entries) names.push_back(std::move(e.name));
+  return names;
+}
+
+Status SimurghBackend::read(sim::SimThread& t, const std::string& path,
+                            std::uint64_t off, std::uint64_t len) {
+  entry_cost(t);
+  if (!fd_workload_) walk_cost(t, path);
+  t.cpu(kCosts.sim_read);
+  // The per-file rwlock's shared acquire is one cheap atomic.
+  sim::Resource& r = world_.mutex("simfile:" + path,
+                                  kCosts.sim_filelock_bounce);
+  t.acquire_shared(r);
+  {
+    sim::SimThread::Scope copy(t, sim::SimThread::Attr::data_copy);
+    t.transfer(cached_reads_ ? cache_read_ : nvmm_read_, len);
+  }
+  t.release_shared(r);
+  SIMURGH_ASSIGN_OR_RETURN(const int fd, cached_fd(path, false));
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::size_t chunk =
+        std::min<std::uint64_t>(len - done, scratch_.size());
+    SIMURGH_ASSIGN_OR_RETURN(
+        const std::size_t got,
+        proc_->pread(fd, scratch_.data(), chunk, off + done));
+    done += got;
+    if (got < chunk) break;  // EOF
+  }
+  return Status::ok();
+}
+
+Status SimurghBackend::write(sim::SimThread& t, const std::string& path,
+                             std::uint64_t off, std::uint64_t len) {
+  entry_cost(t);
+  if (!fd_workload_) walk_cost(t, path);
+  t.cpu(kCosts.sim_write);
+  auto do_copy = [&] {
+    sim::SimThread::Scope copy(t, sim::SimThread::Attr::data_copy);
+    t.transfer(nvmm_write_, len);
+  };
+  if (relaxed_) {
+    do_copy();
+  } else {
+    sim::Resource& r = world_.mutex("simfile:" + path,
+                                    kCosts.sim_filelock_bounce);
+    t.acquire(r);
+    t.cpu(kCosts.sim_write_hold);
+    do_copy();
+    t.release(r);
+  }
+  SIMURGH_ASSIGN_OR_RETURN(const int fd, cached_fd(path, true));
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::size_t chunk =
+        std::min<std::uint64_t>(len - done, scratch_.size());
+    SIMURGH_ASSIGN_OR_RETURN(
+        const std::size_t put,
+        proc_->pwrite(fd, scratch_.data(), chunk, off + done));
+    done += put;
+  }
+  return Status::ok();
+}
+
+Status SimurghBackend::append(sim::SimThread& t, const std::string& path,
+                              std::uint64_t len) {
+  entry_cost(t);
+  if (!fd_workload_) walk_cost(t, path);
+  SIMURGH_ASSIGN_OR_RETURN(const int fd0, cached_fd(path, true));
+  SIMURGH_ASSIGN_OR_RETURN(const auto st0, proc_->fstat(fd0));
+  // A tail append inside the current block touches only the inode's size
+  // and extent tail; crossing a block boundary allocates (Fig. 7g path).
+  const bool allocates = st0.size % 4096 + len > 4096 || st0.size % 4096 == 0;
+  if (allocates) {
+    t.cpu(kCosts.sim_append);
+    segment_critical(t, path, 120);  // block allocation
+  } else {
+    t.cpu(kCosts.sim_append_small);
+  }
+  auto do_copy = [&] {
+    sim::SimThread::Scope copy(t, sim::SimThread::Attr::data_copy);
+    t.transfer(nvmm_write_, len);
+  };
+  if (relaxed_) {
+    do_copy();
+  } else {
+    sim::Resource& r = world_.mutex("simfile:" + path,
+                                    kCosts.sim_filelock_bounce);
+    t.acquire(r);
+    do_copy();
+    t.release(r);
+  }
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::size_t chunk =
+        std::min<std::uint64_t>(len - done, scratch_.size());
+    SIMURGH_ASSIGN_OR_RETURN(
+        const std::size_t put,
+        proc_->pwrite(fd0, scratch_.data(), chunk, st0.size + done));
+    done += put;
+  }
+  return Status::ok();
+}
+
+Status SimurghBackend::fallocate(sim::SimThread& t, const std::string& path,
+                                 std::uint64_t len) {
+  entry_cost(t);
+  walk_cost(t, path);
+  t.cpu(kCosts.sim_fallocate);
+  // First-fit range carve + free-list persists happen inside the segment.
+  segment_critical(t, path, kCosts.sim_falloc_hold);
+  t.transfer(nvmm_write_, kCosts.sim_meta_fallocate);  // extent map only (no zeroing)
+  SIMURGH_ASSIGN_OR_RETURN(const int fd, cached_fd(path, true));
+  SIMURGH_ASSIGN_OR_RETURN(const auto st, proc_->fstat(fd));
+  return proc_->fallocate(fd, st.size, len);
+}
+
+Status SimurghBackend::fsync(sim::SimThread& t, const std::string& path) {
+  entry_cost(t);
+  t.cpu(100);  // sfence + bookkeeping; everything is already persistent
+  auto it = fds_.find(path);
+  if (it != fds_.end()) return proc_->fsync(it->second);
+  return Status::ok();
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,30 @@
+// SplitFS behavioural profile (Kadekodi et al., SOSP'19), POSIX mode (the
+// configuration the paper selects as its fastest).
+//
+// Structure captured: the data path runs in user space over mmap-ed
+// staging files — appends are cheap and need no syscall (SplitFS wins
+// appendfile at low thread counts, Fig. 7g) — while every *metadata*
+// operation passes through to EXT4-DAX with extra user/kernel
+// coordination, which is why SplitFS sits below EXT4 on resolvepath
+// (Fig. 7e) and inherits EXT4's shared-directory behaviour.  SplitFS could
+// not run the private-write benchmark (Fig. 7l) and is omitted there.
+#include "baselines/kernelfs.h"
+
+namespace simurgh::bench {
+
+KernelProfile splitfs_profile() {
+  KernelProfile p = ext4dax_profile();
+  p.name = "SplitFS";
+  p.meta_passthrough = 1.2;  // U-Split bookkeeping around each ext4 op
+  p.stat_extra = 600;        // extra user-level indirection on lookups
+  p.user_space_data = true;  // reads/appends bypass the kernel
+  p.read_cpu = 750;  // U-Split fd->staging offset mapping per read
+  p.append_cpu = 600;        // staged append + logging
+  p.serial_alloc = true;     // staging-file growth still hits ext4 alloc
+  p.alloc_hold = 800;
+  p.fallocate_cpu = 2000;
+  p.supports_shared_write = false;  // DWOL did not run (§5.2)
+  return p;
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,60 @@
+#include "baselines/vfs.h"
+
+namespace simurgh::bench {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) out.push_back(path.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string parent_of(const std::string& path) {
+  const std::size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+VfsModel::VfsModel(sim::SimWorld& world, const Costs& c)
+    : world_(world),
+      c_(c),
+      nvmm_read_(world.bandwidth("nvmm.read", c.nvmm_read_bpc,
+                                 c.nvmm_read_lat)),
+      nvmm_write_(world.bandwidth("nvmm.write", c.nvmm_write_bpc,
+                                  c.nvmm_write_lat)),
+      cache_read_(world.bandwidth("cpu.cache", c.cache_read_bpc, 30)) {}
+
+void VfsModel::syscall(sim::SimThread& t) {
+  t.cpu(c_.syscall + c_.vfs_dispatch);
+}
+
+void VfsModel::path_walk(sim::SimThread& t, const std::string& path) {
+  std::string prefix;
+  for (const std::string& comp : split_path(path)) {
+    prefix += '/';
+    prefix += comp;
+    t.cpu(c_.dentry_hit);
+    // lockref bounce: an RCU-walk still ends with an atomic reference
+    // update on the final dentries; shared components serialize here.
+    sim::Resource& d = world_.mutex("dentry:" + prefix, c_.dentry_bounce,
+                                    c_.dentry_handoff);
+    t.acquire_shared(d);
+    t.release_shared(d);
+  }
+}
+
+sim::Resource& VfsModel::dir_rwsem(const std::string& dir_path) {
+  return world_.mutex("dirsem:" + dir_path, 0, c_.dir_rwsem_handoff);
+}
+
+sim::Resource& VfsModel::file_rwsem(const std::string& path) {
+  return world_.mutex("filesem:" + path, c_.file_rwsem_bounce);
+}
+
+}  // namespace simurgh::bench

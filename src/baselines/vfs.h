@@ -1,0 +1,62 @@
+// Model of the Linux VFS layer the kernel baselines sit under.
+//
+// What the paper blames for kernel-FS metadata behaviour (§2, §5.2):
+//   * syscall entry/exit on every operation,
+//   * the dentry cache: fast hits, but per-component lockref updates that
+//     bounce between cores when paths are shared (resolvepath MRPM),
+//   * one inode rwsem per directory: *all* directory modifications
+//     serialize, which is why no kernel FS scales in a shared directory,
+//   * one rw_semaphore per file whose atomic update serializes even
+//     readers (the Fig. 7i shared-file read collapse).
+//
+// The model charges those costs against virtual-time resources; contention
+// then emerges in the DES rather than being assumed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/costs.h"
+#include "sim/desim.h"
+
+namespace simurgh::bench {
+
+// Splits "/a/b/c" into {"a","b","c"}.
+std::vector<std::string> split_path(const std::string& path);
+// Parent directory of a path ("/a/b/c" -> "/a/b"; "/x" -> "/").
+std::string parent_of(const std::string& path);
+
+class VfsModel {
+ public:
+  VfsModel(sim::SimWorld& world, const Costs& c = kCosts);
+
+  // Syscall entry/exit + VFS dispatch.
+  void syscall(sim::SimThread& t);
+
+  // Dentry-cache path walk.  Each component pays a hit cost plus a lockref
+  // bounce on that component's dentry; concurrent walks of *shared*
+  // components therefore serialize on the bounce (Fig. 7f).
+  void path_walk(sim::SimThread& t, const std::string& path);
+
+  // Per-directory inode rwsem (exclusive for create/unlink/rename).
+  sim::Resource& dir_rwsem(const std::string& dir_path);
+
+  // Per-file rw_semaphore with the contended-acquire bounce.
+  sim::Resource& file_rwsem(const std::string& path);
+
+  // Device resources (shared by all backends of one world).
+  sim::Bandwidth& nvmm_read() { return nvmm_read_; }
+  sim::Bandwidth& nvmm_write() { return nvmm_write_; }
+  sim::Bandwidth& cache_read() { return cache_read_; }
+
+  const Costs& costs() const { return c_; }
+
+ private:
+  sim::SimWorld& world_;
+  const Costs& c_;
+  sim::Bandwidth& nvmm_read_;
+  sim::Bandwidth& nvmm_write_;
+  sim::Bandwidth& cache_read_;
+};
+
+}  // namespace simurgh::bench

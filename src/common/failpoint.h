@@ -1,0 +1,68 @@
+// Crash-injection support for testing the decentralized recovery protocols.
+//
+// The paper's correctness argument (§4.3) enumerates what happens when a
+// process dies between specific steps of create / delete / rename.  Each such
+// step boundary in the implementation is annotated with
+// SIMURGH_FAILPOINT("name"); tests arm a fail point for the current thread
+// and the next time execution reaches it a CrashedException unwinds out of
+// the file-system call, leaving the shared structures exactly as a killed
+// process would: half-updated, with busy flags still set.
+//
+// The mechanism is thread-local so concurrent "survivor" threads in the same
+// test keep running, which is precisely the multi-process crash scenario of
+// the paper.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace simurgh {
+
+// Thrown when an armed fail point fires.  Deliberately not derived from
+// std::exception: nothing in the library should accidentally swallow it.
+struct CrashedException {
+  std::string_view point;
+};
+
+class FailPoint {
+ public:
+  // Arms `point` for the calling thread; fires after `skip` prior hits.
+  static void arm(std::string_view point, int skip = 0) noexcept {
+    tl().point = point;
+    tl().remaining = skip;
+    hits_.store(0, std::memory_order_relaxed);
+  }
+
+  static void disarm() noexcept { tl().point = {}; }
+
+  // Called from instrumented code.  Fast path is one thread-local load.
+  static void hit(std::string_view point) {
+    State& s = tl();
+    if (s.point.empty() || s.point != point) return;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (s.remaining-- > 0) return;
+    s.point = {};  // one-shot
+    throw CrashedException{point};
+  }
+
+  // Number of times the armed point was reached (for test assertions).
+  static std::uint64_t hits() noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct State {
+    std::string_view point;
+    int remaining = 0;
+  };
+  static State& tl() noexcept {
+    thread_local State s;
+    return s;
+  }
+  inline static std::atomic<std::uint64_t> hits_{0};
+};
+
+#define SIMURGH_FAILPOINT(name) ::simurgh::FailPoint::hit(name)
+
+}  // namespace simurgh

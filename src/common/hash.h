@@ -1,0 +1,35 @@
+// Hash functions used across the file-system layers.
+//
+// Directory blocks hash file names (fnv1a64); allocators and the harness mix
+// integers (splitmix64).  Both are deterministic across runs and platforms so
+// that on-media layouts and benchmark workloads are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace simurgh {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Finalizer from the splitmix64 generator; a strong 64->64 bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace simurgh

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random generator for workloads and tests.
+//
+// xoshiro256** — fast, high quality, trivially seedable; we avoid <random>
+// engines in hot workload loops and need identical streams on every host.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace simurgh {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) noexcept {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      si = mix64(x);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).  Modulo bias is negligible for n << 2^64, which holds
+  // for every workload in this repository.
+  std::uint64_t below(std::uint64_t n) noexcept { return n ? next() % n : 0; }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Zipfian distribution over [0, n) with parameter theta (YCSB uses 0.99),
+  // following the Gray et al. "Quickly generating billion-record synthetic
+  // databases" method.  The O(n) harmonic sum is recomputed only when the
+  // domain or theta changes.
+  std::uint64_t zipf(std::uint64_t n, double theta = 0.99) noexcept {
+    if (n == 0) return 0;
+    if (n != zipf_n_ || theta != zipf_theta_) {
+      zipf_n_ = n;
+      zipf_theta_ = theta;
+      double zeta = 0;
+      for (std::uint64_t i = 1; i <= n; ++i)
+        zeta += 1.0 / std::pow(static_cast<double>(i), theta);
+      zeta_n_ = zeta;
+      zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta);
+      alpha_ = 1.0 / (1.0 - theta);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - zeta2_ / zeta_n_);
+    }
+    const double u = uniform();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < zeta2_) return 1;
+    auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n ? n - 1 : v;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+
+  // zipf() cache
+  std::uint64_t zipf_n_ = 0;
+  double zipf_theta_ = 0;
+  double zeta_n_ = 0, zeta2_ = 0, alpha_ = 0, eta_ = 0;
+};
+
+}  // namespace simurgh

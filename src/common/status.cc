@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace simurgh {
+
+std::string_view errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::exists: return "exists";
+    case Errc::not_dir: return "not_dir";
+    case Errc::is_dir: return "is_dir";
+    case Errc::not_empty: return "not_empty";
+    case Errc::permission: return "permission";
+    case Errc::bad_fd: return "bad_fd";
+    case Errc::invalid: return "invalid";
+    case Errc::no_space: return "no_space";
+    case Errc::name_too_long: return "name_too_long";
+    case Errc::too_many_links: return "too_many_links";
+    case Errc::busy: return "busy";
+    case Errc::io: return "io";
+    case Errc::crashed: return "crashed";
+  }
+  return "unknown";
+}
+
+void fatal(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "SIMURGH_CHECK failed at %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace simurgh

@@ -1,0 +1,121 @@
+// Error handling primitives shared by every module.
+//
+// The file system API reports failures through POSIX-style error codes
+// (simurgh::Errc) wrapped in Status / Result<T>.  Exceptions are reserved for
+// programming errors and for the crash-injection machinery (see
+// common/failpoint.h), never for expected file-system outcomes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace simurgh {
+
+// Subset of POSIX errno values used by the file-system layers.
+enum class Errc : int {
+  ok = 0,
+  not_found,        // ENOENT
+  exists,           // EEXIST
+  not_dir,          // ENOTDIR
+  is_dir,           // EISDIR
+  not_empty,        // ENOTEMPTY
+  permission,       // EACCES
+  bad_fd,           // EBADF
+  invalid,          // EINVAL
+  no_space,         // ENOSPC
+  name_too_long,    // ENAMETOOLONG
+  too_many_links,   // EMLINK
+  busy,             // EBUSY
+  io,               // EIO
+  crashed,          // injected crash surfaced to the harness
+};
+
+// Human-readable name for an error code (used in logs and test messages).
+std::string_view errc_name(Errc e) noexcept;
+
+// A cheap status value: an error code plus, optionally, context.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(Errc::ok) {}
+  explicit Status(Errc code) noexcept : code_(code) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Errc::ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+  // Uniformity with Result<T> so the propagation macros accept either.
+  [[nodiscard]] Status status() const noexcept { return *this; }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Errc code_;
+};
+
+// Minimal expected-like carrier (std::expected is C++23; we target C++20).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
+  Result(Errc code) : v_(code) {}                    // NOLINT implicit
+  Result(Status s) : v_(s.code()) {}                 // NOLINT implicit
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(v_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Errc code() const noexcept {
+    return is_ok() ? Errc::ok : std::get<Errc>(v_);
+  }
+  [[nodiscard]] Status status() const noexcept { return Status(code()); }
+
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T alt) const& { return is_ok() ? value() : std::move(alt); }
+
+ private:
+  std::variant<T, Errc> v_;
+};
+
+// Propagation helpers.
+#define SIMURGH_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::simurgh::Status _st = (expr).status();           \
+    if (!_st.is_ok()) return _st;                      \
+  } while (0)
+
+#define SIMURGH_CONCAT_INNER_(a, b) a##b
+#define SIMURGH_CONCAT_(a, b) SIMURGH_CONCAT_INNER_(a, b)
+
+#define SIMURGH_ASSIGN_OR_RETURN_IMPL_(lhs, expr, var) \
+  auto var = (expr);                                   \
+  if (!var.is_ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define SIMURGH_ASSIGN_OR_RETURN(lhs, expr) \
+  SIMURGH_ASSIGN_OR_RETURN_IMPL_(lhs, expr, SIMURGH_CONCAT_(_res_, __LINE__))
+
+// Fatal invariant check, active in all build types.  Used for conditions
+// that indicate corruption of in-memory state (never for user input).
+[[noreturn]] void fatal(const char* file, int line, const char* msg);
+
+#define SIMURGH_CHECK(cond)                                        \
+  do {                                                             \
+    if (!(cond)) ::simurgh::fatal(__FILE__, __LINE__, #cond);      \
+  } while (0)
+
+}  // namespace simurgh

@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace simurgh {
+
+Table& Table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v) {
+  char buf[64];
+  const double a = std::fabs(v);
+  if (a >= 1e9) std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+  else if (a >= 1e6) std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  else if (a >= 1e3) std::snprintf(buf, sizeof buf, "%.2fk", v / 1e3);
+  else if (a >= 1.0 || a == 0.0) std::snprintf(buf, sizeof buf, "%.2f", v);
+  else std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    if (r.size() > width.size()) width.resize(r.size(), 0);
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out = "== " + title_ + " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < r.size() ? r[i] : std::string();
+      out += c;
+      out.append(width[i] - c.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit(header_);
+  std::string rule;
+  for (std::size_t w : width) rule.append(w + 2, '-');
+  out += rule + '\n';
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void Table::print() const {
+  std::fputs(render().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace simurgh

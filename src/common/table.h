@@ -1,0 +1,33 @@
+// Plain-text table printer for the benchmark harness.
+//
+// Every bench binary reproduces one paper table/figure by printing rows; this
+// keeps the output format uniform and machine-greppable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simurgh {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols);
+  Table& row(std::vector<std::string> cells);
+
+  // Formats numbers compactly: 12345678 -> "12.35M", 0.1234 -> "0.123".
+  static std::string num(double v);
+
+  // Renders with column alignment to stdout.
+  void print() const;
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simurgh

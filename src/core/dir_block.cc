@@ -1,0 +1,601 @@
+#include "core/dir_block.h"
+
+#include <time.h>
+
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace simurgh::core {
+
+namespace {
+
+std::uint64_t monotonic_ns() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Publishes `value` into a slot observed free.  All publications go through
+// a CAS from 0 so the lock-free repair path and lock-holding writers can
+// never overwrite each other.
+bool claim_slot(DirSlot& slot, std::uint64_t value) noexcept {
+  std::uint64_t expected = 0;
+  const bool ok = slot.v.compare_exchange_strong(expected, value,
+                                                 std::memory_order_acq_rel);
+  if (ok) nvmm::persist_now(slot.v);
+  return ok;
+}
+
+// Clears a slot iff it still holds `expected`.
+bool clear_slot(DirSlot& slot, std::uint64_t expected) noexcept {
+  const bool ok = slot.v.compare_exchange_strong(expected, 0,
+                                                 std::memory_order_acq_rel);
+  if (ok) nvmm::persist_now(slot.v);
+  return ok;
+}
+
+}  // namespace
+
+void FileEntry::set_name(std::string_view n) noexcept {
+  name_len = static_cast<std::uint16_t>(n.size());
+  std::memcpy(name, n.data(), n.size());
+  name[n.size()] = '\0';
+}
+
+// ---------------------------------------------------------------- LineLock
+
+LineLock::LineLock(const DirOps& ops, Inode& dir, unsigned line,
+                   std::uint64_t lease_ns)
+    : first_(ops.first_block(dir)), line_(line) {
+  const std::uint64_t bit = 1ull << line;
+  for (;;) {
+    std::uint64_t cur = first_->busy.load(std::memory_order_relaxed);
+    if ((cur & bit) == 0 &&
+        first_->busy.compare_exchange_weak(cur, cur | bit,
+                                           std::memory_order_acquire)) {
+      break;
+    }
+    // Lease check: the holder refreshes stamp_ns when taking the line; if
+    // it is stale, the holder crashed mid-operation.  Steal the lock and
+    // let the caller repair the line (paper: "the waiting process performs
+    // the recovery corresponding to this lock").
+    const std::uint64_t stamp =
+        first_->stamp_ns[line].load(std::memory_order_relaxed);
+    if ((cur & bit) != 0 && monotonic_ns() - stamp > lease_ns) {
+      // Refresh the stamp; the bit stays set, we simply adopt it.
+      std::uint64_t expected = stamp;
+      if (first_->stamp_ns[line].compare_exchange_strong(
+              expected, monotonic_ns(), std::memory_order_acq_rel)) {
+        stole_ = true;
+        break;
+      }
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+  first_->stamp_ns[line].store(monotonic_ns(), std::memory_order_relaxed);
+  held_ = true;
+}
+
+void LineLock::unlock() noexcept {
+  if (!held_) return;
+  first_->busy.fetch_and(~(1ull << line_), std::memory_order_release);
+  held_ = false;
+}
+
+// ----------------------------------------------------------------- DirOps
+
+Result<std::uint64_t> DirOps::create_dir_block() {
+  SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t off, pools_.dirblock->alloc());
+  auto* blk = reinterpret_cast<DirBlock*>(dev_.at(off));
+  new (blk) DirBlock();
+  nvmm::persist(blk, sizeof(DirBlock));
+  nvmm::fence();
+  pools_.dirblock->commit(off);
+  return off;
+}
+
+bool DirOps::scrub_slot(DirSlot& slot) const {
+  const std::uint64_t v = slot.v.load(std::memory_order_acquire);
+  const std::uint64_t off = DirSlot::off_of(v);
+  if (off == 0) return false;
+  FileEntry* fe = entry_at(off);
+  const std::uint32_t flags = pools_.fentry->flags_of(off);
+  // Interrupted delete: entry invalidated (dirty-only) or already zeroed
+  // while the slot still points at it (Fig. 5b crash between steps 2-5).
+  if (flags == alloc::kObjDirty || (fe->name_len == 0 && flags == 0)) {
+    if (clear_slot(slot, v) && flags == alloc::kObjDirty)
+      pools_.fentry->finish_pending_free(off);
+    return true;
+  }
+  return false;
+}
+
+DirOps::SlotRef DirOps::find_slot(Inode& dir, unsigned ln,
+                                  std::string_view name,
+                                  std::uint16_t tag) const {
+  nvmm::pptr<DirBlock> b = dir.dir.load();
+  while (b) {
+    DirBlock* blk = b.in(dev_);
+    for (unsigned s = 0; s < kSlotsPerLine; ++s) {
+      DirSlot& slot = blk->lines[ln].slots[s];
+      const std::uint64_t v = slot.v.load(std::memory_order_acquire);
+      const std::uint64_t off = DirSlot::off_of(v);
+      if (off == 0 || DirSlot::tag_of(v) != tag) continue;
+      FileEntry* fe = entry_at(off);
+      if (fe->name_len == name.size() && fe->name_view() == name) {
+        if (scrub_slot(slot)) continue;  // was a dead entry
+        return {blk, &slot};
+      }
+    }
+    b = blk->next.load();
+  }
+  return {};
+}
+
+Result<DirOps::SlotRef> DirOps::free_slot(Inode& dir, unsigned ln) {
+  nvmm::pptr<DirBlock> b = dir.dir.load();
+  DirBlock* last = nullptr;
+  while (b) {
+    DirBlock* blk = b.in(dev_);
+    for (unsigned s = 0; s < kSlotsPerLine; ++s) {
+      DirSlot& slot = blk->lines[ln].slots[s];
+      scrub_slot(slot);
+      if (slot.v.load(std::memory_order_acquire) == 0) return SlotRef{blk, &slot};
+    }
+    last = blk;
+    b = blk->next.load();
+  }
+  // Line full in every block: extend the chain (Fig. 5a step 4).  The next
+  // pointer is CAS-published because other lines extend concurrently.
+  SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t new_off, create_dir_block());
+  auto new_blk = nvmm::pptr<DirBlock>(new_off);
+  for (;;) {
+    nvmm::pptr<DirBlock> expected;
+    if (last->next.compare_exchange(expected, new_blk)) {
+      nvmm::persist_now(last->next);
+      break;
+    }
+    // Someone else appended first; maybe their block has room for us.
+    last = last->next.load().in(dev_);
+    for (unsigned s = 0; s < kSlotsPerLine; ++s) {
+      DirSlot& slot = last->lines[ln].slots[s];
+      if (slot.v.load(std::memory_order_acquire) == 0) {
+        pools_.dirblock->free(new_off);
+        return SlotRef{last, &slot};
+      }
+    }
+  }
+  SIMURGH_FAILPOINT("dir.chain_extended");
+  return SlotRef{new_blk.in(dev_), &new_blk.in(dev_)->lines[ln].slots[0]};
+}
+
+Result<std::uint64_t> DirOps::lookup(Inode& dir, std::string_view name) const {
+  if (name.empty() || name.size() > kMaxName) return Errc::invalid;
+  const unsigned ln = line_of(name);
+  const std::uint16_t tag = tag_of_name(name);
+  // Lock-free: readers never take the busy bit (paper: concurrent lookups
+  // scale; consistency comes from the publication order of slots).
+  SlotRef ref = const_cast<DirOps*>(this)->find_slot(dir, ln, name, tag);
+  if (ref.slot == nullptr) return Errc::not_found;
+  return DirSlot::off_of(ref.slot->v.load(std::memory_order_acquire));
+}
+
+Status DirOps::insert(Inode& dir, std::string_view name,
+                      std::uint64_t fentry_off) {
+  if (name.empty() || name.size() > kMaxName) return Status(Errc::invalid);
+  const unsigned ln = line_of(name);
+  const std::uint16_t tag = tag_of_name(name);
+  LineLock lock(*this, dir, ln, lease_ns_);  // Fig. 5a step 3
+  if (lock.stole_lease()) repair_line(dir, ln);
+  if (find_slot(dir, ln, name, tag).slot != nullptr)
+    return Status(Errc::exists);
+  SIMURGH_FAILPOINT("dir.insert.before_publish");
+  for (;;) {
+    SIMURGH_ASSIGN_OR_RETURN(SlotRef ref, free_slot(dir, ln));
+    if (claim_slot(*ref.slot, DirSlot::pack(tag, fentry_off))) break;
+  }
+  SIMURGH_FAILPOINT("dir.insert.after_publish");  // Fig. 5a after step 5
+  return Status::ok();
+}
+
+Result<std::uint64_t> DirOps::remove(Inode& dir, std::string_view name) {
+  if (name.empty() || name.size() > kMaxName) return Errc::invalid;
+  const unsigned ln = line_of(name);
+  LineLock lock(*this, dir, ln, lease_ns_);  // Fig. 5b step 1
+  if (lock.stole_lease()) repair_line(dir, ln);
+  return remove_locked(dir, ln, name);
+}
+
+Result<std::uint64_t> DirOps::remove_locked(Inode& dir, unsigned ln,
+                                            std::string_view name) {
+  const std::uint16_t tag = tag_of_name(name);
+  SlotRef ref = find_slot(dir, ln, name, tag);
+  if (ref.slot == nullptr) return Errc::not_found;
+  const std::uint64_t v = ref.slot->v.load(std::memory_order_acquire);
+  const std::uint64_t fe_off = DirSlot::off_of(v);
+  FileEntry* fe = entry_at(fe_off);
+  const std::uint64_t inode_off = fe->inode.load().raw();
+
+  // Step 2: invalidate the entry (valid off, dirty on).
+  pools_.fentry->set_flags(fe_off, alloc::kObjDirty);
+  SIMURGH_FAILPOINT("dir.remove.entry_invalidated");
+  // Steps 3-4: zero the entry payload.  (The inode itself is released by
+  // the caller once the last link drops; a crash in between leaves an
+  // unreachable inode that the full-recovery sweep reclaims — same final
+  // state as the paper's ordering.)
+  std::memset(fe, 0, sizeof(FileEntry));
+  nvmm::persist(fe, sizeof(FileEntry));
+  nvmm::fence();
+  SIMURGH_FAILPOINT("dir.remove.entry_zeroed");
+  // Step 5: zero the slot.
+  clear_slot(*ref.slot, v);
+  SIMURGH_FAILPOINT("dir.remove.slot_cleared");
+  // Complete the object free (re-zero + dirty off) — after the slot so a
+  // recycled entry can never be reached through the stale slot.
+  pools_.fentry->finish_pending_free(fe_off);
+  // Step 6 (optional in the paper): freeing emptied chain blocks is
+  // deferred to full recovery, which compacts chains safely offline.
+  return inode_off;
+}
+
+Result<std::uint64_t> DirOps::rename_local(Inode& dir,
+                                           std::string_view old_name,
+                                           std::string_view new_name) {
+  if (old_name.empty() || old_name.size() > kMaxName || new_name.empty() ||
+      new_name.size() > kMaxName)
+    return Errc::invalid;
+  const unsigned l_old = line_of(old_name);
+  const unsigned l_new = line_of(new_name);
+  const std::uint16_t tag_old = tag_of_name(old_name);
+  const std::uint16_t tag_new = tag_of_name(new_name);
+  DirBlock* first = first_block(dir);
+
+  // Steps 1-2: shadow entry pointing at the same inode.
+  SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t new_fe_off,
+                           pools_.fentry->alloc());
+  FileEntry* new_fe = entry_at(new_fe_off);
+
+  // Lock lines in ascending order (deadlock freedom among renames).
+  const unsigned lo = l_old < l_new ? l_old : l_new;
+  const unsigned hi = l_old < l_new ? l_new : l_old;
+  LineLock lock_lo(*this, dir, lo, lease_ns_);
+  if (lock_lo.stole_lease()) repair_line(dir, lo);
+  std::unique_ptr<LineLock> lock_hi;
+  if (hi != lo) {
+    lock_hi = std::make_unique<LineLock>(*this, dir, hi, lease_ns_);
+    if (lock_hi->stole_lease()) repair_line(dir, hi);
+  }
+
+  SlotRef old_ref = find_slot(dir, l_old, old_name, tag_old);
+  if (old_ref.slot == nullptr) {
+    pools_.fentry->free(new_fe_off);
+    return Errc::not_found;
+  }
+  const std::uint64_t old_v = old_ref.slot->v.load(std::memory_order_acquire);
+  const std::uint64_t old_fe_off = DirSlot::off_of(old_v);
+  FileEntry* old_fe = entry_at(old_fe_off);
+
+  new_fe->set_name(new_name);
+  new_fe->flags.store(old_fe->flags.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  new_fe->inode.store(old_fe->inode.load());
+  nvmm::persist(new_fe, sizeof(FileEntry));
+  nvmm::fence();
+  SIMURGH_FAILPOINT("dir.rename.shadow_created");
+
+  // If new_name already exists, it is displaced (POSIX rename semantics).
+  std::uint64_t replaced_inode = 0;
+  SlotRef target_ref = find_slot(dir, l_new, new_name, tag_new);
+  if (target_ref.slot != nullptr &&
+      DirSlot::off_of(target_ref.slot->v.load()) == old_fe_off)
+    target_ref = {};  // renaming onto itself through the old slot
+
+  // Steps 3-4: mark the directory and line(s) as rename-busy.
+  first->rename_busy.store(1, std::memory_order_release);
+  nvmm::persist_now(first->rename_busy);
+  SIMURGH_FAILPOINT("dir.rename.marked");
+
+  // Step 5: swing the *old* slot onto the new entry.  The line is now
+  // deliberately inconsistent: the entry's name hashes to l_new.
+  old_ref.slot->v.store(DirSlot::pack(tag_new, new_fe_off),
+                        std::memory_order_release);
+  nvmm::persist_now(old_ref.slot->v);
+  SIMURGH_FAILPOINT("dir.rename.line_inconsistent");
+
+  // Step 6: the old entry is no longer needed.
+  pools_.fentry->free(old_fe_off);
+  SIMURGH_FAILPOINT("dir.rename.old_entry_freed");
+
+  // Step 7: publish in the correct line (reusing the displaced target's
+  // slot when replacing).
+  if (target_ref.slot != nullptr) {
+    const std::uint64_t t_v = target_ref.slot->v.load();
+    const std::uint64_t t_off = DirSlot::off_of(t_v);
+    FileEntry* t_fe = entry_at(t_off);
+    replaced_inode = t_fe->inode.load().raw();
+    target_ref.slot->v.store(DirSlot::pack(tag_new, new_fe_off),
+                             std::memory_order_release);
+    nvmm::persist_now(target_ref.slot->v);
+    pools_.fentry->set_flags(t_off, alloc::kObjDirty);
+    std::memset(t_fe, 0, sizeof(FileEntry));
+    nvmm::persist(t_fe, sizeof(FileEntry));
+    pools_.fentry->finish_pending_free(t_off);
+  } else if (l_new != l_old) {
+    for (;;) {
+      SIMURGH_ASSIGN_OR_RETURN(SlotRef dst, free_slot(dir, l_new));
+      if (claim_slot(*dst.slot, DirSlot::pack(tag_new, new_fe_off))) break;
+    }
+  }
+  SIMURGH_FAILPOINT("dir.rename.published");
+
+  // Step 8: retire the temporary (inconsistent) pointer, unless the rename
+  // stayed within one line (the swung slot then already sits in the right
+  // line and stays as the entry's home).
+  if (l_new != l_old || target_ref.slot != nullptr) {
+    old_ref.slot->v.store(0, std::memory_order_release);
+    nvmm::persist_now(old_ref.slot->v);
+  }
+  pools_.fentry->commit(new_fe_off);
+  first->rename_busy.store(0, std::memory_order_release);
+  nvmm::persist_now(first->rename_busy);
+  return replaced_inode;
+}
+
+Result<std::uint64_t> DirOps::rename_cross(Inode& src_dir,
+                                           std::string_view old_name,
+                                           Inode& dst_dir,
+                                           std::string_view new_name) {
+  const unsigned l_src = line_of(old_name);
+  const unsigned l_dst = line_of(new_name);
+  const std::uint16_t tag_old = tag_of_name(old_name);
+  const std::uint16_t tag_new = tag_of_name(new_name);
+  DirBlock* src_first = first_block(src_dir);
+
+  // Lock rows in a global order keyed by (block address, line) so two
+  // opposing cross-renames cannot deadlock (§4.3 step 3).
+  DirBlock* dst_first = first_block(dst_dir);
+  const bool src_first_order =
+      std::make_pair(src_first, l_src) < std::make_pair(dst_first, l_dst);
+  auto lock_a = std::make_unique<LineLock>(
+      *this, src_first_order ? src_dir : dst_dir,
+      src_first_order ? l_src : l_dst, lease_ns_);
+  auto lock_b = std::make_unique<LineLock>(
+      *this, src_first_order ? dst_dir : src_dir,
+      src_first_order ? l_dst : l_src, lease_ns_);
+  if (lock_a->stole_lease())
+    repair_line(src_first_order ? src_dir : dst_dir,
+                src_first_order ? l_src : l_dst);
+  if (lock_b->stole_lease())
+    repair_line(src_first_order ? dst_dir : src_dir,
+                src_first_order ? l_dst : l_src);
+
+  SlotRef src_ref = find_slot(src_dir, l_src, old_name, tag_old);
+  if (src_ref.slot == nullptr) return Errc::not_found;
+  const std::uint64_t src_v = src_ref.slot->v.load(std::memory_order_acquire);
+  const std::uint64_t old_fe_off = DirSlot::off_of(src_v);
+  FileEntry* old_fe = entry_at(old_fe_off);
+
+  // Pre-build the destination entry.
+  SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t new_fe_off,
+                           pools_.fentry->alloc());
+  FileEntry* new_fe = entry_at(new_fe_off);
+  new_fe->set_name(new_name);
+  new_fe->flags.store(old_fe->flags.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  new_fe->inode.store(old_fe->inode.load());
+  nvmm::persist(new_fe, sizeof(FileEntry));
+  nvmm::fence();
+
+  std::uint64_t replaced_inode = 0;
+  SlotRef dst_ref = find_slot(dst_dir, l_dst, new_name, tag_new);
+
+  // Steps 1-2: write the operation into the source directory's log entry
+  // and set its dirty bit.
+  RenameLog& log = src_first->log;
+  log.dst_dir_inode = dst_dir.dir.load().raw();  // identifies the dst chain
+  log.old_fentry = old_fe_off;
+  log.new_fentry = new_fe_off;
+  log.replaced_inode =
+      dst_ref.slot ? entry_at(DirSlot::off_of(dst_ref.slot->v.load()))
+                         ->inode.load()
+                         .raw()
+                   : 0;
+  nvmm::persist(&log, sizeof(log));
+  nvmm::fence();
+  SIMURGH_FAILPOINT("dir.xrename.log_written");
+  log.state.store(1, std::memory_order_release);
+  nvmm::persist_now(log.state);
+  SIMURGH_FAILPOINT("dir.xrename.log_armed");
+
+  // Step 4: perform the operation.
+  if (dst_ref.slot != nullptr) {
+    const std::uint64_t t_v = dst_ref.slot->v.load();
+    const std::uint64_t t_off = DirSlot::off_of(t_v);
+    FileEntry* t_fe = entry_at(t_off);
+    replaced_inode = t_fe->inode.load().raw();
+    dst_ref.slot->v.store(DirSlot::pack(tag_new, new_fe_off),
+                          std::memory_order_release);
+    nvmm::persist_now(dst_ref.slot->v);
+    pools_.fentry->set_flags(t_off, alloc::kObjDirty);
+    std::memset(t_fe, 0, sizeof(FileEntry));
+    nvmm::persist(t_fe, sizeof(FileEntry));
+    pools_.fentry->finish_pending_free(t_off);
+  } else {
+    for (;;) {
+      SIMURGH_ASSIGN_OR_RETURN(SlotRef dst, free_slot(dst_dir, l_dst));
+      if (claim_slot(*dst.slot, DirSlot::pack(tag_new, new_fe_off))) break;
+    }
+  }
+  SIMURGH_FAILPOINT("dir.xrename.dst_published");
+
+  // Retire the source entry + slot.
+  pools_.fentry->set_flags(old_fe_off, alloc::kObjDirty);
+  std::memset(old_fe, 0, sizeof(FileEntry));
+  nvmm::persist(old_fe, sizeof(FileEntry));
+  clear_slot(*src_ref.slot, src_v);
+  pools_.fentry->finish_pending_free(old_fe_off);
+  SIMURGH_FAILPOINT("dir.xrename.src_cleared");
+
+  // Close the log.
+  pools_.fentry->commit(new_fe_off);
+  log.state.store(0, std::memory_order_release);
+  nvmm::persist_now(log.state);
+  return replaced_inode;
+}
+
+bool DirOps::empty(Inode& dir) const {
+  bool any = false;
+  const_cast<DirOps*>(this)->list(dir, [&](std::string_view, std::uint64_t,
+                                           std::uint64_t) { any = true; });
+  return !any;
+}
+
+void DirOps::repair_line(Inode& dir, unsigned ln) {
+  // Finish interrupted deletes, drop duplicate slots (rename crash between
+  // steps 7-8) and relocate rename strays in this line.
+  std::uint64_t seen[kSlotsPerLine * 8];
+  unsigned n_seen = 0;
+  nvmm::pptr<DirBlock> b = dir.dir.load();
+  while (b) {
+    DirBlock* blk = b.in(dev_);
+    for (unsigned s = 0; s < kSlotsPerLine; ++s) {
+      DirSlot& slot = blk->lines[ln].slots[s];
+      if (scrub_slot(slot)) continue;
+      const std::uint64_t v = slot.v.load(std::memory_order_acquire);
+      const std::uint64_t off = DirSlot::off_of(v);
+      if (off == 0) continue;
+      bool dup = false;
+      for (unsigned k = 0; k < n_seen; ++k)
+        if (seen[k] == off) dup = true;
+      if (dup) {
+        clear_slot(slot, v);
+        continue;
+      }
+      if (n_seen < std::size(seen)) seen[n_seen++] = off;
+      FileEntry* fe = entry_at(off);
+      if (fe->name_len == 0) continue;
+      const unsigned want = line_of(fe->name_view());
+      if (want == ln) continue;
+      // Rename stray (Fig. 5c crash between steps 5 and 8): publish the
+      // entry in its correct line if not already there, then retire this
+      // slot.  Publication uses CAS, so racing with the original renamer
+      // resolves to exactly one slot.
+      const std::uint16_t tag = tag_of_name(fe->name_view());
+      if (find_slot(dir, want, fe->name_view(), tag).slot == nullptr) {
+        auto free_ref = free_slot(dir, want);
+        if (free_ref.is_ok())
+          claim_slot(*free_ref->slot, DirSlot::pack(tag, off));
+      }
+      clear_slot(slot, v);
+      if (pools_.fentry->flags_of(off) ==
+          (alloc::kObjValid | alloc::kObjDirty))
+        pools_.fentry->commit(off);
+    }
+    b = blk->next.load();
+  }
+}
+
+void DirOps::replay_cross_log(Inode& src_dir) {
+  DirBlock* first = first_block(src_dir);
+  RenameLog& log = first->log;
+  if (log.state.load(std::memory_order_acquire) == 0) return;
+  // Decide redo vs. undo by whether the destination directory published a
+  // slot pointing at the new entry — the operation's commit point.
+  const std::uint64_t new_fe = log.new_fentry;
+  bool dst_published = false;
+  nvmm::pptr<DirBlock> b(log.dst_dir_inode);  // dst first block offset
+  while (b && !dst_published) {
+    DirBlock* blk = b.in(dev_);
+    for (unsigned ln = 0; ln < kLines && !dst_published; ++ln)
+      for (unsigned s = 0; s < kSlotsPerLine; ++s)
+        if (DirSlot::off_of(blk->lines[ln].slots[s].v.load(
+                std::memory_order_acquire)) == new_fe) {
+          dst_published = true;
+          break;
+        }
+    b = blk->next.load();
+  }
+  if (dst_published) {
+    // Redo: finish the source-side cleanup.
+    if (pools_.fentry->flags_of(new_fe) ==
+        (alloc::kObjValid | alloc::kObjDirty))
+      pools_.fentry->commit(new_fe);
+    FileEntry* old_fe = entry_at(log.old_fentry);
+    if (pools_.fentry->flags_of(log.old_fentry) != 0) {
+      pools_.fentry->set_flags(log.old_fentry, alloc::kObjDirty);
+      std::memset(old_fe, 0, sizeof(FileEntry));
+      nvmm::persist(old_fe, sizeof(FileEntry));
+      pools_.fentry->finish_pending_free(log.old_fentry);
+    }
+    // Scrub the stale source slot wherever it is.
+    for (unsigned ln = 0; ln < kLines; ++ln) repair_line(src_dir, ln);
+  } else if (pools_.fentry->flags_of(new_fe) != 0) {
+    // Undo: the new entry never became visible; drop it.
+    pools_.fentry->set_flags(new_fe, alloc::kObjDirty);
+    FileEntry* fe = entry_at(new_fe);
+    std::memset(fe, 0, sizeof(FileEntry));
+    nvmm::persist(fe, sizeof(FileEntry));
+    pools_.fentry->finish_pending_free(new_fe);
+  }
+  log.state.store(0, std::memory_order_release);
+  nvmm::persist_now(log.state);
+}
+
+std::uint64_t DirOps::chain_length(Inode& dir) const {
+  std::uint64_t n = 0;
+  nvmm::pptr<DirBlock> b = dir.dir.load();
+  while (b) {
+    ++n;
+    b = b.in(dev_)->next.load();
+  }
+  return n;
+}
+
+std::uint64_t DirOps::compact_chain(Inode& dir) {
+  if (!dir.dir.load()) return 0;
+  std::uint64_t freed = 0;
+  DirBlock* prev = first_block(dir);
+  nvmm::pptr<DirBlock> cur = prev->next.load();
+  while (cur) {
+    DirBlock* blk = cur.in(dev_);
+    const nvmm::pptr<DirBlock> next = blk->next.load();
+    bool empty = true;
+    for (unsigned ln = 0; ln < kLines && empty; ++ln)
+      for (unsigned s = 0; s < kSlotsPerLine; ++s)
+        if (blk->lines[ln].slots[s].v.load(std::memory_order_acquire) != 0) {
+          empty = false;
+          break;
+        }
+    if (empty) {
+      // Unlink first (persist), then release the block: a crash in between
+      // leaves an allocated-but-unreachable block the next sweep reclaims.
+      prev->next.store(next);
+      nvmm::persist_now(prev->next);
+      pools_.dirblock->free(cur.raw());
+      ++freed;
+    } else {
+      prev = blk;
+    }
+    cur = next;
+  }
+  return freed;
+}
+
+void DirOps::recover_directory(Inode& dir) {
+  if (!dir.dir.load()) return;
+  replay_cross_log(dir);
+  for (unsigned ln = 0; ln < kLines; ++ln) repair_line(dir, ln);
+  DirBlock* first = first_block(dir);
+  first->busy.store(0, std::memory_order_release);
+  first->rename_busy.store(0, std::memory_order_release);
+  nvmm::persist_now(first->busy);
+}
+
+}  // namespace simurgh::core

@@ -1,0 +1,253 @@
+// Directory hash blocks and file entries (§4.3, Figs. 4-5).
+//
+// A directory is a chain of fixed-size hash blocks.  Each block holds
+// kLines lines ("rows") of kSlotsPerLine slots; a name hashes to one line,
+// and a lookup probes that line in every block of the chain.  The *first*
+// block additionally carries, per line: a busy bit (the fine-grained
+// busy-wait lock that makes shared-directory metadata ops scale) and a
+// lease stamp for crashed-holder detection; plus a single log entry for
+// cross-directory renames and a rename-in-progress marker.
+//
+// Slots pack a 16-bit tag of the name hash with the 48-bit file-entry
+// offset, so negative probes rarely dereference entries.
+//
+// Consistency rules (what recovery relies on):
+//  * A slot is published (store + persist) only after its file entry and
+//    inode are fully persisted — Fig. 5a order.
+//  * Deletion zeroes the entry before the slot, so a slot that points to a
+//    zeroed/invalid entry marks an interrupted delete; the next accessor of
+//    the line completes it — Fig. 5b.
+//  * An intra-directory rename deliberately leaves the line "inconsistent"
+//    (the entry's name hashes to a different line) between its steps 5-8;
+//    that inconsistency plus the rename marker is the redo record — Fig. 5c.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <string_view>
+
+#include "common/hash.h"
+#include "core/inode.h"
+
+namespace simurgh::core {
+
+constexpr unsigned kMaxName = 255;
+constexpr unsigned kLines = 48;
+constexpr unsigned kSlotsPerLine = 8;
+
+// File entry: name plus the persistent pointer to its inode (Fig. 4).
+struct FileEntry {
+  nvmm::atomic_pptr<Inode> inode;
+  std::atomic<std::uint32_t> flags{0};  // bit0: symlink ("link flag")
+  std::uint16_t name_len = 0;
+  char name[kMaxName + 1] = {};
+
+  [[nodiscard]] std::string_view name_view() const noexcept {
+    return {name, name_len};
+  }
+  void set_name(std::string_view n) noexcept;
+};
+static_assert(sizeof(FileEntry) <= kFileEntryPayload);
+
+constexpr std::uint32_t kEntrySymlink = 1u;
+
+// Slot encoding: tag<<48 | offset.
+struct DirSlot {
+  std::atomic<std::uint64_t> v{0};
+
+  static constexpr std::uint64_t pack(std::uint16_t tag,
+                                      std::uint64_t off) noexcept {
+    return (static_cast<std::uint64_t>(tag) << 48) | off;
+  }
+  static constexpr std::uint64_t off_of(std::uint64_t v) noexcept {
+    return v & ((1ull << 48) - 1);
+  }
+  static constexpr std::uint16_t tag_of(std::uint64_t v) noexcept {
+    return static_cast<std::uint16_t>(v >> 48);
+  }
+};
+
+struct DirLine {
+  DirSlot slots[kSlotsPerLine];
+};
+static_assert(sizeof(DirLine) == 64);
+
+// Cross-directory rename log — one per directory, in the first block.
+struct RenameLog {
+  std::atomic<std::uint32_t> state{0};  // 0 idle, 1 pending (dirty)
+  std::uint32_t _pad = 0;
+  std::uint64_t dst_dir_inode = 0;   // destination directory inode offset
+  std::uint64_t old_fentry = 0;      // entry being moved (in this dir)
+  std::uint64_t new_fentry = 0;      // replacement entry (in dst dir)
+  std::uint64_t replaced_inode = 0;  // inode displaced at the target name
+};
+static_assert(sizeof(RenameLog) == 40);
+
+struct DirBlock {
+  nvmm::atomic_pptr<DirBlock> next;
+  // ---- first block of a chain only ----
+  std::atomic<std::uint64_t> busy{0};          // one bit per line
+  std::atomic<std::uint32_t> rename_busy{0};   // intra-dir rename marker
+  std::uint32_t _pad = 0;
+  RenameLog log;
+  std::atomic<std::uint64_t> stamp_ns[kLines]; // line lease stamps
+  // ---- all blocks ----
+  DirLine lines[kLines];
+};
+static_assert(sizeof(DirBlock) <= kDirBlockPayload);
+
+inline unsigned line_of(std::string_view name) noexcept {
+  return static_cast<unsigned>(fnv1a64(name) % kLines);
+}
+inline std::uint16_t tag_of_name(std::string_view name) noexcept {
+  return static_cast<std::uint16_t>(fnv1a64(name) >> 48);
+}
+
+// All directory operations; shared by every Process of the mount.
+// Stateless except for references to the device and pools, so one instance
+// per file system serves all threads.
+class DirOps {
+ public:
+  struct Pools {
+    alloc::ObjectAllocator* fentry;
+    alloc::ObjectAllocator* dirblock;
+  };
+
+  DirOps(nvmm::Device& dev, Pools pools) : dev_(dev), pools_(pools) {}
+
+  // Lock-free lookup; completes interrupted deletes it trips over.
+  Result<std::uint64_t> lookup(Inode& dir, std::string_view name) const;
+
+  // Inserts `name` -> fentry_off (both already persisted by the caller,
+  // Fig. 5a steps 1-2).  Fails with Errc::exists.
+  Status insert(Inode& dir, std::string_view name, std::uint64_t fentry_off);
+
+  // Removes `name`, returning the inode offset it referenced (Fig. 5b).
+  Result<std::uint64_t> remove(Inode& dir, std::string_view name);
+
+  // Intra-directory rename (Fig. 5c).  If `new_name` exists its inode is
+  // displaced and returned so the caller can drop a link count.
+  Result<std::uint64_t> rename_local(Inode& dir, std::string_view old_name,
+                                     std::string_view new_name);
+
+  // Cross-directory rename via the source directory's log entry (§4.3).
+  Result<std::uint64_t> rename_cross(Inode& src_dir, std::string_view old_name,
+                                     Inode& dst_dir,
+                                     std::string_view new_name);
+
+  // Iterates entries: fn(name, fentry_off, inode_off).
+  template <typename Fn>
+  void list(Inode& dir, Fn&& fn) const;
+
+  // True iff the directory holds no entries.
+  [[nodiscard]] bool empty(Inode& dir) const;
+
+  // Creates (and persists) the first hash block of a new directory.
+  Result<std::uint64_t> create_dir_block();
+
+  // Applies pending recovery for one directory: finishes interrupted
+  // deletes/renames and replays the cross-directory log.  Used both by the
+  // lease-steal path and by full recovery.
+  void recover_directory(Inode& dir);
+
+  // Fig. 5b step 6, deferred: frees chain blocks (beyond the first) whose
+  // slots are all empty.  Only safe offline (full recovery): concurrent
+  // lookups may hold pointers into the chain.  Returns blocks freed.
+  std::uint64_t compact_chain(Inode& dir);
+
+  // Number of hash blocks in the directory's chain (tests, stats).
+  [[nodiscard]] std::uint64_t chain_length(Inode& dir) const;
+
+  // Lease for busy-line locks (tests shrink it).
+  void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
+
+  [[nodiscard]] nvmm::Device& device() const noexcept { return dev_; }
+
+ private:
+  friend class LineLock;
+
+  [[nodiscard]] DirBlock* first_block(Inode& dir) const noexcept {
+    return dir.dir.load().in(dev_);
+  }
+  FileEntry* entry_at(std::uint64_t off) const noexcept {
+    return reinterpret_cast<FileEntry*>(dev_.at(off));
+  }
+
+  // Probes line `ln` across the chain for `name`; returns {block, slot} or
+  // nulls.  Scrubs slots whose entries are zeroed (interrupted delete).
+  struct SlotRef {
+    DirBlock* block = nullptr;
+    DirSlot* slot = nullptr;
+  };
+  SlotRef find_slot(Inode& dir, unsigned ln, std::string_view name,
+                    std::uint16_t tag) const;
+  // First free slot in line `ln`, appending a chain block if needed.
+  Result<SlotRef> free_slot(Inode& dir, unsigned ln);
+
+  // Interrupted-delete scrubber: if the slot's entry is zeroed or being
+  // freed, finish the delete and clear the slot.  Returns true if scrubbed.
+  bool scrub_slot(DirSlot& slot) const;
+
+  // Fixes rename inconsistencies in line `ln` (entry name hashing to a
+  // different line).  Caller holds the line lock.
+  void repair_line(Inode& dir, unsigned ln);
+
+  void replay_cross_log(Inode& src_dir);
+
+  Result<std::uint64_t> remove_locked(Inode& dir, unsigned ln,
+                                      std::string_view name);
+
+  nvmm::Device& dev_;
+  Pools pools_;
+  std::uint64_t lease_ns_ = 100'000'000;
+};
+
+// Busy-wait lock on one line of a directory (bit in the first block).
+// Stealing an expired lease first repairs the line, implementing the
+// paper's "the next process accessing the same row continues the
+// execution" rule.
+class LineLock {
+ public:
+  LineLock(const DirOps& ops, Inode& dir, unsigned line,
+           std::uint64_t lease_ns);
+  // A CrashedException models the holding process dying: the lock must stay
+  // held so survivors detect the expired lease and run line recovery, so
+  // the destructor skips the unlock while crash-unwinding.
+  ~LineLock() {
+    if (std::uncaught_exceptions() == 0) unlock();
+  }
+  LineLock(const LineLock&) = delete;
+  LineLock& operator=(const LineLock&) = delete;
+
+  void unlock() noexcept;
+  [[nodiscard]] bool stole_lease() const noexcept { return stole_; }
+
+ private:
+  DirBlock* first_;
+  unsigned line_;
+  bool held_ = false;
+  bool stole_ = false;
+};
+
+template <typename Fn>
+void DirOps::list(Inode& dir, Fn&& fn) const {
+  nvmm::pptr<DirBlock> b = dir.dir.load();
+  while (b) {
+    DirBlock* blk = b.in(dev_);
+    for (unsigned ln = 0; ln < kLines; ++ln) {
+      for (unsigned s = 0; s < kSlotsPerLine; ++s) {
+        const std::uint64_t v =
+            blk->lines[ln].slots[s].v.load(std::memory_order_acquire);
+        const std::uint64_t off = DirSlot::off_of(v);
+        if (off == 0) continue;
+        const FileEntry* fe = entry_at(off);
+        if (fe->name_len == 0) continue;  // being deleted
+        fn(fe->name_view(), off, fe->inode.load().raw());
+      }
+    }
+    b = blk->next.load();
+  }
+}
+
+}  // namespace simurgh::core

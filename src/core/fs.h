@@ -1,0 +1,252 @@
+// Simurgh — the public file-system API.
+//
+// A FileSystem owns one mounted instance over an NVMM device plus a
+// shared-DRAM device.  Client "processes" (the preload-library view of an
+// application) are represented by Process handles: each has its own
+// credentials and open-file map, while *all* persistent state is shared —
+// there is no central server and no kernel involvement after the bootstrap,
+// exactly as the paper designs it (§4).
+//
+// Security integration: format()/mount() register the file system's entry
+// points as protected functions through the Bootstrap model (Fig. 2), and
+// Process can be asked to route every call through the jmpp Gateway
+// (secure mode) — used by the security tests and the protcall bench.  In
+// the fast path the calls are direct, mirroring how the paper evaluates on
+// hardware without the proposed instructions and charges the measured
+// 46-cycle jmpp delta in the harness instead.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alloc/block_alloc.h"
+#include "alloc/obj_alloc.h"
+#include "core/dir_block.h"
+#include "core/layout.h"
+#include "core/openfile.h"
+#include "core/path.h"
+#include "core/shm.h"
+#include "nvmm/device.h"
+#include "protsec/bootstrap.h"
+#include "protsec/gateway.h"
+
+namespace simurgh::core {
+
+struct FormatOptions {
+  unsigned n_cores = 10;      // paper testbed; segments = 2 * n_cores
+  std::uint64_t lock_table_slots = 1 << 16;
+  // A fresh root is world-writable (tmpfs-style) so unprivileged client
+  // processes can populate it; tighten via chmod/chown after format.
+  std::uint32_t root_mode = 0777;
+};
+
+struct Stat {
+  std::uint64_t inode = 0;  // the inode offset (Simurgh's inode identity)
+  std::uint32_t mode = 0;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint32_t nlink = 0;
+  std::uint64_t size = 0;
+  std::uint64_t atime_ns = 0;
+  std::uint64_t mtime_ns = 0;
+  std::uint64_t ctime_ns = 0;
+
+  [[nodiscard]] bool is_dir() const noexcept {
+    return (mode & kModeTypeMask) == kModeDir;
+  }
+  [[nodiscard]] bool is_symlink() const noexcept {
+    return (mode & kModeTypeMask) == kModeSymlink;
+  }
+};
+
+struct DirEntry {
+  std::string name;
+  std::uint64_t inode = 0;
+};
+
+// statfs-style capacity summary.
+struct FsStat {
+  std::uint64_t block_size = 0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t free_blocks = 0;
+  std::uint64_t live_inodes = 0;  // allocated inode objects
+};
+
+struct RecoveryReport {
+  std::uint64_t files = 0;
+  std::uint64_t directories = 0;
+  std::uint64_t symlinks = 0;
+  std::uint64_t committed_objects = 0;   // in-flight creates completed
+  std::uint64_t reclaimed_objects = 0;   // unreachable / half-freed objects
+  std::uint64_t data_blocks_in_use = 0;
+  double seconds = 0;
+};
+
+class Process;
+
+class FileSystem {
+ public:
+  // mkfs: lays out superblock, allocators, pools, lock table, root dir.
+  static std::unique_ptr<FileSystem> format(nvmm::Device& nvmm,
+                                            nvmm::Device& shm,
+                                            const FormatOptions& opts = {});
+  // Mount: attaches; runs full recovery when the previous shutdown was
+  // unclean (clean_shutdown == 0).
+  static std::unique_ptr<FileSystem> mount(nvmm::Device& nvmm,
+                                           nvmm::Device& shm);
+
+  ~FileSystem();
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // Clean unmount: marks the superblock so the next mount skips recovery.
+  void unmount();
+
+  // Creates a client-process handle with the given credentials (the values
+  // the kernel would pin into the protected pages at preload, §3.2).
+  std::unique_ptr<Process> open_process(std::uint32_t uid, std::uint32_t gid);
+
+  // Full mark-and-sweep recovery (§5.5); safe on a quiescent mount.
+  RecoveryReport recover();
+
+  // Capacity summary (statfs).  live_inodes scans the inode pool.
+  [[nodiscard]] FsStat fsstat();
+
+  // Fig. 7k "relaxed": disable the per-file exclusive write lock and let
+  // the application coordinate shared-file writes itself.
+  void set_relaxed_writes(bool relaxed) noexcept { relaxed_writes_ = relaxed; }
+  [[nodiscard]] bool relaxed_writes() const noexcept {
+    return relaxed_writes_;
+  }
+
+  // Shrinks every busy-wait lease (crash tests).
+  void set_lease_ns(std::uint64_t ns);
+
+  // ---- component access (tests, benches, recovery) ----
+  // The superblock lives at device offset 0, which pptr reserves as null,
+  // so it is addressed through base() directly.
+  [[nodiscard]] Superblock& sb() noexcept {
+    return *reinterpret_cast<Superblock*>(dev_->base() + kSuperblockOff);
+  }
+  [[nodiscard]] nvmm::Device& dev() noexcept { return *dev_; }
+  [[nodiscard]] alloc::BlockAllocator& blocks() noexcept { return *blocks_; }
+  [[nodiscard]] alloc::ObjectAllocator& pool(PoolId id) noexcept {
+    return *pools_[id];
+  }
+  [[nodiscard]] DirOps& dirops() noexcept { return *dirops_; }
+  [[nodiscard]] FileLockTable& file_locks() noexcept { return *locks_; }
+  [[nodiscard]] PathWalker& walker() noexcept { return *walker_; }
+  [[nodiscard]] std::uint64_t root_off() const noexcept { return root_off_; }
+  [[nodiscard]] Inode* inode_at(std::uint64_t off) const noexcept {
+    return reinterpret_cast<Inode*>(dev_->at(off));
+  }
+
+  // Security bootstrap artifacts (Fig. 2); present after format/mount.
+  [[nodiscard]] protsec::Gateway& gateway() noexcept { return *gateway_; }
+  [[nodiscard]] protsec::Bootstrap& bootstrap() noexcept {
+    return *bootstrap_;
+  }
+  [[nodiscard]] const protsec::ProtectedLibraryHandle& prot_handle()
+      const noexcept {
+    return prot_handle_;
+  }
+
+ private:
+  friend class Process;
+  FileSystem(nvmm::Device& nvmm, nvmm::Device& shm);
+  void attach_components(bool formatted, const FormatOptions& opts);
+  void register_protected_functions();
+
+  nvmm::Device* dev_;
+  nvmm::Device* shm_;
+  std::uint64_t root_off_ = 0;
+  bool relaxed_writes_ = false;
+
+  std::unique_ptr<alloc::BlockAllocator> blocks_;
+  std::unique_ptr<alloc::ObjectAllocator> pools_[kNumPools];
+  std::unique_ptr<DirOps> dirops_;
+  std::unique_ptr<FileLockTable> locks_;
+  std::unique_ptr<PathWalker> walker_;
+
+  std::unique_ptr<protsec::PageTable> pagetable_;
+  std::unique_ptr<protsec::Gateway> gateway_;
+  std::unique_ptr<protsec::Bootstrap> bootstrap_;
+  protsec::ProtectedLibraryHandle prot_handle_;
+};
+
+// One client process: credentials + open-file map over the shared FS.
+class Process {
+ public:
+  Process(FileSystem& fs, Credentials cred) : fs_(fs), cred_(cred) {}
+
+  // ---- files ----
+  Result<int> open(std::string_view path, int flags, std::uint32_t mode = 0644);
+  Status close(int fd);
+  Result<std::size_t> read(int fd, void* buf, std::size_t n);
+  Result<std::size_t> write(int fd, const void* buf, std::size_t n);
+  Result<std::size_t> pread(int fd, void* buf, std::size_t n,
+                            std::uint64_t off);
+  Result<std::size_t> pwrite(int fd, const void* buf, std::size_t n,
+                             std::uint64_t off);
+  Result<std::uint64_t> lseek(int fd, std::int64_t off, int whence);
+  Status fsync(int fd);
+  Status ftruncate(int fd, std::uint64_t size);
+  Status fallocate(int fd, std::uint64_t off, std::uint64_t len);
+  Result<Stat> fstat(int fd);
+
+  // ---- namespace ----
+  Status mkdir(std::string_view path, std::uint32_t mode = 0755);
+  Status rmdir(std::string_view path);
+  Status unlink(std::string_view path);
+  Status rename(std::string_view from, std::string_view to);
+  Result<Stat> stat(std::string_view path);
+  Result<Stat> lstat(std::string_view path);
+  Status link(std::string_view existing, std::string_view newpath);
+  Status symlink(std::string_view target, std::string_view linkpath);
+  Result<std::string> readlink(std::string_view path);
+  Status truncate(std::string_view path, std::uint64_t size);
+  Status access(std::string_view path, unsigned may);
+  Status chmod(std::string_view path, std::uint32_t mode);
+  Status chown(std::string_view path, std::uint32_t uid, std::uint32_t gid);
+  Status utimes(std::string_view path, std::uint64_t atime_ns,
+                std::uint64_t mtime_ns);
+  Result<std::vector<DirEntry>> readdir(std::string_view path);
+
+  [[nodiscard]] const Credentials& cred() const noexcept { return cred_; }
+  [[nodiscard]] FileSystem& fs() noexcept { return fs_; }
+
+  // lseek whence values.
+  static constexpr int kSeekSet = 0;
+  static constexpr int kSeekCur = 1;
+  static constexpr int kSeekEnd = 2;
+
+ private:
+  friend class FileSystem;
+
+  // Shared implementation pieces.
+  Result<std::uint64_t> create_file(const ResolveResult& where,
+                                    std::uint32_t mode, std::uint32_t type,
+                                    std::string_view symlink_target = {});
+  Status drop_inode(std::uint64_t inode_off);
+  Result<std::size_t> do_read(Inode& ino, std::uint64_t ino_off, void* buf,
+                              std::size_t n, std::uint64_t off);
+  Result<std::size_t> do_write(Inode& ino, std::uint64_t ino_off,
+                               const void* buf, std::size_t n,
+                               std::uint64_t off);
+  Status ensure_allocated(Inode& ino, std::uint64_t ino_off,
+                          std::uint64_t first_block, std::uint64_t n_blocks,
+                          bool zero_fill);
+  Status truncate_inode(std::uint64_t ino_off, std::uint64_t size);
+  Stat stat_of(std::uint64_t ino_off) const;
+
+  FileSystem& fs_;
+  Credentials cred_;
+  OpenFileMap fds_;
+};
+
+// Wall-clock timestamp helper shared by the FS code.
+std::uint64_t wall_ns() noexcept;
+
+}  // namespace simurgh::core

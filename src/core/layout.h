@@ -1,0 +1,84 @@
+// On-media layout of a Simurgh file system (Fig. 3).
+//
+// NVMM device:
+//   [0]              Superblock (one 4 KB page): magic, geometry, the four
+//                    metadata pool headers, and the root inode pointer.
+//   [4 KB]           Block-allocator header + per-segment headers.
+//   [sb.data_off]    Block area — everything else: pool segments (inodes,
+//                    file entries, directory hash blocks, extent-spill
+//                    blocks) and file data blocks.
+//
+// Shared-DRAM device (volatile, shared by all client processes):
+//   [0]              ShmHeader
+//   [...]            Per-file reader/writer lock table (open addressing,
+//                    keyed by inode offset).
+//
+// Every cross-structure reference is an nvmm::pptr (device offset); inode
+// identity *is* the inode's offset — there are no inode numbers (§4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/block_alloc.h"
+#include "alloc/obj_alloc.h"
+#include "nvmm/pptr.h"
+
+namespace simurgh::core {
+
+constexpr std::uint64_t kSuperblockMagic = 0x53494d5552474831ull;  // SIMURGH1
+constexpr std::uint32_t kLayoutVersion = 1;
+
+constexpr std::uint64_t kSuperblockOff = 0;
+constexpr std::uint64_t kBlockAllocOff = 4096;
+// Block-allocator header + up to kMaxSegments segment headers fit here.
+constexpr std::uint64_t kDataAreaOff = 64 * 1024;
+constexpr unsigned kMaxSegments = 256;
+
+// Metadata object pools (§4.2).  Pool payload sizes are chosen so strides
+// are cache-line multiples; see inode.h / dir_block.h for the structures.
+enum PoolId : unsigned {
+  kPoolInode = 0,
+  kPoolFileEntry = 1,
+  kPoolDirBlock = 2,
+  kPoolExtent = 3,
+  kNumPools = 4,
+};
+
+constexpr std::uint64_t kInodePayload = 248;      // stride 256
+constexpr std::uint64_t kFileEntryPayload = 312;  // stride 320
+constexpr std::uint64_t kDirBlockPayload = 4088;  // stride 4096
+constexpr std::uint64_t kExtentPayload = 4088;    // stride 4096
+
+struct Superblock {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  // 1 after a clean unmount; 0 while mounted.  A mount observing 0 must run
+  // full recovery (improper shutdown, §4.3).
+  std::atomic<std::uint32_t> clean_shutdown{0};
+  std::uint64_t device_size = 0;
+  std::uint64_t data_off = 0;
+  std::uint64_t n_cores = 0;  // segments = 2 * n_cores at format time
+  alloc::PoolHeader pools[kNumPools];
+  nvmm::atomic_pptr<struct Inode> root;
+};
+static_assert(sizeof(Superblock) <= 4096);
+
+// ---- shared-DRAM runtime state ----
+
+constexpr std::uint64_t kShmMagic = 0x53494d5f53484d31ull;  // "SIM_SHM1"
+
+// Busy-wait reader/writer lock with a lease stamp so survivors can detect a
+// crashed holder (same rule as allocator segment locks).
+struct FileLock {
+  std::atomic<std::uint64_t> inode_off{0};  // key; 0 = empty slot
+  std::atomic<std::uint32_t> word{0};       // writer bit 31, readers 0..30
+  std::atomic<std::uint64_t> stamp_ns{0};
+};
+
+struct ShmHeader {
+  std::uint64_t magic = 0;
+  std::uint64_t n_locks = 0;  // power of two
+  // FileLock[n_locks] follows.
+};
+
+}  // namespace simurgh::core

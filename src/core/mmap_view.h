@@ -1,0 +1,100 @@
+// DAX-style mmap view of a file (§5.4: tar "employs mmap to read the large
+// packed file. Simurgh implements mmap similarly to other file systems
+// through the mmap syscall by modifying the page table").
+//
+// On real hardware Simurgh's mmap maps the file's NVMM blocks straight into
+// the application: reads are zero-copy loads.  This view reproduces that
+// programming model over the emulated device: it resolves a file once and
+// then hands out spans pointing directly at the device bytes, one per
+// physically contiguous extent run.  No locks are taken per access — like a
+// real mapping, the view is coherent with concurrent writers only at
+// whatever granularity the hardware gives (here: the memory system).
+//
+// The view pins nothing: truncating or unlinking the file underneath a live
+// view is the same programming error it is with a real mmap.
+#pragma once
+
+#include <span>
+
+#include "core/fs.h"
+
+namespace simurgh::core {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only for `proc` (permission-checked once, like the
+  // mmap syscall's open).
+  static Result<MappedFile> map(Process& proc, std::string_view path) {
+    SIMURGH_ASSIGN_OR_RETURN(const Stat st, proc.stat(path));
+    if ((st.mode & kModeTypeMask) != kModeFile) return Errc::invalid;
+    if (!may_access(*proc.fs().inode_at(st.inode), proc.cred(), kMayRead))
+      return Errc::permission;
+    return MappedFile(proc.fs(), st.inode);
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return ino_->size.load(std::memory_order_acquire);
+  }
+
+  // Longest physically contiguous read-only span starting at byte `off`
+  // (clamped to the file size).  An empty span means EOF or a hole; holes
+  // are not materialized (a real DAX mapping would fault in a zero page —
+  // callers stream with copy() if they may cross holes).
+  [[nodiscard]] std::span<const std::byte> span_at(std::uint64_t off) const {
+    const std::uint64_t sz = size();
+    if (off >= sz) return {};
+    const std::uint64_t block = off / alloc::kBlockSize;
+    ExtentMap map(fs_->dev(), fs_->pool(kPoolExtent), *ino_, ino_off_);
+    std::uint64_t run_blocks = 0;
+    std::uint64_t dev_off = 0;
+    map.for_each([&](const Extent& e) {
+      if (block >= e.file_block && block < e.file_block + e.n_blocks) {
+        dev_off = e.dev_off + (block - e.file_block) * alloc::kBlockSize;
+        run_blocks = e.n_blocks - (block - e.file_block);
+      }
+    });
+    if (run_blocks == 0) return {};  // hole
+    const std::uint64_t in_block = off % alloc::kBlockSize;
+    const std::uint64_t run_bytes =
+        std::min(run_blocks * alloc::kBlockSize - in_block, sz - off);
+    return {fs_->dev().at(dev_off) + in_block,
+            static_cast<std::size_t>(run_bytes)};
+  }
+
+  // memcpy-style convenience: streams across extents, zero-fills holes.
+  std::size_t copy(void* dst, std::size_t n, std::uint64_t off) const {
+    const std::uint64_t sz = size();
+    if (off >= sz) return 0;
+    n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, sz - off));
+    std::size_t done = 0;
+    auto* out = static_cast<std::byte*>(dst);
+    while (done < n) {
+      const auto span = span_at(off + done);
+      if (span.empty()) {
+        // Hole: zero up to the next block boundary.
+        const std::uint64_t pos = off + done;
+        const std::size_t chunk = static_cast<std::size_t>(std::min<
+            std::uint64_t>(n - done,
+                           alloc::kBlockSize - pos % alloc::kBlockSize));
+        std::memset(out + done, 0, chunk);
+        done += chunk;
+        continue;
+      }
+      const std::size_t chunk = std::min(n - done, span.size());
+      std::memcpy(out + done, span.data(), chunk);
+      done += chunk;
+    }
+    return done;
+  }
+
+ private:
+  MappedFile(FileSystem& fs, std::uint64_t ino_off)
+      : fs_(&fs), ino_off_(ino_off), ino_(fs.inode_at(ino_off)) {}
+
+  FileSystem* fs_;
+  std::uint64_t ino_off_;
+  Inode* ino_;
+};
+
+}  // namespace simurgh::core

@@ -1,0 +1,147 @@
+#include "core/path.h"
+
+#include <vector>
+
+namespace simurgh::core {
+
+bool may_access(const Inode& ino, const Credentials& cred,
+                unsigned want) noexcept {
+  if (cred.euid == 0) {
+    // root: exec still requires some x bit on regular files (Linux rule),
+    // but for simplicity (and because the workloads never exec) root may
+    // do anything.
+    return true;
+  }
+  const std::uint32_t mode = ino.perms();
+  unsigned granted;
+  if (cred.euid == ino.uid) granted = (mode >> 6) & 7;
+  else if (cred.egid == ino.gid) granted = (mode >> 3) & 7;
+  else granted = mode & 7;
+  return (granted & want) == want;
+}
+
+namespace {
+constexpr int kMaxSymlinkDepth = 8;
+
+// Splits a path into components, resolving "." and "..".  ".." entries that
+// would escape the root clamp at the root (POSIX behaviour for "/..").
+std::vector<std::string_view> split(std::string_view path) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) out.push_back(path.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+}  // namespace
+
+Result<ResolveResult> PathWalker::walk(const Credentials& cred,
+                                       std::string_view path,
+                                       bool follow_symlink, bool want_parent,
+                                       int depth) const {
+  if (path.empty()) return Errc::not_found;  // POSIX: "" is ENOENT
+  if (depth > kMaxSymlinkDepth) return Errc::too_many_links;
+  const std::vector<std::string_view> parts = split(path);
+
+  // Ancestor stack for "..".
+  std::vector<std::uint64_t> stack{root_off_};
+  ResolveResult res;
+  res.parent_off = root_off_;
+  res.inode_off = root_off_;
+  res.leaf = "/";
+
+  for (std::size_t ci = 0; ci < parts.size(); ++ci) {
+    const std::string_view comp = parts[ci];
+    const bool last = ci + 1 == parts.size();
+    const std::uint64_t cur_off = stack.back();
+    Inode* cur = inode_at(cur_off);
+    if (!cur->is_dir()) return Errc::not_dir;
+    // Traversal needs execute permission on each directory.
+    if (!may_access(*cur, cred, kMayExec)) return Errc::permission;
+
+    if (comp == ".") {
+      if (last) {
+        res.parent_off = stack.size() > 1 ? stack[stack.size() - 2] : root_off_;
+        res.inode_off = cur_off;
+        res.leaf = ".";
+      }
+      continue;
+    }
+    if (comp == "..") {
+      if (stack.size() > 1) stack.pop_back();
+      if (last) {
+        res.inode_off = stack.back();
+        res.parent_off =
+            stack.size() > 1 ? stack[stack.size() - 2] : root_off_;
+        res.leaf = "..";
+      }
+      continue;
+    }
+
+    auto fe_off = dirops_.lookup(*cur, comp);
+    if (!fe_off.is_ok()) {
+      if (last && want_parent) {
+        res.parent_off = cur_off;
+        res.inode_off = 0;
+        res.leaf = std::string(comp);
+        return res;
+      }
+      return fe_off.status();
+    }
+    const FileEntry* fe =
+        reinterpret_cast<const FileEntry*>(dev_.at(*fe_off));
+    const std::uint64_t child_off = fe->inode.load().raw();
+    if (child_off == 0) return Errc::not_found;  // racing delete
+    Inode* child = inode_at(child_off);
+
+    if (child->is_symlink() && (follow_symlink || !last)) {
+      // Read the target and restart relative to the link's directory.
+      std::string target(child->symlink);
+      std::string rest;
+      for (std::size_t k = ci + 1; k < parts.size(); ++k) {
+        rest += '/';
+        rest += parts[k];
+      }
+      if (!target.empty() && target[0] == '/') {
+        return walk(cred, target + rest, follow_symlink, want_parent,
+                    depth + 1);
+      }
+      // Relative link: rebuild the prefix from the ancestor stack is not
+      // possible textually; walk from the containing directory by a
+      // recursive call on a sub-walker.
+      PathWalker sub(dev_, dirops_, cur_off);
+      return sub.walk(cred, target + rest, follow_symlink, want_parent,
+                      depth + 1);
+    }
+
+    if (last) {
+      res.parent_off = cur_off;
+      res.inode_off = child_off;
+      res.leaf = std::string(comp);
+      return res;
+    }
+    stack.push_back(child_off);
+  }
+
+  // Path was "/" or equivalent.
+  return res;
+}
+
+Result<ResolveResult> PathWalker::resolve(const Credentials& cred,
+                                          std::string_view path,
+                                          bool follow_symlink) const {
+  return walk(cred, path, follow_symlink, /*want_parent=*/false, 0);
+}
+
+Result<ResolveResult> PathWalker::resolve_parent(
+    const Credentials& cred, std::string_view path) const {
+  auto r = walk(cred, path, /*follow_symlink=*/false, /*want_parent=*/true, 0);
+  if (r.is_ok() && r->leaf == "/") return Errc::invalid;  // cannot re-create root
+  return r;
+}
+
+}  // namespace simurgh::core

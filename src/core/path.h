@@ -1,0 +1,64 @@
+// Path resolution with POSIX permission checks.
+//
+// Simurgh path walks go straight from hash block to hash block: there is no
+// DRAM dentry cache and no inode-number indirection — each component lookup
+// hashes the name, probes the directory's line, and lands directly on the
+// persistent inode (§3.2, §4.3).  Permission bits are checked during the
+// walk against the credentials the bootstrap pinned for the process.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/dir_block.h"
+#include "protsec/bootstrap.h"
+
+namespace simurgh::core {
+
+using protsec::Credentials;
+
+// Permission bit requests.
+constexpr unsigned kMayRead = 4;
+constexpr unsigned kMayWrite = 2;
+constexpr unsigned kMayExec = 1;
+
+// Classic owner/group/other check against an inode's mode bits.
+[[nodiscard]] bool may_access(const Inode& ino, const Credentials& cred,
+                              unsigned want) noexcept;
+
+struct ResolveResult {
+  std::uint64_t inode_off = 0;   // final inode (0 if only parent resolved)
+  std::uint64_t parent_off = 0;  // parent directory inode
+  std::string leaf;              // last path component
+};
+
+class PathWalker {
+ public:
+  PathWalker(nvmm::Device& dev, DirOps& dirops, std::uint64_t root_off)
+      : dev_(dev), dirops_(dirops), root_off_(root_off) {}
+
+  // Resolves `path` fully.  If `follow_symlink` is false, a trailing
+  // symlink is returned itself.  Errors: not_found / not_dir / permission.
+  Result<ResolveResult> resolve(const Credentials& cred, std::string_view path,
+                                bool follow_symlink = true) const;
+
+  // Resolves all but the last component; the leaf may or may not exist
+  // (create/rename/unlink paths).  inode_off is 0 when the leaf is absent.
+  Result<ResolveResult> resolve_parent(const Credentials& cred,
+                                       std::string_view path) const;
+
+  [[nodiscard]] Inode* inode_at(std::uint64_t off) const noexcept {
+    return reinterpret_cast<Inode*>(dev_.at(off));
+  }
+
+ private:
+  Result<ResolveResult> walk(const Credentials& cred, std::string_view path,
+                             bool follow_symlink, bool want_parent,
+                             int depth) const;
+
+  nvmm::Device& dev_;
+  DirOps& dirops_;
+  std::uint64_t root_off_;
+};
+
+}  // namespace simurgh::core

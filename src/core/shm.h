@@ -1,0 +1,97 @@
+// Per-file reader/writer locks in shared DRAM (§4.3 "Data operations").
+//
+// Simurgh keeps runtime coordination state that need not survive a reboot —
+// per-file read/write locks — in a volatile shared-memory device mapped by
+// every client process.  The table is open-addressed and keyed by inode
+// offset (the inode's identity), with slots claimed by CAS; lock words are
+// busy-wait reader/writer locks with a lease stamp so survivors can reset a
+// lock whose holder died (the same decentralized crash rule used
+// everywhere else in the file system).
+//
+// Slots are never reclaimed while the shm region lives: the table is sized
+// for the expected number of concurrently *active* files, and a full table
+// degrades to a shared fallback lock rather than failing.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+#include "core/layout.h"
+
+namespace simurgh::core {
+
+class FileLockTable {
+ public:
+  static FileLockTable format(nvmm::Device& shm, std::uint64_t off,
+                              std::uint64_t n_locks);
+  static FileLockTable attach(nvmm::Device& shm, std::uint64_t off);
+
+  // Finds (or claims) the lock slot for `inode_off`.
+  FileLock& slot_for(std::uint64_t inode_off);
+
+  void lock_shared(FileLock& l);
+  void unlock_shared(FileLock& l);
+  void lock_exclusive(FileLock& l);
+  void unlock_exclusive(FileLock& l);
+
+  void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
+
+  // Clears every lock (full-system recovery: all holders are gone).
+  void reset_all();
+
+ private:
+  FileLockTable(nvmm::Device& shm, std::uint64_t off)
+      : shm_(&shm), off_(off) {}
+
+  // The table may live at shm offset 0 (which pptr reserves as null), so it
+  // is addressed through base() directly.
+  [[nodiscard]] ShmHeader& header() const noexcept {
+    return *reinterpret_cast<ShmHeader*>(shm_->base() + off_);
+  }
+  [[nodiscard]] FileLock* locks() const noexcept {
+    return reinterpret_cast<FileLock*>(shm_->base() + off_ +
+                                       sizeof(ShmHeader));
+  }
+
+  nvmm::Device* shm_;
+  std::uint64_t off_;
+  std::uint64_t lease_ns_ = 100'000'000;
+};
+
+// RAII guards.  A CrashedException models the holder dying, so during crash
+// unwinding the guards deliberately leave the lock held — survivors must
+// recover it through the lease mechanism, exactly as with a real process
+// death.
+class SharedFileLock {
+ public:
+  SharedFileLock(FileLockTable& t, FileLock& l) : t_(t), l_(l) {
+    t_.lock_shared(l_);
+  }
+  ~SharedFileLock() {
+    if (std::uncaught_exceptions() == 0) t_.unlock_shared(l_);
+  }
+  SharedFileLock(const SharedFileLock&) = delete;
+  SharedFileLock& operator=(const SharedFileLock&) = delete;
+
+ private:
+  FileLockTable& t_;
+  FileLock& l_;
+};
+
+class ExclusiveFileLock {
+ public:
+  ExclusiveFileLock(FileLockTable& t, FileLock& l) : t_(t), l_(l) {
+    t_.lock_exclusive(l_);
+  }
+  ~ExclusiveFileLock() {
+    if (std::uncaught_exceptions() == 0) t_.unlock_exclusive(l_);
+  }
+  ExclusiveFileLock(const ExclusiveFileLock&) = delete;
+  ExclusiveFileLock& operator=(const ExclusiveFileLock&) = delete;
+
+ private:
+  FileLockTable& t_;
+  FileLock& l_;
+};
+
+}  // namespace simurgh::core

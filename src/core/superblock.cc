@@ -1,0 +1,127 @@
+// FileLockTable implementation (shared-DRAM runtime state).
+#include "core/shm.h"
+
+#include <time.h>
+
+#include "common/hash.h"
+
+namespace simurgh::core {
+
+namespace {
+std::uint64_t monotonic_ns() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+constexpr std::uint32_t kWriterBit = 0x8000'0000u;
+}  // namespace
+
+FileLockTable FileLockTable::format(nvmm::Device& shm, std::uint64_t off,
+                                    std::uint64_t n_locks) {
+  SIMURGH_CHECK((n_locks & (n_locks - 1)) == 0);  // power of two
+  FileLockTable t(shm, off);
+  ShmHeader& h = t.header();
+  h.magic = kShmMagic;
+  h.n_locks = n_locks;
+  FileLock* ls = t.locks();
+  for (std::uint64_t i = 0; i < n_locks; ++i) new (&ls[i]) FileLock();
+  return t;
+}
+
+FileLockTable FileLockTable::attach(nvmm::Device& shm, std::uint64_t off) {
+  FileLockTable t(shm, off);
+  SIMURGH_CHECK(t.header().magic == kShmMagic);
+  return t;
+}
+
+FileLock& FileLockTable::slot_for(std::uint64_t inode_off) {
+  const std::uint64_t n = header().n_locks;
+  FileLock* ls = locks();
+  std::uint64_t idx = mix64(inode_off) & (n - 1);
+  for (std::uint64_t probes = 0; probes < n; ++probes) {
+    FileLock& l = ls[idx];
+    const std::uint64_t key = l.inode_off.load(std::memory_order_acquire);
+    if (key == inode_off) return l;
+    if (key == 0) {
+      std::uint64_t expected = 0;
+      if (l.inode_off.compare_exchange_strong(expected, inode_off,
+                                              std::memory_order_acq_rel))
+        return l;
+      if (expected == inode_off) return l;
+    }
+    idx = (idx + 1) & (n - 1);
+  }
+  // Table full: degrade to a single shared fallback slot (slot 0 keyed 0 is
+  // never handed out above, so reuse it).  Correct, just slower.
+  return ls[0];
+}
+
+void FileLockTable::lock_shared(FileLock& l) {
+  for (;;) {
+    std::uint32_t cur = l.word.load(std::memory_order_relaxed);
+    if ((cur & kWriterBit) == 0) {
+      if (l.word.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acquire)) {
+        l.stamp_ns.store(monotonic_ns(), std::memory_order_relaxed);
+        return;
+      }
+      continue;
+    }
+    // Writer present: lease check (crashed writer recovery).
+    const std::uint64_t stamp = l.stamp_ns.load(std::memory_order_relaxed);
+    if (monotonic_ns() - stamp > lease_ns_) {
+      std::uint32_t expected = cur;
+      if (l.word.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acq_rel)) {
+        l.stamp_ns.store(monotonic_ns(), std::memory_order_relaxed);
+        return;
+      }
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void FileLockTable::unlock_shared(FileLock& l) {
+  l.word.fetch_sub(1, std::memory_order_release);
+}
+
+void FileLockTable::lock_exclusive(FileLock& l) {
+  for (;;) {
+    std::uint32_t expected = 0;
+    if (l.word.compare_exchange_weak(expected, kWriterBit,
+                                     std::memory_order_acquire)) {
+      l.stamp_ns.store(monotonic_ns(), std::memory_order_relaxed);
+      return;
+    }
+    const std::uint64_t stamp = l.stamp_ns.load(std::memory_order_relaxed);
+    if (monotonic_ns() - stamp > lease_ns_) {
+      std::uint32_t cur = l.word.load(std::memory_order_relaxed);
+      if (cur != 0 && l.word.compare_exchange_strong(
+                          cur, kWriterBit, std::memory_order_acq_rel)) {
+        l.stamp_ns.store(monotonic_ns(), std::memory_order_relaxed);
+        return;
+      }
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void FileLockTable::unlock_exclusive(FileLock& l) {
+  l.word.store(0, std::memory_order_release);
+}
+
+void FileLockTable::reset_all() {
+  const std::uint64_t n = header().n_locks;
+  FileLock* ls = locks();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ls[i].word.store(0, std::memory_order_relaxed);
+    ls[i].stamp_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace simurgh::core

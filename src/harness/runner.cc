@@ -1,0 +1,65 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+
+namespace simurgh::bench {
+
+double bench_scale() {
+  if (const char* s = std::getenv("SIMURGH_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+std::vector<int> sweep_threads() { return {1, 2, 4, 6, 8, 10}; }
+
+std::vector<SweepSeries> sweep_fxmark(FxOp op, FxConfig base,
+                                      const std::vector<Backend>& backends,
+                                      const std::vector<int>& threads) {
+  std::vector<SweepSeries> out;
+  for (Backend b : backends) {
+    SweepSeries series;
+    series.backend = backend_name(b);
+    for (int n : threads) {
+      sim::SimWorld world;
+      auto fs = make_backend(b, world);
+      FxConfig cfg = base;
+      cfg.threads = n;
+      series.points.push_back({n, run_fxmark(*fs, op, cfg)});
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> per_backend(const std::vector<Backend>& backends,
+                                    const SingleFn& fn,
+                                    std::vector<std::string>* names) {
+  std::vector<SweepPoint> out;
+  for (Backend b : backends) {
+    sim::SimWorld world;
+    auto fs = make_backend(b, world);
+    if (names != nullptr) names->push_back(backend_name(b));
+    out.push_back({0, fn(*fs)});
+  }
+  return out;
+}
+
+Table sweep_table(const std::string& title,
+                  const std::vector<SweepSeries>& series,
+                  const std::vector<int>& threads) {
+  Table t(title);
+  std::vector<std::string> header{"backend"};
+  for (int n : threads) header.push_back(std::to_string(n) + "T");
+  t.header(std::move(header));
+  for (const SweepSeries& s : series) {
+    std::vector<std::string> row{s.backend};
+    for (const SweepPoint& p : s.points)
+      row.push_back(p.value > 0 ? Table::num(p.value) : "n/a");
+    t.row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,49 @@
+// Figure/table harness: sweeps (backend x thread count) and prints the
+// series a paper figure shows.  Every data point builds a fresh SimWorld
+// and backend so no virtual-time reservations leak between points.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/fs_backend.h"
+#include "common/table.h"
+#include "workloads/fxmark.h"
+
+namespace simurgh::bench {
+
+struct SweepPoint {
+  int threads = 0;
+  double value = 0;  // ops/sec unless stated otherwise
+};
+
+struct SweepSeries {
+  std::string backend;
+  std::vector<SweepPoint> points;
+};
+
+// Scale knob: SIMURGH_BENCH_SCALE (default 1.0) multiplies op counts and
+// file-set sizes; use >1 for longer, more stable runs.
+double bench_scale();
+
+// Thread counts of the paper's sweeps (1..10 on the 10-core Xeon).
+std::vector<int> sweep_threads();
+
+// Runs one FxMark panel across backends and thread counts.
+std::vector<SweepSeries> sweep_fxmark(FxOp op, FxConfig base,
+                                      const std::vector<Backend>& backends,
+                                      const std::vector<int>& threads);
+
+// Runs fn once per backend with a fresh world; fn returns the metric.
+using SingleFn = std::function<double(FsBackend&)>;
+std::vector<SweepPoint> per_backend(const std::vector<Backend>& backends,
+                                    const SingleFn& fn,
+                                    std::vector<std::string>* names);
+
+// Renders a sweep as a table: one row per backend, one column per count.
+Table sweep_table(const std::string& title,
+                  const std::vector<SweepSeries>& series,
+                  const std::vector<int>& threads);
+
+}  // namespace simurgh::bench

@@ -1,0 +1,42 @@
+#include "nvmm/persist.h"
+
+namespace simurgh::nvmm {
+
+PersistStats& persist_stats() noexcept {
+  static PersistStats stats;
+  return stats;
+}
+
+std::uint64_t persist(const void* p, std::size_t len) noexcept {
+  auto& s = persist_stats();
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t first = addr / kCacheLine;
+  const std::uintptr_t last = (addr + (len == 0 ? 0 : len - 1)) / kCacheLine;
+  s.flushed_lines.fetch_add(last - first + 1, std::memory_order_relaxed);
+#ifdef SIMURGH_REAL_PERSIST
+  for (std::uintptr_t line = first; line <= last; ++line)
+    __builtin_ia32_clflushopt(reinterpret_cast<void*>(line * kCacheLine));
+#endif
+  // Compiler barrier: model that the flushed stores cannot be reordered
+  // past subsequent persistence-ordering points.
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  return s.epoch.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fence() noexcept {
+  auto& s = persist_stats();
+  s.fences.fetch_add(1, std::memory_order_relaxed);
+#ifdef SIMURGH_REAL_PERSIST
+  __builtin_ia32_sfence();
+#endif
+  std::atomic_thread_fence(std::memory_order_release);
+  return s.epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void nt_copy(void* dst, const void* src, std::size_t len) noexcept {
+  std::memcpy(dst, src, len);
+  persist_stats().nt_bytes.fetch_add(len, std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+}  // namespace simurgh::nvmm

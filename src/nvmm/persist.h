@@ -1,0 +1,72 @@
+// Persistence primitives: the clwb/sfence/non-temporal-store model.
+//
+// On real Optane the library persists with cache-line write-back (clwb)
+// followed by sfence, and bypasses the cache for bulk data with non-temporal
+// stores (§4.3 "Data operations").  On the emulated device the stores are
+// plain memory writes; what we reproduce is the *ordering discipline* and its
+// observability:
+//
+//   * every primitive updates global counters (lines flushed, fences, bytes
+//     streamed) so tests can assert that code paths issue the right barriers
+//     in the right order, and
+//   * a monotonically increasing "persist epoch" lets tests verify claims
+//     like "data is persisted before the metadata size update" (the epoch of
+//     the data flush must be <= the epoch of the following fence).
+//
+// The functions compile down to a few relaxed atomic increments plus, on
+// x86-64, a real sfence/clwb when SIMURGH_REAL_PERSIST is defined (useful
+// when running on genuine pmem).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace simurgh::nvmm {
+
+constexpr std::size_t kCacheLine = 64;
+
+struct PersistStats {
+  std::atomic<std::uint64_t> flushed_lines{0};
+  std::atomic<std::uint64_t> fences{0};
+  std::atomic<std::uint64_t> nt_bytes{0};
+  std::atomic<std::uint64_t> epoch{1};
+
+  void reset() noexcept {
+    flushed_lines.store(0, std::memory_order_relaxed);
+    fences.store(0, std::memory_order_relaxed);
+    nt_bytes.store(0, std::memory_order_relaxed);
+    epoch.store(1, std::memory_order_relaxed);
+  }
+};
+
+PersistStats& persist_stats() noexcept;
+
+// Write back the cache lines covering [p, p+len).  Returns the epoch at
+// which the flush was issued.
+std::uint64_t persist(const void* p, std::size_t len) noexcept;
+
+// Store fence ordering all prior flushes/non-temporal stores.  Bumps the
+// persist epoch: stores issued before a fence belong to earlier epochs.
+std::uint64_t fence() noexcept;
+
+// Non-temporal (cache-bypassing) copy of `len` bytes; the paper uses this
+// for file data so writes do not pollute the CPU cache.  Durable only after
+// the next fence().
+void nt_copy(void* dst, const void* src, std::size_t len) noexcept;
+
+// Convenience: store a trivially copyable value and persist it.
+template <typename T>
+void persist_obj(const T& obj) noexcept {
+  persist(&obj, sizeof(T));
+}
+
+// Store + flush + fence: the "persist immediately" idiom for small metadata.
+template <typename T>
+void persist_now(const T& obj) noexcept {
+  persist(&obj, sizeof(T));
+  fence();
+}
+
+}  // namespace simurgh::nvmm

@@ -1,0 +1,33 @@
+#include "protsec/bootstrap.h"
+
+namespace simurgh::protsec {
+
+Result<ProtectedLibraryHandle> Bootstrap::load_protected(
+    const std::string& name, std::vector<ProtFn> functions,
+    Credentials creds) {
+  // The kernel module only loads libraries the administrator approved; an
+  // arbitrary binary must not gain kernel privilege (§3.3).
+  if (whitelist_.find(name) == whitelist_.end()) return Errc::permission;
+
+  ProtectedLibraryHandle handle;
+  handle.creds = creds;
+  handle.n_entries = functions.size();
+  handle.base_vaddr = next_vaddr_;
+
+  const std::size_t n_pages =
+      (functions.size() + kEntriesPerPage - 1) / kEntriesPerPage;
+  for (std::size_t page = 0; page < n_pages; ++page) {
+    std::array<ProtFn, kEntriesPerPage> entries{};
+    for (int slot = 0; slot < kEntriesPerPage; ++slot) {
+      const std::size_t idx = page * kEntriesPerPage + slot;
+      if (idx < functions.size()) entries[slot] = std::move(functions[idx]);
+    }
+    const Fault f = gw_.install_page(
+        Cpl::kernel, next_vaddr_ + page * kPageSize, std::move(entries));
+    if (f != Fault::none) return Errc::io;
+  }
+  next_vaddr_ += (n_pages + 1) * kPageSize;  // guard page between libraries
+  return handle;
+}
+
+}  // namespace simurgh::protsec

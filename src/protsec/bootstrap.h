@@ -1,0 +1,61 @@
+// The security bootstrap of Fig. 2: a model of the kernel module plus the
+// new load_protected() system call.
+//
+// Step 1-2: the application links the preload library, which cannot set ep
+// bits itself and therefore asks the OS.  Step 3: load_protected(names).
+// Step 4-5: the kernel-side security module loads the named (whitelisted)
+// library, maps its functions onto protected pages, sets their ep bits, and
+// records the caller's effective uid/gid *inside* the protected pages so
+// permission checks cannot be forged from user code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "protsec/gateway.h"
+
+namespace simurgh::protsec {
+
+struct Credentials {
+  std::uint32_t euid = 0;
+  std::uint32_t egid = 0;
+};
+
+// Handle returned to the preload library: where its protected functions
+// live and the credentials the kernel pinned for this process.
+struct ProtectedLibraryHandle {
+  std::uint64_t base_vaddr = 0;  // first protected page
+  std::size_t n_entries = 0;
+  Credentials creds;
+
+  [[nodiscard]] std::uint64_t entry(std::size_t i) const noexcept {
+    const std::uint64_t page = i / kEntriesPerPage;
+    const std::uint64_t slot = i % kEntriesPerPage;
+    return base_vaddr + page * kPageSize + slot * kEntryStride;
+  }
+};
+
+class Bootstrap {
+ public:
+  Bootstrap(PageTable& pt, Gateway& gw) : pt_(pt), gw_(gw) {}
+
+  // Kernel-side: whitelist a library (a privileged user action, §3.3).
+  void whitelist(const std::string& name) { whitelist_.insert({name, true}); }
+
+  // The load_protected() syscall.  Fails with Errc::permission if `name`
+  // has not been whitelisted by the administrator.
+  Result<ProtectedLibraryHandle> load_protected(const std::string& name,
+                                                std::vector<ProtFn> functions,
+                                                Credentials creds);
+
+ private:
+  PageTable& pt_;
+  Gateway& gw_;
+  std::unordered_map<std::string, bool> whitelist_;
+  std::uint64_t next_vaddr_ = 0x7000'0000'0000ull;  // simulated layout cursor
+};
+
+}  // namespace simurgh::protsec

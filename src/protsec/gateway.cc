@@ -1,0 +1,77 @@
+#include "protsec/gateway.h"
+
+#include <memory>
+
+namespace simurgh::protsec {
+
+Gateway::CpuState& Gateway::cpu() const {
+  // Per-(gateway, thread) CPU state.  A thread_local map keyed by gateway
+  // keeps independent "machines" (used by tests) isolated; the map owns the
+  // states, so they are reclaimed at thread exit.
+  thread_local std::unordered_map<const void*, std::unique_ptr<CpuState>>
+      tl_cpu_by_gateway;
+  std::unique_ptr<CpuState>& slot = tl_cpu_by_gateway[this];
+  if (slot == nullptr) slot = std::make_unique<CpuState>();
+  return *slot;
+}
+
+Fault Gateway::install_page(Cpl who, std::uint64_t vaddr,
+                            std::array<ProtFn, kEntriesPerPage> entries) {
+  if (who != Cpl::kernel) return Fault::privileged_bit;
+  Pte pte;
+  pte.user = true;       // reachable (executable) from user space via jmpp
+  pte.writable = false;  // code pages are read-only
+  pte.ep = true;
+  if (Fault f = pt_.map(who, vaddr, pte); f != Fault::none) return f;
+  std::lock_guard lock(mu_);
+  pages_[vaddr / kPageSize] = std::move(entries);
+  return Fault::none;
+}
+
+Fault Gateway::jmpp(std::uint64_t target, void* arg, std::uint64_t* result) {
+  // 1. MMU-side checks: present, ep set, fixed entry offset (Fig. 1).
+  if (Fault f = pt_.check_jmpp(target); f != Fault::none) return f;
+
+  // 2. Locate the entry slot; an empty slot models "first instruction is a
+  //    nop", which the hardware rejects.
+  ProtFn* fn = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto it = pages_.find(target / kPageSize);
+    if (it == pages_.end()) return Fault::not_executable_protected;
+    auto slot = (target % kPageSize) / kEntryStride;
+    if (!it->second[slot]) return Fault::bad_entry_offset;
+    fn = &it->second[slot];
+  }
+
+  // 3. Privilege escalation: CPL 3 -> 0, nesting counter, and the return
+  //    address is pushed on the protected stack (not the user stack).
+  CpuState& c = cpu();
+  c.cpl = Cpl::kernel;
+  ++c.nest;
+  c.protected_stack.push_back(target);
+  c.cycles += kCycleModel.jmpp_pret();
+
+  // 4. Execute the protected function with kernel privilege, then pret.
+  const std::uint64_t r = (*fn)(arg);
+  if (result != nullptr) *result = r;
+  return pret();
+}
+
+Fault Gateway::pret() {
+  CpuState& c = cpu();
+  if (c.nest == 0) return Fault::pret_without_jmpp;
+  c.protected_stack.pop_back();
+  if (--c.nest == 0) c.cpl = Cpl::user;
+  return Fault::none;
+}
+
+Cpl Gateway::current_cpl() const { return cpu().cpl; }
+int Gateway::nesting() const { return cpu().nest; }
+std::uint64_t Gateway::cycles() const { return cpu().cycles; }
+void Gateway::reset_cycles() { cpu().cycles = 0; }
+std::size_t Gateway::protected_stack_depth() const {
+  return cpu().protected_stack.size();
+}
+
+}  // namespace simurgh::protsec

@@ -1,0 +1,82 @@
+// The jmpp / pret instruction pair (§3.1, §3.3), modeled in software.
+//
+// jmpp (jump protected) transfers control to a fixed entry offset of a page
+// whose ep bit is set, raising the privilege level from user (CPL=3) to
+// kernel (CPL=0) without a syscall.  pret (protected return) lowers it
+// again; a per-thread nesting counter supports nested protected calls.
+// Return addresses live on a per-thread *protected stack* that user code has
+// no mapping for, which defeats the stack-rewrite attack discussed in §3.2.
+//
+// Because we cannot add instructions to the host CPU, a "protected function"
+// here is a callable registered at an entry slot of a simulated page, and
+// the privilege level is a per-thread software register.  All checks the
+// proposed hardware would make (ep bit, entry offset alignment, privilege
+// transitions, nesting underflow) are made by this model and unit-tested;
+// the cycle costs come from the paper's gem5 measurements (cyclemodel.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "protsec/cyclemodel.h"
+#include "protsec/pagetable.h"
+
+namespace simurgh::protsec {
+
+// A protected function receives an opaque argument block, mirroring how the
+// real instruction passes parameters in registers like a normal call.
+using ProtFn = std::function<std::uint64_t(void*)>;
+
+class Gateway {
+ public:
+  explicit Gateway(PageTable& pt) : pt_(pt) {}
+
+  // Installs up to kEntriesPerPage protected functions on the page at
+  // `vaddr` (page aligned).  Kernel-mode only: this is what the bootstrap
+  // module does after load_protected().  A null slot models an entry offset
+  // whose first instruction is a nop (jmpp to it must fault).
+  Fault install_page(Cpl who, std::uint64_t vaddr,
+                     std::array<ProtFn, kEntriesPerPage> entries);
+
+  // The jmpp instruction: validates target, escalates privilege, runs the
+  // protected function, and (via the function's pret epilogue) returns.
+  // On success stores the function result in *result if non-null.
+  Fault jmpp(std::uint64_t target, void* arg,
+             std::uint64_t* result = nullptr);
+
+  // The pret instruction exposed directly so tests can exercise privilege
+  // underflow; jmpp calls it internally as the epilogue.
+  Fault pret();
+
+  // Per-thread simulated CPU state.
+  [[nodiscard]] Cpl current_cpl() const;
+  [[nodiscard]] int nesting() const;
+  [[nodiscard]] std::uint64_t cycles() const;  // modeled cycles, this thread
+  void reset_cycles();
+
+  // Depth of the per-thread protected stack (return addresses held inside
+  // protected pages, invisible to user code).
+  [[nodiscard]] std::size_t protected_stack_depth() const;
+
+  PageTable& page_table() noexcept { return pt_; }
+
+ private:
+  struct CpuState {
+    Cpl cpl = Cpl::user;
+    int nest = 0;
+    std::uint64_t cycles = 0;
+    std::vector<std::uint64_t> protected_stack;
+  };
+  CpuState& cpu() const;
+
+  PageTable& pt_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::array<ProtFn, kEntriesPerPage>>
+      pages_;
+};
+
+}  // namespace simurgh::protsec

@@ -1,0 +1,76 @@
+#include "protsec/pagetable.h"
+
+namespace simurgh::protsec {
+
+std::string_view fault_name(Fault f) noexcept {
+  switch (f) {
+    case Fault::none: return "none";
+    case Fault::not_present: return "not_present";
+    case Fault::not_executable_protected: return "not_executable_protected";
+    case Fault::bad_entry_offset: return "bad_entry_offset";
+    case Fault::write_protected: return "write_protected";
+    case Fault::privileged_bit: return "privileged_bit";
+    case Fault::pret_without_jmpp: return "pret_without_jmpp";
+  }
+  return "unknown";
+}
+
+Fault PageTable::map(Cpl who, std::uint64_t vaddr, Pte pte) {
+  if (pte.ep && who != Cpl::kernel) return Fault::privileged_bit;
+  std::lock_guard lock(mu_);
+  pte.present = true;
+  pages_[page_of(vaddr)] = pte;
+  return Fault::none;
+}
+
+Fault PageTable::set_ep(Cpl who, std::uint64_t vaddr, bool ep) {
+  if (who != Cpl::kernel) return Fault::privileged_bit;
+  std::lock_guard lock(mu_);
+  auto it = pages_.find(page_of(vaddr));
+  if (it == pages_.end()) return Fault::not_present;
+  it->second.ep = ep;
+  return Fault::none;
+}
+
+Fault PageTable::remap(Cpl who, std::uint64_t vaddr, Pte pte) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = pages_.find(page_of(vaddr));
+    // The modified mmap() path: user processes may not replace the mapping
+    // of a protected page (§3.2, Step 5).
+    if (it != pages_.end() && it->second.ep && who != Cpl::kernel)
+      return Fault::privileged_bit;
+  }
+  return map(who, vaddr, pte);
+}
+
+Fault PageTable::check_write(Cpl who, std::uint64_t vaddr) const {
+  std::lock_guard lock(mu_);
+  auto it = pages_.find(page_of(vaddr));
+  if (it == pages_.end()) return Fault::not_present;
+  const Pte& pte = it->second;
+  if (!pte.writable) return Fault::write_protected;
+  // An ep page is writable only from kernel mode: normal functions must not
+  // be able to change protected code (§3.1 Requirement 2).
+  if (pte.ep && who != Cpl::kernel) return Fault::write_protected;
+  // A kernel page (non-user) is never writable from CPL=3.
+  if (!pte.user && who != Cpl::kernel) return Fault::write_protected;
+  return Fault::none;
+}
+
+Fault PageTable::check_jmpp(std::uint64_t target) const {
+  std::lock_guard lock(mu_);
+  auto it = pages_.find(page_of(target));
+  if (it == pages_.end() || !it->second.present) return Fault::not_present;
+  if (!it->second.ep) return Fault::not_executable_protected;
+  if (target % kEntryStride != 0) return Fault::bad_entry_offset;
+  return Fault::none;
+}
+
+Pte PageTable::lookup(std::uint64_t vaddr) const {
+  std::lock_guard lock(mu_);
+  auto it = pages_.find(page_of(vaddr));
+  return it == pages_.end() ? Pte{} : it->second;
+}
+
+}  // namespace simurgh::protsec

@@ -1,0 +1,77 @@
+// Software model of the extended page table (§3.1).
+//
+// The proposal adds one bit to the PTE: `ep` (execute protected).  A page
+// whose ep bit is set may be entered with the jmpp instruction, which raises
+// the privilege level; the ep bit itself can only be manipulated from kernel
+// mode, and an ep page can only be written from kernel mode.  This model
+// tracks PTEs for "pages" of a simulated address space and enforces exactly
+// those rules; the Gateway (gateway.h) implements the jmpp/pret semantics on
+// top of it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace simurgh::protsec {
+
+constexpr std::uint64_t kPageSize = 4096;
+// Fixed entry offsets within a protected page (Fig. 1): 0x000, 0x400,
+// 0x800, 0xc00 — four entry points per 4 KB page.
+constexpr std::uint64_t kEntryStride = 0x400;
+constexpr int kEntriesPerPage = 4;
+
+// Privilege levels; we model only the two the paper distinguishes.
+enum class Cpl : std::uint8_t { kernel = 0, user = 3 };
+
+struct Pte {
+  bool present = false;
+  bool writable = false;
+  bool user = false;   // accessible from CPL=3
+  bool ep = false;     // execute-protected (new bit)
+};
+
+// Faults the simulated MMU can raise.
+enum class Fault : std::uint8_t {
+  none = 0,
+  not_present,
+  not_executable_protected,  // jmpp target lacks ep bit
+  bad_entry_offset,          // jmpp target not at a fixed entry point
+  write_protected,           // user-mode write to an ep page
+  privileged_bit,            // user-mode attempt to modify the ep bit
+  pret_without_jmpp,         // privilege underflow
+};
+
+std::string_view fault_name(Fault f) noexcept;
+
+class PageTable {
+ public:
+  // Maps a page. Setting `ep` requires kernel privilege.
+  Fault map(Cpl who, std::uint64_t vaddr, Pte pte);
+
+  // Changes the ep bit of an existing mapping (kernel only).
+  Fault set_ep(Cpl who, std::uint64_t vaddr, bool ep);
+
+  // mmap()/mprotect() guard: the modified kernel refuses remapping of
+  // protected pages from user requests (§3.2).
+  Fault remap(Cpl who, std::uint64_t vaddr, Pte pte);
+
+  // MMU check for a data write at `vaddr` by `who`.
+  [[nodiscard]] Fault check_write(Cpl who, std::uint64_t vaddr) const;
+
+  // MMU check performed by the jmpp instruction for a jump target.
+  [[nodiscard]] Fault check_jmpp(std::uint64_t target) const;
+
+  [[nodiscard]] Pte lookup(std::uint64_t vaddr) const;
+
+ private:
+  static std::uint64_t page_of(std::uint64_t vaddr) noexcept {
+    return vaddr / kPageSize;
+  }
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Pte> pages_;
+};
+
+}  // namespace simurgh::protsec

@@ -1,0 +1,78 @@
+#include "sim/desim.h"
+
+#include <algorithm>
+
+namespace simurgh::sim {
+
+namespace {
+
+Executor::Result run_impl(std::vector<Executor::ThreadFn>& threads,
+                          std::vector<SimThread>& states,
+                          Cycles time_limit) {
+  const std::size_t n = threads.size();
+  Executor::Result res;
+  res.ops_per_thread.assign(n, 0);
+  res.time_per_thread.assign(n, 0);
+  res.start_time = ~Cycles{0};
+  for (std::size_t i = 0; i < n; ++i)
+    res.start_time = std::min(res.start_time, states[i].now());
+  if (n == 0) res.start_time = 0;
+  std::vector<bool> done(n, false);
+  std::size_t remaining = n;
+
+  // Always step the logical thread with the smallest virtual clock.  All
+  // lock/bandwidth reservations made by an op therefore start at a time
+  // >= every already-granted reservation, keeping the model causal.
+  // (Backends acquire and release their virtual locks within a single op
+  // step; no lock is held across steps.)
+  while (remaining > 0) {
+    std::size_t pick = n;
+    Cycles best = ~Cycles{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!done[i] && states[i].now() < best) {
+        best = states[i].now();
+        pick = i;
+      }
+    }
+    if (pick == n) break;
+    if (time_limit != 0 && states[pick].now() >= time_limit) {
+      done[pick] = true;
+      --remaining;
+      continue;
+    }
+    if (threads[pick](states[pick])) {
+      ++res.ops_per_thread[pick];
+      ++res.total_ops;
+    } else {
+      done[pick] = true;
+      --remaining;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    res.time_per_thread[i] = states[i].now();
+    res.end_time = std::max(res.end_time, states[i].now());
+  }
+  return res;
+}
+
+}  // namespace
+
+Executor::Result Executor::run(std::vector<ThreadFn> threads,
+                               Cycles time_limit) {
+  std::vector<SimThread> states;
+  states.reserve(threads.size());
+  for (std::size_t i = 0; i < threads.size(); ++i)
+    states.emplace_back(static_cast<int>(i));
+  return run_impl(threads, states, time_limit);
+}
+
+Executor::Result Executor::run(std::vector<ThreadFn> threads,
+                               std::vector<SimThread>& states,
+                               Cycles time_limit) {
+  while (states.size() < threads.size())
+    states.emplace_back(static_cast<int>(states.size()));
+  return run_impl(threads, states, time_limit);
+}
+
+}  // namespace simurgh::sim

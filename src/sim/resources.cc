@@ -1,0 +1,25 @@
+#include "sim/resources.h"
+
+namespace simurgh::sim {
+
+Resource& SimWorld::mutex(const std::string& name, Cycles bounce,
+                          Cycles handoff) {
+  auto it = mutexes_.find(name);
+  if (it == mutexes_.end())
+    it = mutexes_.emplace(name, std::make_unique<Resource>(bounce, handoff))
+             .first;
+  return *it->second;
+}
+
+Bandwidth& SimWorld::bandwidth(const std::string& name,
+                               double bytes_per_cycle, Cycles latency) {
+  auto it = bandwidths_.find(name);
+  if (it == bandwidths_.end())
+    it = bandwidths_
+             .emplace(name,
+                      std::make_unique<Bandwidth>(bytes_per_cycle, latency))
+             .first;
+  return *it->second;
+}
+
+}  // namespace simurgh::sim

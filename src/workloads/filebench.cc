@@ -1,0 +1,166 @@
+#include "workloads/filebench.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace simurgh::bench {
+
+namespace {
+
+struct Personality {
+  int threads;
+  std::uint64_t n_files;
+  std::uint64_t file_size;
+  std::uint64_t append_size;
+  int ops_per_flow;  // primitive ops counted per flow iteration
+  std::uint64_t dir_width;  // Table 2: entries per directory
+  std::uint64_t read_size;  // bytes read per "read file" op
+};
+
+Personality personality(FilebenchKind k, double scale) {
+  auto scaled = [&](std::uint64_t n) {
+    return std::max<std::uint64_t>(16, static_cast<std::uint64_t>(n * scale));
+  };
+  switch (k) {
+    case FilebenchKind::varmail:
+      // Mail reads touch the message bodies (appended portions), not the
+      // whole 128 KB backing file.
+      return {16, scaled(1000), 128 << 10, 16 << 10, 14, 1000000, 64 << 10};
+    case FilebenchKind::webserver:
+      return {100, scaled(1000), 128 << 10, 8 << 10, 21, 20, 128 << 10};
+    case FilebenchKind::webproxy:
+      return {100, scaled(10000), 16 << 10, 16 << 10, 13, 1000000, 16 << 10};
+    case FilebenchKind::fileserver:
+      return {50, scaled(10000), 128 << 10, 16 << 10, 9, 20, 128 << 10};
+  }
+  return {1, 16, 4096, 4096, 1, 20, 4096};
+}
+
+// Table 2's "dir width": small widths spread the fileset over a directory
+// tree (fanout `width`), huge widths put everything in one flat directory.
+std::string dir_of(const Personality& p, std::uint64_t i) {
+  if (p.dir_width >= p.n_files) return "/fb";
+  return "/fb/d" + std::to_string(i / p.dir_width);
+}
+std::string fname(const Personality& p, std::uint64_t i) {
+  return dir_of(p, i) + "/f" + std::to_string(i);
+}
+
+}  // namespace
+
+const char* filebench_name(FilebenchKind k) noexcept {
+  switch (k) {
+    case FilebenchKind::varmail: return "varmail";
+    case FilebenchKind::webserver: return "webserver";
+    case FilebenchKind::webproxy: return "webproxy";
+    case FilebenchKind::fileserver: return "fileserver";
+  }
+  return "?";
+}
+
+FilebenchResult run_filebench(FsBackend& fs, const FilebenchConfig& cfg) {
+  const Personality p = personality(cfg.kind, cfg.scale);
+  const int threads = cfg.threads > 0 ? cfg.threads : p.threads;
+
+  sim::SimThread setup(-1);
+  SIMURGH_CHECK(fs.mkdir(setup, "/fb").is_ok());
+  if (p.dir_width < p.n_files)
+    for (std::uint64_t d = 0; d <= (p.n_files - 1) / p.dir_width; ++d)
+      SIMURGH_CHECK(fs.mkdir(setup, "/fb/d" + std::to_string(d)).is_ok());
+  for (std::uint64_t i = 0; i < p.n_files; ++i) {
+    SIMURGH_CHECK(fs.create(setup, fname(p, i)).is_ok());
+    SIMURGH_CHECK(fs.write(setup, fname(p, i), 0, p.file_size).is_ok());
+  }
+  if (cfg.kind == FilebenchKind::webserver)
+    SIMURGH_CHECK(fs.create(setup, "/fb/weblog").is_ok());
+
+  std::vector<sim::Executor::ThreadFn> streams;
+  std::uint64_t next_new_file = p.n_files;  // for create flows
+  const auto kind = cfg.kind;
+
+  for (int t = 0; t < threads; ++t) {
+    streams.push_back([&fs, kind, p, t, &next_new_file,
+                       flows = cfg.flows_per_thread,
+                       rng = Rng(1000 + t)](sim::SimThread& th) mutable {
+      if (flows-- == 0) return false;
+      auto pick = [&] { return fname(p, rng.below(p.n_files)); };
+      switch (kind) {
+        case FilebenchKind::varmail: {
+          // deletefile; createfile+append+fsync; open+read+append+fsync;
+          // open+read-whole.
+          const std::string mail = fname(p, rng.below(p.n_files));
+          (void)fs.unlink(th, mail);
+          (void)fs.create(th, mail);
+          (void)fs.append(th, mail, p.append_size);
+          (void)fs.fsync(th, mail);
+          const std::string other = pick();
+          (void)fs.resolve(th, other);
+          (void)fs.read(th, other, 0, p.read_size);
+          (void)fs.append(th, other, p.append_size);
+          (void)fs.fsync(th, other);
+          const std::string third = pick();
+          (void)fs.resolve(th, third);
+          (void)fs.read(th, third, 0, p.read_size);
+          break;
+        }
+        case FilebenchKind::webserver: {
+          // open+read whole file x10, append to the shared log.
+          for (int i = 0; i < 10; ++i) {
+            const std::string f = pick();
+            (void)fs.resolve(th, f);
+            (void)fs.read(th, f, 0, p.read_size);
+          }
+          (void)fs.append(th, "/fb/weblog", p.append_size);
+          break;
+        }
+        case FilebenchKind::webproxy: {
+          // create+append, delete another, open+read x5, append log-ish.
+          const std::string nf =
+              "/fb/n" + std::to_string(t) + "_" + std::to_string(flows);
+          (void)fs.create(th, nf);
+          (void)fs.append(th, nf, p.file_size);
+          (void)fs.unlink(th, pick());
+          for (int i = 0; i < 5; ++i) {
+            const std::string f = pick();
+            (void)fs.resolve(th, f);
+            (void)fs.read(th, f, 0, p.read_size);
+          }
+          break;
+        }
+        case FilebenchKind::fileserver: {
+          // create+write whole, open+append, open+read whole, delete, stat.
+          (void)next_new_file;
+          const std::string nf = dir_of(p, rng.below(p.n_files)) + "/s" +
+                                 std::to_string(t) + "_" +
+                                 std::to_string(flows);
+          (void)fs.create(th, nf);
+          (void)fs.write(th, nf, 0, p.file_size);
+          const std::string a = pick();
+          (void)fs.resolve(th, a);
+          (void)fs.append(th, a, p.append_size);
+          const std::string r = pick();
+          (void)fs.resolve(th, r);
+          (void)fs.read(th, r, 0, p.read_size);
+          (void)fs.unlink(th, nf);
+          (void)fs.resolve(th, pick());
+          break;
+        }
+      }
+      return true;
+    });
+  }
+
+  std::vector<sim::SimThread> states;
+  for (int t = 0; t < threads; ++t) {
+    states.emplace_back(t);
+    states.back().set_now(setup.now());
+  }
+  auto res = sim::Executor::run(std::move(streams), states, 0);
+  FilebenchResult out;
+  out.flows_per_sec = res.ops_per_sec(sim::kClockHz);
+  out.ops_per_sec = out.flows_per_sec * p.ops_per_flow;
+  return out;
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,38 @@
+// Filebench personalities (Tarasov et al.) with the paper's Table 2
+// settings, scaled by a configurable factor so the harness runs in CI time.
+//
+//   Workload    files   dir width  file size  threads
+//   varmail     1,000   1,000,000  128 KB     16
+//   webserver   1,000   20         128 KB     100
+//   webproxy    10,000  1,000,000  16 KB      100
+//   fileserver  10,000  20         128 KB     50
+//
+// Flows follow the upstream personality definitions: varmail's
+// delete/create/append/fsync/read mail cycle, webserver's open+read-whole
+// with a shared log append, webproxy's create/append/read×5/delete cycle,
+// fileserver's create/write/append/read/delete/stat cycle.
+#pragma once
+
+#include "baselines/fs_backend.h"
+
+namespace simurgh::bench {
+
+enum class FilebenchKind { varmail, webserver, webproxy, fileserver };
+
+struct FilebenchConfig {
+  FilebenchKind kind = FilebenchKind::varmail;
+  double scale = 0.1;               // fraction of the paper's file counts
+  std::uint64_t flows_per_thread = 100;
+  int threads = 0;                  // 0 = the personality's default
+};
+
+[[nodiscard]] const char* filebench_name(FilebenchKind k) noexcept;
+
+struct FilebenchResult {
+  double ops_per_sec = 0;   // filebench-style: every primitive op counts
+  double flows_per_sec = 0;
+};
+
+FilebenchResult run_filebench(FsBackend& fs, const FilebenchConfig& cfg);
+
+}  // namespace simurgh::bench

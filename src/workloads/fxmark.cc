@@ -1,0 +1,249 @@
+#include "workloads/fxmark.h"
+
+#include "common/rng.h"
+
+namespace simurgh::bench {
+
+namespace {
+
+std::string tdir(int t) { return "/p" + std::to_string(t); }
+
+// Per-thread op-stream builder state captured by value into the closure.
+struct Stream {
+  std::uint64_t remaining;
+  Rng rng;
+  Stream(std::uint64_t n, std::uint64_t seed) : remaining(n), rng(seed) {}
+  bool done() { return remaining == 0 ? true : (--remaining, false); }
+};
+
+}  // namespace
+
+const char* fx_name(FxOp op) noexcept {
+  switch (op) {
+    case FxOp::create_private: return "createfile/private";
+    case FxOp::create_shared: return "createfile/shared";
+    case FxOp::delete_private: return "deletefile/private";
+    case FxOp::rename_shared: return "renamefile/shared";
+    case FxOp::resolve_private: return "resolvepath/private";
+    case FxOp::resolve_shared: return "resolvepath/shared";
+    case FxOp::append_private: return "appendfile/private";
+    case FxOp::fallocate_private: return "fallocate/private";
+    case FxOp::read_shared: return "read/shared";
+    case FxOp::read_private: return "read/private";
+    case FxOp::write_shared: return "overwrite/shared";
+    case FxOp::write_private: return "overwrite/private";
+  }
+  return "?";
+}
+
+std::vector<sim::Executor::ThreadFn> make_fxmark(FsBackend& fs, FxOp op,
+                                                 const FxConfig& cfg,
+                                                 sim::SimThread& setup) {
+  fs.set_cached_reads(cfg.cached_reads);
+  std::vector<sim::Executor::ThreadFn> streams;
+  const std::uint64_t ops = cfg.ops_per_thread;
+
+  auto setup_private_dirs = [&] {
+    for (int t = 0; t < cfg.threads; ++t)
+      SIMURGH_CHECK(fs.mkdir(setup, tdir(t)).is_ok());
+  };
+
+  switch (op) {
+    case FxOp::create_private: {
+      setup_private_dirs();
+      for (int t = 0; t < cfg.threads; ++t) {
+        streams.push_back([&fs, t, s = Stream(ops, t)](
+                              sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          return fs.create(th, tdir(t) + "/f" + std::to_string(s.remaining))
+              .is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::create_shared: {
+      SIMURGH_CHECK(fs.mkdir(setup, "/shared").is_ok());
+      for (int t = 0; t < cfg.threads; ++t) {
+        streams.push_back([&fs, t, s = Stream(ops, t)](
+                              sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          return fs
+              .create(th, "/shared/t" + std::to_string(t) + "_" +
+                              std::to_string(s.remaining))
+              .is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::delete_private: {
+      setup_private_dirs();
+      for (int t = 0; t < cfg.threads; ++t)
+        for (std::uint64_t i = 0; i < ops; ++i)
+          SIMURGH_CHECK(
+              fs.create(setup, tdir(t) + "/f" + std::to_string(i)).is_ok());
+      for (int t = 0; t < cfg.threads; ++t) {
+        streams.push_back([&fs, t, s = Stream(ops, t)](
+                              sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          return fs.unlink(th, tdir(t) + "/f" + std::to_string(s.remaining))
+              .is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::rename_shared: {
+      SIMURGH_CHECK(fs.mkdir(setup, "/shared").is_ok());
+      for (int t = 0; t < cfg.threads; ++t)
+        SIMURGH_CHECK(
+            fs.create(setup, "/shared/t" + std::to_string(t) + "_0")
+                .is_ok());
+      for (int t = 0; t < cfg.threads; ++t) {
+        streams.push_back([&fs, t, gen = std::uint64_t{0}, ops](
+                              sim::SimThread& th) mutable {
+          if (gen >= ops) return false;
+          const std::string base = "/shared/t" + std::to_string(t) + "_";
+          const std::string from = base + std::to_string(gen);
+          const std::string to = base + std::to_string(gen + 1);
+          ++gen;
+          return fs.rename(th, from, to).is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::resolve_private: {
+      // Depth-5 private trees: /p<t>/d1/d2/d3/d4/file<k>.
+      constexpr int kFilesPerThread = 64;
+      for (int t = 0; t < cfg.threads; ++t) {
+        std::string path = tdir(t);
+        SIMURGH_CHECK(fs.mkdir(setup, path).is_ok());
+        for (int d = 1; d <= 4; ++d) {
+          path += "/d" + std::to_string(d);
+          SIMURGH_CHECK(fs.mkdir(setup, path).is_ok());
+        }
+        for (int k = 0; k < kFilesPerThread; ++k)
+          SIMURGH_CHECK(
+              fs.create(setup, path + "/file" + std::to_string(k)).is_ok());
+      }
+      for (int t = 0; t < cfg.threads; ++t) {
+        streams.push_back([&fs, t, s = Stream(ops, t)](
+                              sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          const std::string path =
+              tdir(t) + "/d1/d2/d3/d4/file" +
+              std::to_string(s.rng.below(kFilesPerThread));
+          return fs.resolve(th, path).is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::resolve_shared: {
+      // All threads resolve under one common prefix: the dentry lockrefs of
+      // the shared components are the contended state (Fig. 7f).
+      constexpr int kFiles = 256;
+      std::string path = "/share";
+      SIMURGH_CHECK(fs.mkdir(setup, path).is_ok());
+      for (int d = 1; d <= 4; ++d) {
+        path += "/d" + std::to_string(d);
+        SIMURGH_CHECK(fs.mkdir(setup, path).is_ok());
+      }
+      for (int k = 0; k < kFiles; ++k)
+        SIMURGH_CHECK(
+            fs.create(setup, path + "/file" + std::to_string(k)).is_ok());
+      for (int t = 0; t < cfg.threads; ++t) {
+        streams.push_back([&fs, s = Stream(ops, t)](
+                              sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          const std::string p = "/share/d1/d2/d3/d4/file" +
+                                std::to_string(s.rng.below(kFiles));
+          return fs.resolve(th, p).is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::append_private: {
+      setup_private_dirs();
+      for (int t = 0; t < cfg.threads; ++t)
+        SIMURGH_CHECK(fs.create(setup, tdir(t) + "/app").is_ok());
+      for (int t = 0; t < cfg.threads; ++t) {
+        streams.push_back([&fs, t, io = cfg.io_size, s = Stream(ops, t)](
+                              sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          return fs.append(th, tdir(t) + "/app", io).is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::fallocate_private: {
+      setup_private_dirs();
+      for (int t = 0; t < cfg.threads; ++t)
+        SIMURGH_CHECK(fs.create(setup, tdir(t) + "/pre").is_ok());
+      for (int t = 0; t < cfg.threads; ++t) {
+        streams.push_back([&fs, t, chunk = cfg.falloc_chunk,
+                           s = Stream(ops, t)](sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          return fs.fallocate(th, tdir(t) + "/pre", chunk).is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::read_shared:
+    case FxOp::write_shared: {
+      SIMURGH_CHECK(fs.create(setup, "/big").is_ok());
+      // Populate with 1 MB writes (counted in setup time, not measured).
+      for (std::uint64_t off = 0; off < cfg.file_bytes; off += 1 << 20)
+        SIMURGH_CHECK(fs.write(setup, "/big", off, 1 << 20).is_ok());
+      const std::uint64_t blocks = cfg.file_bytes / cfg.io_size;
+      for (int t = 0; t < cfg.threads; ++t) {
+        const bool is_read = op == FxOp::read_shared;
+        streams.push_back([&fs, is_read, blocks, io = cfg.io_size,
+                           s = Stream(ops, t)](sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          const std::uint64_t off = s.rng.below(blocks) * io;
+          return (is_read ? fs.read(th, "/big", off, io)
+                          : fs.write(th, "/big", off, io))
+              .is_ok();
+        });
+      }
+      break;
+    }
+    case FxOp::read_private:
+    case FxOp::write_private: {
+      setup_private_dirs();
+      for (int t = 0; t < cfg.threads; ++t) {
+        const std::string f = tdir(t) + "/data";
+        SIMURGH_CHECK(fs.create(setup, f).is_ok());
+        for (std::uint64_t off = 0; off < cfg.file_bytes; off += 1 << 20)
+          SIMURGH_CHECK(fs.write(setup, f, off, 1 << 20).is_ok());
+      }
+      const std::uint64_t blocks = cfg.file_bytes / cfg.io_size;
+      for (int t = 0; t < cfg.threads; ++t) {
+        const bool is_read = op == FxOp::read_private;
+        streams.push_back([&fs, t, is_read, blocks, io = cfg.io_size,
+                           s = Stream(ops, t)](sim::SimThread& th) mutable {
+          if (s.done()) return false;
+          const std::uint64_t off = s.rng.below(blocks) * io;
+          const std::string f = tdir(t) + "/data";
+          return (is_read ? fs.read(th, f, off, io)
+                          : fs.write(th, f, off, io))
+              .is_ok();
+        });
+      }
+      break;
+    }
+  }
+  return streams;
+}
+
+double run_fxmark(FsBackend& fs, FxOp op, const FxConfig& cfg) {
+  sim::SimThread setup(-1);
+  auto streams = make_fxmark(fs, op, cfg, setup);
+  std::vector<sim::SimThread> states;
+  for (int t = 0; t < cfg.threads; ++t) {
+    states.emplace_back(t);
+    states.back().set_now(setup.now());
+  }
+  auto res = sim::Executor::run(std::move(streams), states, 0);
+  return res.ops_per_sec(sim::kClockHz);
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,62 @@
+// FxMark-style microbenchmarks (Min et al., ATC'16), adapted as §5.2 does:
+// data reads pick pseudo-random blocks so the CPU cache cannot serve them.
+//
+// Each variant corresponds to one panel of Fig. 7 (plus Fig. 6):
+//   create_private   7a  MWCM-like   createfile, one directory per thread
+//   create_shared    7b  MWCS-like   createfile, one shared directory
+//   delete_private   7c  MWUM-like   deletefile, private directories
+//   rename_shared    7d  MWRL-like   renamefile, shared directory
+//   resolve_private  7e  MRPL-like   open path, private nested depth 5
+//   resolve_shared   7f  MRPM-like   open path, shared path prefix
+//   append_private   7g  DWAL-like   4 KB appends to private files
+//   fallocate_priv   7h  DWTL-like   chunk preallocation, private files
+//   read_shared      7i  DRBM-like   random 4 KB reads, one shared file
+//   read_private     7j  DRBL-like   random 4 KB reads, private files
+//   write_shared     7k  DWOM-like   random 4 KB overwrites, shared file
+//   write_private    7l  DWOL-like   random 4 KB overwrites, private files
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/fs_backend.h"
+
+namespace simurgh::bench {
+
+enum class FxOp {
+  create_private,
+  create_shared,
+  delete_private,
+  rename_shared,
+  resolve_private,
+  resolve_shared,
+  append_private,
+  fallocate_private,
+  read_shared,
+  read_private,
+  write_shared,
+  write_private,
+};
+
+[[nodiscard]] const char* fx_name(FxOp op) noexcept;
+
+struct FxConfig {
+  int threads = 1;
+  std::uint64_t ops_per_thread = 2000;
+  std::uint64_t io_size = 4096;          // data benches
+  std::uint64_t file_bytes = 16 << 20;   // working-set per read/write file
+  std::uint64_t falloc_chunk = 1 << 20;  // scaled from the paper's 4 MB
+  bool cached_reads = false;             // original-FxMark mode (Fig. 6)
+};
+
+// Prepares the backend (file sets, directories) via `setup` — whose clock
+// advances past the setup work — and returns one op stream per thread.
+// Measurement threads must start at `setup.now()`.
+std::vector<sim::Executor::ThreadFn> make_fxmark(FsBackend& fs, FxOp op,
+                                                 const FxConfig& cfg,
+                                                 sim::SimThread& setup);
+
+// Convenience: full run (setup + execute) returning ops/sec.
+double run_fxmark(FsBackend& fs, FxOp op, const FxConfig& cfg);
+
+}  // namespace simurgh::bench

@@ -1,0 +1,32 @@
+// git add / commit / reset model (§5.4, Fig. 12).
+//
+// The benchmark copies the Linux tree into an empty repository and measures
+// the three commands.  File-system footprint per command (git 2.28, loose
+// objects, gc disabled as in the paper):
+//   add:    read every file, hash it (application CPU dominates), write a
+//           loose object, rewrite the index — "file system operations
+//           contribute a small percentage" → all FSs look similar.
+//   commit: *stat every tracked file* to detect changes (metadata
+//           retrieval dominates → Simurgh's +48% over PMFS), write tree +
+//           commit objects.
+//   reset (hard, after deleting the work tree): read blobs and recreate
+//           every working file.
+#pragma once
+
+#include "workloads/srctree.h"
+
+namespace simurgh::bench {
+
+struct GitResult {
+  double add_files_per_sec = 0;
+  double commit_files_per_sec = 0;
+  double reset_files_per_sec = 0;
+  // Virtual-time breakdown of the commit phase (Table 1 reproduction).
+  double frac_app = 0;
+  double frac_copy = 0;
+  double frac_fs = 0;
+};
+
+GitResult run_git(FsBackend& fs, const SrcTreeConfig& tree_cfg);
+
+}  // namespace simurgh::bench

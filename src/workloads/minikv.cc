@@ -1,0 +1,171 @@
+#include "workloads/minikv.h"
+
+namespace simurgh::bench {
+
+namespace {
+constexpr std::uint64_t kRecordOverhead = 32;  // header + crc + seq
+}
+
+MiniKv::MiniKv(FsBackend& fs, sim::SimThread& setup, MiniKvOptions opts)
+    : fs_(fs), o_(std::move(opts)) {
+  // LevelDB keeps its log and table files open: data ops are fd-based.
+  fs_.set_fd_workload(true);
+  SIMURGH_CHECK(fs_.mkdir(setup, o_.dir).is_ok());
+  SIMURGH_CHECK(fs_.create(setup, o_.dir + "/MANIFEST").is_ok());
+  SIMURGH_CHECK(fs_.create(setup, o_.dir + "/CURRENT").is_ok());
+  wal_ = new_file("wal");
+  SIMURGH_CHECK(fs_.create(setup, wal_).is_ok());
+}
+
+std::string MiniKv::new_file(const char* prefix) {
+  return o_.dir + "/" + prefix + "-" + std::to_string(seq_++);
+}
+
+Status MiniKv::put(sim::SimThread& t, const std::string& key,
+                   std::uint64_t value_size) {
+  {
+    sim::SimThread::Scope app(t, sim::SimThread::Attr::app);
+    t.cpu(o_.app_put);
+  }
+  // WAL append first (durability), then the memtable.
+  const std::uint64_t rec = key.size() + value_size + kRecordOverhead;
+  SIMURGH_RETURN_IF_ERROR(fs_.append(t, wal_, rec));
+  if (o_.sync_writes) SIMURGH_RETURN_IF_ERROR(fs_.fsync(t, wal_));
+  wal_bytes_ += rec;
+  auto [it, inserted] = memtable_.emplace(key, value_size);
+  if (!inserted) it->second = value_size;
+  else mem_bytes_ += key.size() + 16;
+  mem_bytes_ += value_size;
+  return maybe_flush(t);
+}
+
+Status MiniKv::remove(sim::SimThread& t, const std::string& key) {
+  return put(t, key, 0);  // tombstone
+}
+
+Result<std::uint64_t> MiniKv::get(sim::SimThread& t, const std::string& key) {
+  {
+    sim::SimThread::Scope app(t, sim::SimThread::Attr::app);
+    t.cpu(o_.app_get);
+  }
+  if (auto it = memtable_.find(key); it != memtable_.end()) {
+    if (it->second == 0) return Errc::not_found;
+    return it->second;
+  }
+  for (auto table = tables_.rbegin(); table != tables_.rend(); ++table) {
+    auto it = table->index.find(key);
+    if (it == table->index.end()) continue;
+    if (it->second.size == 0) return Errc::not_found;
+    SIMURGH_RETURN_IF_ERROR(
+        fs_.read(t, table->file, it->second.offset, it->second.size));
+    return it->second.size;
+  }
+  return Errc::not_found;
+}
+
+Result<std::uint64_t> MiniKv::scan(sim::SimThread& t, const std::string& key,
+                                   std::uint64_t n) {
+  // Merge iteration over the memtable and every table index.
+  std::map<std::string, const TableEntry*> merged;
+  for (const auto& table : tables_)
+    for (auto it = table.index.lower_bound(key);
+         it != table.index.end() && merged.size() < n * 2; ++it)
+      merged[it->first] = &it->second;
+  std::uint64_t seen = 0;
+  {
+    sim::SimThread::Scope app(t, sim::SimThread::Attr::app);
+    t.cpu(static_cast<std::uint32_t>(o_.app_scan_entry * n));
+  }
+  for (auto it = merged.begin(); it != merged.end() && seen < n; ++it) {
+    if (it->second->size == 0) continue;
+    // Sequential-ish table reads.
+    ++seen;
+  }
+  if (seen > 0 && !tables_.empty()) {
+    // One streaming read covering the scanned range.
+    SIMURGH_RETURN_IF_ERROR(
+        fs_.read(t, tables_.back().file, 0, seen * 1024));
+  }
+  for (auto it = memtable_.lower_bound(key);
+       it != memtable_.end() && seen < n; ++it)
+    if (it->second != 0) ++seen;
+  return seen;
+}
+
+Status MiniKv::maybe_flush(sim::SimThread& t) {
+  if (mem_bytes_ < o_.memtable_budget) return Status::ok();
+  return flush(t);
+}
+
+Status MiniKv::flush(sim::SimThread& t) {
+  if (memtable_.empty()) return Status::ok();
+  Table table;
+  table.file = new_file("sst");
+  SIMURGH_RETURN_IF_ERROR(fs_.create(t, table.file));
+  std::uint64_t off = 0;
+  for (const auto& [key, vsize] : memtable_) {
+    table.index[key] = TableEntry{off, vsize};
+    off += vsize + kRecordOverhead;
+  }
+  table.bytes = off;
+  {
+    sim::SimThread::Scope app(t, sim::SimThread::Attr::app);
+    t.cpu(static_cast<std::uint32_t>(
+        o_.app_compact_entry * memtable_.size()));
+  }
+  SIMURGH_RETURN_IF_ERROR(fs_.append(t, table.file, table.bytes));
+  SIMURGH_RETURN_IF_ERROR(fs_.fsync(t, table.file));
+  SIMURGH_RETURN_IF_ERROR(fs_.append(t, o_.dir + "/MANIFEST", 64));
+  tables_.push_back(std::move(table));
+  memtable_.clear();
+  mem_bytes_ = 0;
+  // Rotate the WAL: the old log is obsolete once the memtable is durable.
+  const std::string old_wal = wal_;
+  wal_ = new_file("wal");
+  SIMURGH_RETURN_IF_ERROR(fs_.create(t, wal_));
+  SIMURGH_RETURN_IF_ERROR(fs_.unlink(t, old_wal));
+  wal_bytes_ = 0;
+  if (tables_.size() > o_.compaction_trigger) return compact(t);
+  return Status::ok();
+}
+
+Status MiniKv::compact(sim::SimThread& t) {
+  ++compactions_;
+  // Read every live table, merge, write one new table, drop the old ones.
+  Table merged;
+  merged.file = new_file("sst");
+  SIMURGH_RETURN_IF_ERROR(fs_.create(t, merged.file));
+  std::uint64_t entries = 0;
+  for (const auto& table : tables_) {
+    SIMURGH_RETURN_IF_ERROR(fs_.read(t, table.file, 0, table.bytes));
+    for (const auto& [key, e] : table.index) {
+      merged.index[key] = e;  // newer tables overwrite older entries
+      ++entries;
+    }
+  }
+  {
+    sim::SimThread::Scope app(t, sim::SimThread::Attr::app);
+    t.cpu(static_cast<std::uint32_t>(o_.app_compact_entry * entries));
+  }
+  std::uint64_t off = 0;
+  for (auto it = merged.index.begin(); it != merged.index.end();) {
+    if (it->second.size == 0) {
+      it = merged.index.erase(it);  // tombstones die at the bottom level
+      continue;
+    }
+    it->second.offset = off;
+    off += it->second.size + kRecordOverhead;
+    ++it;
+  }
+  merged.bytes = off;
+  SIMURGH_RETURN_IF_ERROR(fs_.append(t, merged.file, merged.bytes));
+  SIMURGH_RETURN_IF_ERROR(fs_.fsync(t, merged.file));
+  SIMURGH_RETURN_IF_ERROR(fs_.append(t, o_.dir + "/MANIFEST", 128));
+  for (const auto& table : tables_)
+    SIMURGH_RETURN_IF_ERROR(fs_.unlink(t, table.file));
+  tables_.clear();
+  tables_.push_back(std::move(merged));
+  return Status::ok();
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,62 @@
+#include "workloads/srctree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace simurgh::bench {
+
+std::vector<SrcFile> make_srctree(const SrcTreeConfig& cfg) {
+  // Linux-5.6 shape: ~67k files, ~8.9k dirs (7.6 files/dir), tree depth
+  // mostly 3-6, file sizes log-normal with median ~6 KB, mean ~12 KB.
+  const auto n_files =
+      static_cast<std::uint64_t>(std::max(16.0, 67000.0 * cfg.scale));
+  const std::uint64_t n_dirs = std::max<std::uint64_t>(2, n_files / 8);
+  Rng rng(cfg.seed);
+
+  std::vector<SrcFile> out;
+  out.reserve(n_files + n_dirs + 1);
+  std::vector<std::string> dirs;
+  out.push_back({cfg.root, 0, true});
+  dirs.push_back(cfg.root);
+
+  for (std::uint64_t d = 1; d < n_dirs; ++d) {
+    // Parent biased toward shallow directories (kernel trees are bushy).
+    const std::string& parent = dirs[rng.below(std::max<std::uint64_t>(
+        1, dirs.size() * 3 / 4))];
+    std::string path = parent + "/dir" + std::to_string(d);
+    out.push_back({path, 0, true});
+    dirs.push_back(std::move(path));
+  }
+  for (std::uint64_t f = 0; f < n_files; ++f) {
+    const std::string& parent = dirs[rng.below(dirs.size())];
+    // Log-normal-ish size: exp(N(8.7, 1.1)) clamped to [128 B, 1 MB].
+    double z = 0;
+    for (int i = 0; i < 12; ++i) z += rng.uniform();
+    z -= 6.0;  // ~N(0,1)
+    const double sz = std::exp(8.7 + 1.1 * z);
+    const auto size = static_cast<std::uint64_t>(
+        std::clamp(sz, 128.0, 1048576.0));
+    out.push_back(
+        {parent + "/file" + std::to_string(f) + ".c", size, false});
+  }
+  return out;
+}
+
+std::uint64_t populate(FsBackend& fs, sim::SimThread& t,
+                       const std::vector<SrcFile>& tree) {
+  std::uint64_t bytes = 0;
+  for (const SrcFile& f : tree) {
+    if (f.is_dir) {
+      SIMURGH_CHECK(fs.mkdir(t, f.path).is_ok());
+    } else {
+      SIMURGH_CHECK(fs.create(t, f.path).is_ok());
+      SIMURGH_CHECK(fs.write(t, f.path, 0, f.size).is_ok());
+      bytes += f.size;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,97 @@
+#include "workloads/tarsim.h"
+
+#include <algorithm>
+
+namespace simurgh::bench {
+
+namespace {
+constexpr std::uint64_t kTarHeader = 512;
+// tar's own CPU per archived byte (checksumming, blocking) and per entry.
+constexpr std::uint32_t kAppPerEntry = 800;
+constexpr double kAppPerByte = 0.05;
+
+void charge_app(sim::SimThread& t, std::uint64_t bytes) {
+  sim::SimThread::Scope app(t, sim::SimThread::Attr::app);
+  t.cpu(kAppPerEntry +
+        static_cast<std::uint32_t>(kAppPerByte * static_cast<double>(bytes)));
+}
+}  // namespace
+
+TarResult run_tar(FsBackend& fs, const SrcTreeConfig& tree_cfg) {
+  const auto tree = make_srctree(tree_cfg);
+  sim::SimThread setup(-1);
+  const std::uint64_t bytes = populate(fs, setup, tree);
+
+  TarResult out;
+  out.bytes = bytes;
+
+  // ---- pack ----
+  sim::SimThread pack(0);
+  pack.set_now(setup.now());
+  SIMURGH_CHECK(fs.create(pack, "/archive.tar").is_ok());
+  pack.reset_stats();
+  const sim::Cycles pack_start = pack.now();
+  for (const SrcFile& f : tree) {
+    SIMURGH_CHECK(fs.resolve(pack, f.path).is_ok());  // stat for the header
+    if (f.is_dir) {
+      SIMURGH_CHECK(fs.append(pack, "/archive.tar", kTarHeader).is_ok());
+      continue;
+    }
+    SIMURGH_CHECK(fs.read(pack, f.path, 0, f.size).is_ok());
+    charge_app(pack, f.size);
+    SIMURGH_CHECK(
+        fs.append(pack, "/archive.tar", kTarHeader + f.size).is_ok());
+  }
+  const double pack_secs =
+      static_cast<double>(pack.now() - pack_start) / sim::kClockHz;
+  out.pack_mb_per_sec =
+      static_cast<double>(bytes) / (1 << 20) / std::max(1e-12, pack_secs);
+  {
+    const auto app = static_cast<double>(pack.bucket(sim::SimThread::Attr::app));
+    const auto copy =
+        static_cast<double>(pack.bucket(sim::SimThread::Attr::data_copy));
+    const auto fsb = static_cast<double>(pack.bucket(sim::SimThread::Attr::fs));
+    const double sum = app + copy + fsb;
+    if (sum > 0) {
+      out.frac_app = app / sum;
+      out.frac_copy = copy / sum;
+      out.frac_fs = fsb / sum;
+    }
+  }
+
+  // ---- unpack (into a fresh prefix) ----
+  sim::SimThread unpack(1);
+  unpack.set_now(pack.now());
+  SIMURGH_CHECK(fs.mkdir(unpack, "/out").is_ok());
+  const sim::Cycles unpack_start = unpack.now();
+  std::uint64_t archive_off = 0;
+  for (const SrcFile& f : tree) {
+    // Stream the archive (header + payload)...
+    SIMURGH_CHECK(
+        fs.read(unpack, "/archive.tar", archive_off, kTarHeader).is_ok());
+    archive_off += kTarHeader;
+    const std::string dst = "/out" + f.path;
+    if (f.is_dir) {
+      SIMURGH_CHECK(fs.mkdir(unpack, dst).is_ok());
+    } else {
+      SIMURGH_CHECK(
+          fs.read(unpack, "/archive.tar", archive_off, f.size).is_ok());
+      archive_off += f.size;
+      charge_app(unpack, f.size);
+      SIMURGH_CHECK(fs.create(unpack, dst).is_ok());
+      SIMURGH_CHECK(fs.write(unpack, dst, 0, f.size).is_ok());
+    }
+    // Per-file attribute calls real tar issues: set mtime + permissions.
+    // Each is a metadata round trip (a syscall for kernel FSs; a protected
+    // call for Simurgh).
+    SIMURGH_CHECK(fs.resolve(unpack, dst).is_ok());  // utimes
+    SIMURGH_CHECK(fs.resolve(unpack, dst).is_ok());  // chmod
+  }
+  const double unpack_secs =
+      static_cast<double>(unpack.now() - unpack_start) / sim::kClockHz;
+  out.unpack_mb_per_sec =
+      static_cast<double>(bytes) / (1 << 20) / std::max(1e-12, unpack_secs);
+  return out;
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,27 @@
+// tar pack / unpack model (§5.4, Fig. 11).
+//
+// pack: walks the tree, stats and reads every file, and appends header +
+// payload to one archive file — "measures the performance of locating
+// files while performing data operations"; no flushes are issued.
+// unpack: streams the archive, creating each file, writing its payload and
+// then issuing the per-file attribute syscalls real tar makes (utimes,
+// chmod) — the syscall-per-file cost Simurgh avoids (the 2x unpack gap).
+#pragma once
+
+#include "workloads/srctree.h"
+
+namespace simurgh::bench {
+
+struct TarResult {
+  double pack_mb_per_sec = 0;
+  double unpack_mb_per_sec = 0;
+  std::uint64_t bytes = 0;
+  // Virtual-time breakdown of the pack phase (Table 1 reproduction).
+  double frac_app = 0;
+  double frac_copy = 0;
+  double frac_fs = 0;
+};
+
+TarResult run_tar(FsBackend& fs, const SrcTreeConfig& tree_cfg);
+
+}  // namespace simurgh::bench

@@ -1,0 +1,120 @@
+#include "workloads/ycsb.h"
+
+#include "common/rng.h"
+
+namespace simurgh::bench {
+
+namespace {
+
+std::string key_of(std::uint64_t i) {
+  return "user" + std::to_string(mix64(i) % 100000000);
+}
+
+}  // namespace
+
+const char* ycsb_name(YcsbWorkload w) noexcept {
+  switch (w) {
+    case YcsbWorkload::load_a: return "LoadA";
+    case YcsbWorkload::run_a: return "RunA";
+    case YcsbWorkload::run_b: return "RunB";
+    case YcsbWorkload::run_c: return "RunC";
+    case YcsbWorkload::run_d: return "RunD";
+    case YcsbWorkload::run_e: return "RunE";
+    case YcsbWorkload::load_e: return "LoadE";
+    case YcsbWorkload::run_f: return "RunF";
+  }
+  return "?";
+}
+
+YcsbResult run_ycsb(FsBackend& fs, YcsbWorkload w, const YcsbConfig& cfg) {
+  sim::SimThread setup(-1);
+  MiniKv kv(fs, setup, cfg.kv);
+
+  // YCSB is driven single-client here (the paper's YCSB runs measure
+  // whole-application throughput, not thread sweeps).
+  sim::SimThread t(0);
+  const bool is_load =
+      w == YcsbWorkload::load_a || w == YcsbWorkload::load_e;
+
+  // ---- load phase ----
+  {
+    sim::SimThread& lt = is_load ? t : setup;
+    for (std::uint64_t i = 0; i < cfg.record_count; ++i)
+      SIMURGH_CHECK(kv.put(lt, key_of(i), cfg.value_size).is_ok());
+    if (!is_load) SIMURGH_CHECK(kv.flush(setup).is_ok());
+  }
+
+  std::uint64_t done_ops = cfg.record_count;  // load counts its inserts
+  if (!is_load) {
+    t.set_now(setup.now());
+    t.reset_stats();
+    Rng rng(77);
+    std::uint64_t inserted = cfg.record_count;
+    done_ops = cfg.ops;
+    for (std::uint64_t i = 0; i < cfg.ops; ++i) {
+      const std::uint64_t k = rng.zipf(cfg.record_count, cfg.zipf_theta);
+      const double dice = rng.uniform();
+      switch (w) {
+        case YcsbWorkload::run_a:
+          if (dice < 0.5) (void)kv.get(t, key_of(k));
+          else (void)kv.put(t, key_of(k), cfg.value_size);
+          break;
+        case YcsbWorkload::run_b:
+          if (dice < 0.95) (void)kv.get(t, key_of(k));
+          else (void)kv.put(t, key_of(k), cfg.value_size);
+          break;
+        case YcsbWorkload::run_c:
+          (void)kv.get(t, key_of(k));
+          break;
+        case YcsbWorkload::run_d:
+          if (dice < 0.95) {
+            // read-latest: bias to recently inserted keys.
+            const std::uint64_t latest =
+                inserted - 1 - rng.zipf(std::min<std::uint64_t>(inserted, 1000));
+            (void)kv.get(t, key_of(latest));
+          } else {
+            (void)kv.put(t, key_of(inserted++), cfg.value_size);
+          }
+          break;
+        case YcsbWorkload::run_e:
+          if (dice < 0.95) (void)kv.scan(t, key_of(k), 1 + rng.below(100));
+          else (void)kv.put(t, key_of(inserted++), cfg.value_size);
+          break;
+        case YcsbWorkload::run_f:
+          if (dice < 0.5) {
+            (void)kv.get(t, key_of(k));
+          } else {
+            (void)kv.get(t, key_of(k));
+            (void)kv.put(t, key_of(k), cfg.value_size);
+          }
+          break;
+        default: break;
+      }
+    }
+  }
+
+  YcsbResult r;
+  const double total = static_cast<double>(t.now()) -
+                       (is_load ? 0.0 : static_cast<double>(0));
+  const double window = is_load
+                            ? static_cast<double>(t.now())
+                            : static_cast<double>(t.now()) -
+                                  static_cast<double>(setup.now());
+  r.ops_per_sec = window > 0
+                      ? static_cast<double>(done_ops) * sim::kClockHz / window
+                      : 0;
+  (void)total;
+  const double app = static_cast<double>(t.bucket(sim::SimThread::Attr::app));
+  const double copy =
+      static_cast<double>(t.bucket(sim::SimThread::Attr::data_copy));
+  const double fsb = static_cast<double>(t.bucket(sim::SimThread::Attr::fs));
+  const double sum = app + copy + fsb;
+  if (sum > 0) {
+    r.frac_app = app / sum;
+    r.frac_copy = copy / sum;
+    r.frac_fs = fsb / sum;
+  }
+  return r;
+}
+
+}  // namespace simurgh::bench

@@ -1,0 +1,44 @@
+// YCSB core workloads over minikv (§5.4, Figs. 9-10).
+//
+// The paper uses the six standard YCSB workloads with LevelDB as the
+// backing store, via the SplitFS tooling.  Mixes (per the YCSB core
+// properties):
+//   LoadA / LoadE  pure insert (the load phases the paper reports)
+//   A  50% read / 50% update          zipfian
+//   B  95% read /  5% update          zipfian
+//   C  100% read                      zipfian
+//   D  95% read-latest / 5% insert    latest
+//   E  95% scan(≤100) / 5% insert     zipfian
+//   F  50% read / 50% read-modify-write  zipfian
+#pragma once
+
+#include "workloads/minikv.h"
+
+namespace simurgh::bench {
+
+enum class YcsbWorkload { load_a, run_a, run_b, run_c, run_d, run_e, load_e,
+                          run_f };
+
+[[nodiscard]] const char* ycsb_name(YcsbWorkload w) noexcept;
+
+struct YcsbConfig {
+  std::uint64_t record_count = 8000;
+  std::uint64_t ops = 8000;          // total operations (run phases)
+  std::uint64_t value_size = 1024;
+  double zipf_theta = 0.99;
+  MiniKvOptions kv;
+};
+
+struct YcsbResult {
+  double ops_per_sec = 0;
+  // Virtual-time breakdown (Table 1 / Fig. 10 reproduction).
+  double frac_app = 0;
+  double frac_copy = 0;
+  double frac_fs = 0;
+};
+
+// Runs load (always) and, for run_* workloads, the op phase; reports the
+// op-phase throughput (load throughput for load_*).
+YcsbResult run_ycsb(FsBackend& fs, YcsbWorkload w, const YcsbConfig& cfg);
+
+}  // namespace simurgh::bench

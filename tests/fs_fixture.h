@@ -1,0 +1,43 @@
+// Shared gtest fixture: a formatted Simurgh file system over fresh devices.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fs.h"
+
+namespace simurgh::testing {
+
+class FsTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNvmmSize = 256ull << 20;  // 256 MB
+  static constexpr std::size_t kShmSize = 16ull << 20;
+
+  void SetUp() override {
+    nvmm_ = std::make_unique<nvmm::Device>(kNvmmSize);
+    shm_ = std::make_unique<nvmm::Device>(kShmSize);
+    fs_ = core::FileSystem::format(*nvmm_, *shm_);
+    proc_ = fs_->open_process(1000, 1000);
+  }
+
+  // Simulates a whole-system crash: all volatile state is discarded and the
+  // file system is re-mounted over the surviving NVMM image (the shm device
+  // is wiped — it is volatile by definition).
+  void remount_after_crash() {
+    proc_.reset();
+    fs_.reset();
+    shm_->wipe();
+    fs_ = core::FileSystem::mount(*nvmm_, *shm_);
+    proc_ = fs_->open_process(1000, 1000);
+  }
+
+  core::Process& p() { return *proc_; }
+
+  std::unique_ptr<nvmm::Device> nvmm_;
+  std::unique_ptr<nvmm::Device> shm_;
+  std::unique_ptr<core::FileSystem> fs_;
+  std::unique_ptr<core::Process> proc_;
+};
+
+}  // namespace simurgh::testing

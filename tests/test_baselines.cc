@@ -1,0 +1,266 @@
+// Tests for the VFS model, the kernel baseline profiles, and the cost
+// relationships the figure reproduction depends on.
+#include <gtest/gtest.h>
+
+#include "baselines/kernelfs.h"
+#include "baselines/simurgh_backend.h"
+
+namespace simurgh::bench {
+namespace {
+
+TEST(PathHelpers, SplitAndParent) {
+  EXPECT_EQ(split_path("/a/b/c").size(), 3u);
+  EXPECT_EQ(split_path("/a/b/c")[1], "b");
+  EXPECT_EQ(split_path("/").size(), 0u);
+  EXPECT_EQ(split_path("//x//y").size(), 2u);
+  EXPECT_EQ(parent_of("/a/b/c"), "/a/b");
+  EXPECT_EQ(parent_of("/x"), "/");
+  EXPECT_EQ(parent_of("x"), "/");
+}
+
+TEST(NameTree, CreateResolveUnlink) {
+  NameTree tree;
+  EXPECT_TRUE(tree.create("/f", false).is_ok());
+  EXPECT_EQ(tree.create("/f", false).code(), Errc::exists);
+  EXPECT_NE(tree.resolve("/f"), nullptr);
+  EXPECT_EQ(tree.resolve("/g"), nullptr);
+  EXPECT_TRUE(tree.unlink("/f").is_ok());
+  EXPECT_EQ(tree.unlink("/f").code(), Errc::not_found);
+}
+
+TEST(NameTree, NestedAndRename) {
+  NameTree tree;
+  ASSERT_TRUE(tree.create("/d", true).is_ok());
+  ASSERT_TRUE(tree.create("/d/x", false).is_ok());
+  EXPECT_EQ(tree.create("/nodir/x", false).code(), Errc::not_found);
+  ASSERT_TRUE(tree.create("/e", true).is_ok());
+  ASSERT_TRUE(tree.rename("/d/x", "/e/y").is_ok());
+  EXPECT_EQ(tree.resolve("/d/x"), nullptr);
+  EXPECT_NE(tree.resolve("/e/y"), nullptr);
+  // Non-empty directory cannot be unlinked.
+  EXPECT_EQ(tree.unlink("/e").code(), Errc::not_empty);
+}
+
+TEST(VfsModel, SyscallChargesEntryAndDispatch) {
+  sim::SimWorld world;
+  VfsModel vfs(world);
+  sim::SimThread t;
+  vfs.syscall(t);
+  EXPECT_EQ(t.now(), kCosts.syscall + kCosts.vfs_dispatch);
+}
+
+TEST(VfsModel, SharedPathComponentsContend) {
+  sim::SimWorld world;
+  VfsModel vfs(world);
+  // Ten "threads" walking the same path must take longer per walk than ten
+  // threads walking disjoint paths.
+  auto run = [&](bool shared) {
+    sim::Cycles total = 0;
+    for (int i = 0; i < 10; ++i) {
+      sim::SimThread t(i);
+      const std::string path =
+          shared ? "/common/dir/file"
+                 : "/p" + std::to_string(i) + "/dir/file";
+      vfs.path_walk(t, path);
+      total += t.now();
+    }
+    return total;
+  };
+  // Same world: walk shared first, then disjoint; disjoint must be cheaper
+  // in aggregate despite coming second.
+  const sim::Cycles shared_total = run(true);
+  const sim::Cycles disjoint_total = run(false);
+  EXPECT_GT(shared_total, disjoint_total);
+}
+
+class BackendMatrixTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  sim::SimWorld world_;
+};
+
+TEST_P(BackendMatrixTest, FunctionalNamespaceSemantics) {
+  auto fs = make_backend(GetParam(), world_);
+  sim::SimThread t;
+  EXPECT_TRUE(fs->mkdir(t, "/d").is_ok());
+  EXPECT_TRUE(fs->create(t, "/d/a").is_ok());
+  EXPECT_EQ(fs->create(t, "/d/a").code(), Errc::exists);
+  EXPECT_TRUE(fs->resolve(t, "/d/a").is_ok());
+  EXPECT_FALSE(fs->resolve(t, "/d/zz").is_ok());
+  EXPECT_TRUE(fs->rename(t, "/d/a", "/d/b").is_ok());
+  EXPECT_FALSE(fs->resolve(t, "/d/a").is_ok());
+  EXPECT_TRUE(fs->unlink(t, "/d/b").is_ok());
+  EXPECT_FALSE(fs->resolve(t, "/d/b").is_ok());
+}
+
+TEST_P(BackendMatrixTest, DataSizeTracking) {
+  auto fs = make_backend(GetParam(), world_);
+  sim::SimThread t;
+  ASSERT_TRUE(fs->create(t, "/f").is_ok());
+  ASSERT_TRUE(fs->append(t, "/f", 3000).is_ok());
+  ASSERT_TRUE(fs->append(t, "/f", 3000).is_ok());
+  EXPECT_EQ(*fs->file_size(t, "/f"), 6000u);
+  ASSERT_TRUE(fs->write(t, "/f", 10000, 500).is_ok());
+  EXPECT_EQ(*fs->file_size(t, "/f"), 10500u);
+  EXPECT_TRUE(fs->read(t, "/f", 0, 4096).is_ok());
+  EXPECT_TRUE(fs->fsync(t, "/f").is_ok());
+}
+
+TEST_P(BackendMatrixTest, ReaddirListsEntries) {
+  auto fs = make_backend(GetParam(), world_);
+  sim::SimThread t;
+  ASSERT_TRUE(fs->mkdir(t, "/ls").is_ok());
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(fs->create(t, "/ls/f" + std::to_string(i)).is_ok());
+  auto names = fs->readdir(t, "/ls");
+  ASSERT_TRUE(names.is_ok());
+  EXPECT_EQ(names->size(), 10u);
+}
+
+TEST_P(BackendMatrixTest, EveryOpAdvancesVirtualTime) {
+  auto fs = make_backend(GetParam(), world_);
+  sim::SimThread t;
+  sim::Cycles prev = t.now();
+  auto advanced = [&] {
+    const bool ok = t.now() > prev;
+    prev = t.now();
+    return ok;
+  };
+  ASSERT_TRUE(fs->create(t, "/f").is_ok());
+  EXPECT_TRUE(advanced());
+  ASSERT_TRUE(fs->append(t, "/f", 4096).is_ok());
+  EXPECT_TRUE(advanced());
+  ASSERT_TRUE(fs->read(t, "/f", 0, 4096).is_ok());
+  EXPECT_TRUE(advanced());
+  ASSERT_TRUE(fs->resolve(t, "/f").is_ok());
+  EXPECT_TRUE(advanced());
+  ASSERT_TRUE(fs->unlink(t, "/f").is_ok());
+  EXPECT_TRUE(advanced());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendMatrixTest,
+                         ::testing::Values(Backend::simurgh, Backend::nova,
+                                           Backend::pmfs, Backend::ext4dax,
+                                           Backend::splitfs),
+                         [](const auto& info) {
+                           std::string n = backend_name(info.param);
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// ---- the cost relationships the paper's figures rest on ----
+
+double one_op_cost(Backend b, const char* op) {
+  sim::SimWorld world;
+  auto fs = make_backend(b, world);
+  sim::SimThread setup(-1);
+  SIMURGH_CHECK(fs->mkdir(setup, "/d").is_ok());
+  SIMURGH_CHECK(fs->create(setup, "/d/seed").is_ok());
+  sim::SimThread t;
+  t.set_now(setup.now());
+  const sim::Cycles before = t.now();
+  if (std::string(op) == "create") SIMURGH_CHECK(fs->create(t, "/d/x").is_ok());
+  if (std::string(op) == "resolve")
+    SIMURGH_CHECK(fs->resolve(t, "/d/seed").is_ok());
+  if (std::string(op) == "unlink")
+    SIMURGH_CHECK(fs->unlink(t, "/d/seed").is_ok());
+  return static_cast<double>(t.now() - before);
+}
+
+TEST(CostAnchors, SimurghCreatesAbout3x4FasterThanNova) {
+  // Fig. 7a's single-thread anchor: 3.4x.
+  const double ratio =
+      one_op_cost(Backend::nova, "create") /
+      one_op_cost(Backend::simurgh, "create");
+  EXPECT_NEAR(ratio, 3.4, 0.5);
+}
+
+TEST(CostAnchors, SimurghRenameAbout2x2FasterThanExt4) {
+  // Fig. 7d's single-thread anchor: 2.2x.
+  auto rename_cost = [](Backend b) {
+    sim::SimWorld world;
+    auto fs = make_backend(b, world);
+    sim::SimThread setup(-1);
+    SIMURGH_CHECK(fs->mkdir(setup, "/d").is_ok());
+    SIMURGH_CHECK(fs->create(setup, "/d/a").is_ok());
+    sim::SimThread t;
+    t.set_now(setup.now());
+    const sim::Cycles before = t.now();
+    SIMURGH_CHECK(fs->rename(t, "/d/a", "/d/b").is_ok());
+    return static_cast<double>(t.now() - before);
+  };
+  const double ratio =
+      rename_cost(Backend::ext4dax) / rename_cost(Backend::simurgh);
+  EXPECT_NEAR(ratio, 2.2, 0.4);
+}
+
+TEST(CostAnchors, SimurghResolveBeatsEveryKernelFs) {
+  const double s = one_op_cost(Backend::simurgh, "resolve");
+  for (Backend b : {Backend::nova, Backend::pmfs, Backend::ext4dax,
+                    Backend::splitfs})
+    EXPECT_LT(s, one_op_cost(b, "resolve")) << backend_name(b);
+}
+
+TEST(CostAnchors, SimurghDeleteCheaperThanItsCreate) {
+  // §5.2: "Simurgh shows even higher performance in deletefile compared to
+  // createfile" (no metadata object allocation on delete).
+  EXPECT_LT(one_op_cost(Backend::simurgh, "unlink"),
+            one_op_cost(Backend::simurgh, "create"));
+}
+
+TEST(CostAnchors, PmfsDirectorySearchGrowsLinearly) {
+  sim::SimWorld world;
+  auto fs = make_backend(Backend::pmfs, world);
+  sim::SimThread setup(-1);
+  SIMURGH_CHECK(fs->mkdir(setup, "/d").is_ok());
+  auto create_cost = [&](int i) {
+    sim::SimThread t;
+    t.set_now(setup.now());
+    const sim::Cycles b = t.now();
+    SIMURGH_CHECK(fs->create(t, "/d/f" + std::to_string(i)).is_ok());
+    return t.now() - b;
+  };
+  const auto first = create_cost(0);
+  for (int i = 1; i < 2000; ++i)
+    SIMURGH_CHECK(fs->create(setup, "/d/f" + std::to_string(i)).is_ok());
+  const auto late = create_cost(9999);
+  EXPECT_GT(late, first + 1000) << "linear dirent scan must show up";
+}
+
+TEST(CostAnchors, SplitfsAppendBeatsSimurghSingleThreaded) {
+  // Fig. 7g at low thread counts.
+  auto append_cost = [](Backend b) {
+    sim::SimWorld world;
+    auto fs = make_backend(b, world);
+    sim::SimThread setup(-1);
+    SIMURGH_CHECK(fs->create(setup, "/log").is_ok());
+    sim::SimThread t;
+    t.set_now(setup.now());
+    const sim::Cycles before = t.now();
+    SIMURGH_CHECK(fs->append(t, "/log", 4096).is_ok());
+    return t.now() - before;
+  };
+  EXPECT_LT(append_cost(Backend::splitfs), append_cost(Backend::simurgh));
+}
+
+TEST(SimurghBackend, RunsTheRealFileSystem) {
+  sim::SimWorld world;
+  SimurghBackend fs(world);
+  sim::SimThread t;
+  ASSERT_TRUE(fs.create(t, "/real").is_ok());
+  ASSERT_TRUE(fs.append(t, "/real", 8192).is_ok());
+  // The *real* core FS underneath must agree.
+  auto proc = fs.fs().open_process(1000, 1000);
+  auto st = proc->stat("/real");
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_EQ(st->size, 8192u);
+}
+
+TEST(SimurghBackend, RelaxedVariantReportsItsName) {
+  sim::SimWorld world;
+  auto fs = make_backend(Backend::simurgh_relaxed, world);
+  EXPECT_EQ(fs->name(), "Simurgh-relaxed");
+}
+
+}  // namespace
+}  // namespace simurgh::bench

@@ -1,0 +1,189 @@
+// Tests for the segmented block allocator (§4.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "alloc/block_alloc.h"
+#include "common/rng.h"
+
+namespace simurgh::alloc {
+namespace {
+
+class BlockAllocTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kHeaderOff = 4096;
+  static constexpr std::uint64_t kDataOff = 64 * 1024;
+
+  BlockAllocTest()
+      : dev_(64ull << 20),
+        alloc_(BlockAllocator::format(dev_, kHeaderOff, kDataOff,
+                                      dev_.size() - kDataOff, 8)) {}
+
+  nvmm::Device dev_;
+  BlockAllocator alloc_;
+};
+
+TEST_F(BlockAllocTest, FormatExposesAllBlocks) {
+  EXPECT_EQ(alloc_.n_segments(), 8u);
+  EXPECT_EQ(alloc_.free_blocks(), (dev_.size() - kDataOff) / kBlockSize);
+}
+
+TEST_F(BlockAllocTest, AllocReturnsAlignedInRangeBlocks) {
+  auto r = alloc_.alloc(4, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r % kBlockSize, 0u);
+  EXPECT_GE(*r, kDataOff);
+  EXPECT_LT(*r, dev_.size());
+}
+
+TEST_F(BlockAllocTest, AllocFreeRoundTrip) {
+  const std::uint64_t before = alloc_.free_blocks();
+  auto r = alloc_.alloc(16, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(alloc_.free_blocks(), before - 16);
+  alloc_.free(*r, 16);
+  EXPECT_EQ(alloc_.free_blocks(), before);
+}
+
+TEST_F(BlockAllocTest, DistinctAllocationsDontOverlap) {
+  std::set<std::uint64_t> blocks;
+  for (int i = 0; i < 200; ++i) {
+    auto r = alloc_.alloc(3, static_cast<std::uint64_t>(i) * 7919);
+    ASSERT_TRUE(r.is_ok());
+    for (int b = 0; b < 3; ++b)
+      EXPECT_TRUE(blocks.insert(*r + b * kBlockSize).second)
+          << "overlap at allocation " << i;
+  }
+}
+
+TEST_F(BlockAllocTest, HintClustersIntoSegments) {
+  // Two different hints land in different segments (file spreading).
+  auto a = alloc_.alloc(1, 0 * kBlockSize);
+  auto b = alloc_.alloc(1, 3 * kBlockSize);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  const std::uint64_t per_seg =
+      (alloc_.n_blocks_total() + 7) / 8 * kBlockSize;
+  EXPECT_NE((*a - kDataOff) / per_seg, (*b - kDataOff) / per_seg);
+}
+
+TEST_F(BlockAllocTest, CoalescingAllowsLargeRealloc) {
+  // Allocate everything in small pieces, free all, then grab a huge chunk:
+  // only works if free ranges coalesce.
+  std::vector<std::uint64_t> offs;
+  for (int i = 0; i < 64; ++i) {
+    auto r = alloc_.alloc(8, 0);
+    ASSERT_TRUE(r.is_ok());
+    offs.push_back(*r);
+  }
+  for (auto off : offs) alloc_.free(off, 8);
+  auto big = alloc_.alloc(64 * 8, 0);
+  EXPECT_TRUE(big.is_ok());
+}
+
+TEST_F(BlockAllocTest, ExhaustionReturnsNoSpace) {
+  nvmm::Device small(1 << 20);
+  auto a = BlockAllocator::format(small, 4096, 64 * 1024,
+                                  small.size() - 64 * 1024, 2);
+  // Free space is split across two segments; drain each segment's
+  // contiguous range, then any further request must fail.
+  const std::uint64_t total = a.free_blocks();
+  const std::uint64_t half = total / 2;
+  ASSERT_TRUE(a.alloc(half, 0).is_ok());
+  ASSERT_TRUE(a.alloc(total - half, 0).is_ok());
+  EXPECT_EQ(a.alloc(1, 0).code(), Errc::no_space);
+}
+
+TEST_F(BlockAllocTest, OversizeRequestFailsCleanly) {
+  EXPECT_EQ(alloc_.alloc(alloc_.n_blocks_total() + 1, 0).code(),
+            Errc::no_space);
+}
+
+TEST_F(BlockAllocTest, AttachSeesFormattedState) {
+  auto r = alloc_.alloc(5, 0);
+  ASSERT_TRUE(r.is_ok());
+  auto re = BlockAllocator::attach(dev_, kHeaderOff);
+  EXPECT_EQ(re.free_blocks(), alloc_.free_blocks());
+  re.free(*r, 5);
+  EXPECT_EQ(alloc_.free_blocks(), re.free_blocks());
+}
+
+TEST_F(BlockAllocTest, ConcurrentAllocFreeNoOverlapNoLoss) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  const std::uint64_t before = alloc_.free_blocks();
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> ts;
+  std::vector<std::vector<std::uint64_t>> held(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Rng rng(t);
+      for (int i = 0; i < kIters; ++i) {
+        if (held[t].size() > 8 || (rng.below(2) == 0 && !held[t].empty())) {
+          alloc_.free(held[t].back(), 2);
+          held[t].pop_back();
+        } else {
+          auto r = alloc_.alloc(2, rng.next());
+          if (r.is_ok()) held[t].push_back(*r);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  // No two held ranges overlap.
+  std::set<std::uint64_t> all;
+  std::uint64_t held_blocks = 0;
+  for (auto& v : held)
+    for (auto off : v) {
+      held_blocks += 2;
+      EXPECT_TRUE(all.insert(off).second);
+      EXPECT_TRUE(all.insert(off + kBlockSize).second);
+      overlap.store(false);
+    }
+  EXPECT_EQ(alloc_.free_blocks(), before - held_blocks);
+}
+
+TEST_F(BlockAllocTest, LeaseStealRecoversCrashedHolder) {
+  // Simulate a crashed process holding a segment lock: poke the lock word
+  // directly, then verify a short lease lets another caller steal it.
+  alloc_.set_lease_ns(1'000'000);  // 1 ms
+  auto* hdr = reinterpret_cast<BlockAllocHeader*>(dev_.at(kHeaderOff));
+  auto* segs = reinterpret_cast<SegmentHeader*>(dev_.at(kHeaderOff) +
+                                                sizeof(BlockAllocHeader));
+  for (std::uint64_t s = 0; s < hdr->n_segments; ++s) {
+    segs[s].lock.owner.store(0xdeadbeef, std::memory_order_relaxed);
+    segs[s].lock.last_accessed_ns.store(1, std::memory_order_relaxed);
+  }
+  auto r = alloc_.alloc(1, 0);  // must steal rather than hang
+  EXPECT_TRUE(r.is_ok());
+  EXPECT_GE(alloc_.stats().lock_steals, 1u);
+}
+
+TEST_F(BlockAllocTest, RebuildFreeListsFromMark) {
+  auto keep = alloc_.alloc(4, 0);
+  auto lose = alloc_.alloc(4, 0);
+  ASSERT_TRUE(keep.is_ok());
+  ASSERT_TRUE(lose.is_ok());
+  alloc_.rebuild_free_lists([&](std::uint64_t off) {
+    return off >= *keep && off < *keep + 4 * kBlockSize;
+  });
+  EXPECT_EQ(alloc_.free_blocks(), alloc_.n_blocks_total() - 4);
+  // The "lost" range must be allocatable again.
+  std::set<std::uint64_t> seen;
+  bool found = false;
+  for (std::uint64_t i = 0; i < alloc_.n_blocks_total() - 4; i += 4) {
+    auto r = alloc_.alloc(4, 0);
+    if (!r.is_ok()) break;
+    if (*r == *lose) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace simurgh::alloc

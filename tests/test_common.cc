@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace simurgh {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::ok);
+}
+
+TEST(Status, CarriesCode) {
+  Status s(Errc::not_found);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::not_found);
+  EXPECT_EQ(errc_name(s.code()), "not_found");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Errc::no_space);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::no_space);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Errc::io;
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    SIMURGH_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_EQ(outer(true).code(), Errc::io);
+}
+
+TEST(Hash, Fnv1aIsStable) {
+  // Known-answer: layouts on media depend on this value never changing.
+  EXPECT_EQ(fnv1a64("hello"), 0xa430d84680aabd0bull);
+  EXPECT_NE(fnv1a64("hello"), fnv1a64("hellp"));
+}
+
+TEST(Hash, Mix64SpreadsBits) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ZipfIsSkewedAndInRange) {
+  Rng r(11);
+  std::map<std::uint64_t, int> counts;
+  const std::uint64_t n = 100;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = r.zipf(n);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  // Rank 0 must dominate the tail decisively under theta=0.99.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(Table, RendersAligned) {
+  Table t("demo");
+  t.header({"a", "long-col"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("long-col"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Table, NumFormatsMagnitudes) {
+  EXPECT_EQ(Table::num(12345678), "12.35M");
+  EXPECT_EQ(Table::num(1234), "1.23k");
+  EXPECT_EQ(Table::num(2.5e9), "2.50G");
+  EXPECT_EQ(Table::num(0.5), "0.5000");
+}
+
+TEST(FailPoint, FiresOnceWhenArmed) {
+  FailPoint::arm("t.point");
+  EXPECT_THROW(FailPoint::hit("t.point"), CrashedException);
+  // One-shot: second hit is a no-op.
+  FailPoint::hit("t.point");
+  FailPoint::disarm();
+}
+
+TEST(FailPoint, SkipCountDelaysFiring) {
+  FailPoint::arm("t.skip", 2);
+  FailPoint::hit("t.skip");
+  FailPoint::hit("t.skip");
+  EXPECT_THROW(FailPoint::hit("t.skip"), CrashedException);
+  EXPECT_EQ(FailPoint::hits(), 3u);
+}
+
+TEST(FailPoint, OtherPointsUnaffected) {
+  FailPoint::arm("t.a");
+  FailPoint::hit("t.b");  // must not throw
+  FailPoint::disarm();
+}
+
+}  // namespace
+}  // namespace simurgh

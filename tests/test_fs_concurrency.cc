@@ -1,0 +1,267 @@
+// Real-thread concurrency: the decentralized protocols under genuine races.
+// (The benchmark harness models scalability in virtual time; these tests
+// prove the actual lock-free/busy-wait implementations are correct.)
+#include <atomic>
+#include <barrier>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fs_fixture.h"
+
+namespace simurgh::testing {
+namespace {
+
+using core::kOpenCreate;
+using core::kOpenExcl;
+using core::kOpenRead;
+using core::kOpenWrite;
+
+constexpr int kThreads = 8;
+
+TEST_F(FsTest, ConcurrentCreatesInSharedDirectory) {
+  ASSERT_TRUE(p().mkdir("/shared").is_ok());
+  std::vector<std::unique_ptr<core::Process>> procs;
+  for (int t = 0; t < kThreads; ++t) procs.push_back(fs_->open_process(1000, 1000));
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < 100; ++i) {
+        auto fd = procs[t]->open(
+            "/shared/t" + std::to_string(t) + "_" + std::to_string(i),
+            kOpenCreate | kOpenWrite);
+        if (!fd.is_ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(p().readdir("/shared")->size(),
+            static_cast<std::size_t>(kThreads * 100));
+}
+
+TEST_F(FsTest, ConcurrentExclusiveCreateOfSameName) {
+  // Exactly one winner per name under O_EXCL races.
+  ASSERT_TRUE(p().mkdir("/race").is_ok());
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::unique_ptr<core::Process>> procs;
+    for (int t = 0; t < kThreads; ++t)
+      procs.push_back(fs_->open_process(1000, 1000));
+    std::barrier sync(kThreads);
+    std::atomic<int> winners{0};
+    std::vector<std::thread> ts;
+    const std::string name = "/race/contested" + std::to_string(round);
+    for (int t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        sync.arrive_and_wait();
+        auto fd =
+            procs[t]->open(name, kOpenCreate | kOpenExcl | kOpenWrite);
+        if (fd.is_ok()) ++winners;
+      });
+    }
+    for (auto& th : ts) th.join();
+    EXPECT_EQ(winners.load(), 1) << name;
+  }
+}
+
+TEST_F(FsTest, ConcurrentCreateAndDeleteInterleaved) {
+  ASSERT_TRUE(p().mkdir("/churn").is_ok());
+  std::vector<std::unique_ptr<core::Process>> procs;
+  for (int t = 0; t < kThreads; ++t) procs.push_back(fs_->open_process(1000, 1000));
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      const std::string base = "/churn/w" + std::to_string(t) + "_";
+      for (int i = 0; i < 60; ++i) {
+        const std::string name = base + std::to_string(i);
+        if (!procs[t]->open(name, kOpenCreate | kOpenWrite).is_ok())
+          ++errors;
+        if (!procs[t]->unlink(name).is_ok()) ++errors;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_TRUE(p().readdir("/churn")->empty());
+}
+
+TEST_F(FsTest, ConcurrentRenamesInSharedDirectory) {
+  ASSERT_TRUE(p().mkdir("/rn").is_ok());
+  for (int t = 0; t < kThreads; ++t)
+    ASSERT_TRUE(
+        p().open("/rn/file" + std::to_string(t), kOpenCreate | kOpenWrite)
+            .is_ok());
+  std::vector<std::unique_ptr<core::Process>> procs;
+  for (int t = 0; t < kThreads; ++t) procs.push_back(fs_->open_process(1000, 1000));
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      std::string cur = "/rn/file" + std::to_string(t);
+      for (int i = 0; i < 50; ++i) {
+        const std::string next =
+            "/rn/f" + std::to_string(t) + "_" + std::to_string(i);
+        if (!procs[t]->rename(cur, next).is_ok()) ++errors;
+        cur = next;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(p().readdir("/rn")->size(), static_cast<std::size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_TRUE(
+        p().stat("/rn/f" + std::to_string(t) + "_49").is_ok());
+}
+
+TEST_F(FsTest, ConcurrentCrossDirectoryMoves) {
+  ASSERT_TRUE(p().mkdir("/boxa").is_ok());
+  ASSERT_TRUE(p().mkdir("/boxb").is_ok());
+  for (int t = 0; t < kThreads; ++t)
+    ASSERT_TRUE(p().open("/boxa/m" + std::to_string(t),
+                         kOpenCreate | kOpenWrite)
+                    .is_ok());
+  std::vector<std::unique_ptr<core::Process>> procs;
+  for (int t = 0; t < kThreads; ++t) procs.push_back(fs_->open_process(1000, 1000));
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      const std::string name = "m" + std::to_string(t);
+      for (int i = 0; i < 30; ++i) {
+        const std::string from = (i % 2 == 0 ? "/boxa/" : "/boxb/") + name;
+        const std::string to = (i % 2 == 0 ? "/boxb/" : "/boxa/") + name;
+        if (!procs[t]->rename(from, to).is_ok()) ++errors;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  // 30 moves (even) => everything back in boxa... moves: i=0 a->b, i=1 b->a,
+  // ... i=29 b->a: ends in boxa.
+  EXPECT_EQ(p().readdir("/boxa")->size(), static_cast<std::size_t>(kThreads));
+  EXPECT_TRUE(p().readdir("/boxb")->empty());
+}
+
+TEST_F(FsTest, ConcurrentLookupsDuringChurn) {
+  ASSERT_TRUE(p().mkdir("/mix").is_ok());
+  for (int i = 0; i < 50; ++i)
+    ASSERT_TRUE(p().open("/mix/stable" + std::to_string(i),
+                         kOpenCreate | kOpenWrite)
+                    .is_ok());
+  std::atomic<bool> stop{false};
+  std::atomic<int> lookup_errors{0};
+  std::thread churn([&] {
+    auto proc = fs_->open_process(1000, 1000);
+    for (int i = 0; i < 500 && !stop; ++i) {
+      const std::string name = "/mix/tmp" + std::to_string(i % 7);
+      (void)proc->open(name, kOpenCreate | kOpenWrite);
+      (void)proc->unlink(name);
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      auto proc = fs_->open_process(1000, 1000);
+      Rng rng(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string name =
+            "/mix/stable" + std::to_string(rng.below(50));
+        if (!proc->stat(name).is_ok()) ++lookup_errors;
+      }
+    });
+  }
+  churn.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(lookup_errors.load(), 0);
+}
+
+TEST_F(FsTest, SharedFileConcurrentReaders) {
+  auto fd = p().open("/shared.dat", kOpenCreate | kOpenWrite);
+  ASSERT_TRUE(fd.is_ok());
+  std::vector<char> data(64 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<char>(i * 131);
+  ASSERT_TRUE(p().pwrite(*fd, data.data(), data.size(), 0).is_ok());
+  std::vector<std::thread> ts;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      auto proc = fs_->open_process(1000, 1000);
+      auto rfd = proc->open("/shared.dat", kOpenRead);
+      ASSERT_TRUE(rfd.is_ok());
+      Rng rng(t);
+      char buf[4096];
+      for (int i = 0; i < 200; ++i) {
+        const std::uint64_t off = rng.below(data.size() - sizeof buf);
+        auto r = proc->pread(*rfd, buf, sizeof buf, off);
+        if (!r.is_ok() || *r != sizeof buf) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t k = 0; k < sizeof buf; k += 512)
+          if (buf[k] != static_cast<char>((off + k) * 131)) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(FsTest, ExclusiveWritersToSharedFileSerialize) {
+  auto fd = p().open("/wfile", kOpenCreate | kOpenWrite | kOpenRead);
+  ASSERT_TRUE(fd.is_ok());
+  ASSERT_TRUE(p().ftruncate(*fd, 4096).is_ok());
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      auto proc = fs_->open_process(1000, 1000);
+      auto wfd = proc->open("/wfile", kOpenWrite);
+      ASSERT_TRUE(wfd.is_ok());
+      // Each writer stamps the whole block with its id; exclusivity means a
+      // reader never sees a torn mix *after* all writers finish.
+      std::vector<char> blk(4096, static_cast<char>('A' + t));
+      for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(proc->pwrite(*wfd, blk.data(), blk.size(), 0).is_ok());
+    });
+  }
+  for (auto& th : ts) th.join();
+  char buf[4096];
+  ASSERT_TRUE(p().pread(*fd, buf, sizeof buf, 0).is_ok());
+  for (std::size_t i = 1; i < sizeof buf; ++i)
+    ASSERT_EQ(buf[i], buf[0]) << "torn write at byte " << i;
+}
+
+TEST_F(FsTest, ParallelAppendsToPrivateFiles) {
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      auto proc = fs_->open_process(1000, 1000);
+      auto fd = proc->open("/priv" + std::to_string(t),
+                           kOpenCreate | kOpenWrite | core::kOpenAppend);
+      ASSERT_TRUE(fd.is_ok());
+      char blk[1024];
+      std::memset(blk, t, sizeof blk);
+      for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(proc->write(*fd, blk, sizeof blk).is_ok());
+    });
+  }
+  for (auto& th : ts) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(p().stat("/priv" + std::to_string(t))->size, 100u * 1024);
+}
+
+}  // namespace
+}  // namespace simurgh::testing

@@ -1,0 +1,252 @@
+// Boundary conditions and hostile inputs at the POSIX surface.
+#include <cstring>
+
+#include "fs_fixture.h"
+
+namespace simurgh::testing {
+namespace {
+
+using core::kOpenAppend;
+using core::kOpenCreate;
+using core::kOpenExcl;
+using core::kOpenRead;
+using core::kOpenWrite;
+
+TEST_F(FsTest, RootCannotBeRemovedOrRenamed) {
+  EXPECT_EQ(p().rmdir("/").code(), Errc::invalid);
+  EXPECT_EQ(p().unlink("/").code(), Errc::invalid);
+  EXPECT_EQ(p().rename("/", "/other").code(), Errc::invalid);
+}
+
+TEST_F(FsTest, EmptyAndSlashOnlyPaths) {
+  EXPECT_FALSE(p().open("", kOpenRead).is_ok());
+  auto st = p().stat("///");
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_TRUE(st->is_dir());  // "///" is the root
+  EXPECT_EQ(p().stat("//")->inode, p().stat("/")->inode);
+}
+
+TEST_F(FsTest, RepeatedSlashesCollapse) {
+  ASSERT_TRUE(p().mkdir("/a").is_ok());
+  ASSERT_TRUE(p().open("/a//b", kOpenCreate | kOpenWrite).is_ok());
+  EXPECT_TRUE(p().stat("//a///b").is_ok());
+}
+
+TEST_F(FsTest, MaxLengthNameWorksOneOverFails) {
+  const std::string ok_name(core::kMaxName, 'x');
+  const std::string too_long(core::kMaxName + 1, 'x');
+  EXPECT_TRUE(p().open("/" + ok_name, kOpenCreate | kOpenWrite).is_ok());
+  EXPECT_TRUE(p().stat("/" + ok_name).is_ok());
+  EXPECT_EQ(p().open("/" + too_long, kOpenCreate | kOpenWrite).code(),
+            Errc::invalid);
+}
+
+TEST_F(FsTest, NamesWithUnusualBytes) {
+  for (const std::string name :
+       {"/sp ace", "/tab\tname", "/uni\xc3\xa9", "/dot.", "/.hidden",
+        "/-dash", "/#hash"}) {
+    EXPECT_TRUE(p().open(name, kOpenCreate | kOpenWrite).is_ok()) << name;
+    EXPECT_TRUE(p().stat(name).is_ok()) << name;
+    EXPECT_TRUE(p().unlink(name).is_ok()) << name;
+  }
+}
+
+TEST_F(FsTest, ZeroByteReadAndWrite) {
+  auto fd = p().open("/z", kOpenCreate | kOpenWrite | kOpenRead);
+  ASSERT_TRUE(fd.is_ok());
+  EXPECT_EQ(*p().write(*fd, "", 0), 0u);
+  char buf[1];
+  EXPECT_EQ(*p().read(*fd, buf, 0), 0u);
+  EXPECT_EQ(p().stat("/z")->size, 0u);
+}
+
+TEST_F(FsTest, RenameToSameNameIsNoOp) {
+  ASSERT_TRUE(p().open("/same", kOpenCreate | kOpenWrite).is_ok());
+  const auto ino = p().stat("/same")->inode;
+  EXPECT_TRUE(p().rename("/same", "/same").is_ok());
+  EXPECT_EQ(p().stat("/same")->inode, ino);
+}
+
+TEST_F(FsTest, RenameIntoOwnHashLine) {
+  // Exercise the l_old == l_new intra-line rename path: find two names
+  // hashing to the same directory line.
+  ASSERT_TRUE(p().mkdir("/h").is_ok());
+  std::string a = "seed", b;
+  const unsigned want = core::line_of(a);
+  for (int i = 0;; ++i) {
+    std::string cand = "c" + std::to_string(i);
+    if (core::line_of(cand) == want && cand != a) {
+      b = cand;
+      break;
+    }
+  }
+  ASSERT_TRUE(p().open("/h/" + a, kOpenCreate | kOpenWrite).is_ok());
+  const auto ino = p().stat("/h/" + a)->inode;
+  ASSERT_TRUE(p().rename("/h/" + a, "/h/" + b).is_ok());
+  EXPECT_EQ(p().stat("/h/" + b)->inode, ino);
+  EXPECT_EQ(p().stat("/h/" + a).code(), Errc::not_found);
+  // And back again.
+  ASSERT_TRUE(p().rename("/h/" + b, "/h/" + a).is_ok());
+  EXPECT_EQ(p().stat("/h/" + a)->inode, ino);
+}
+
+TEST_F(FsTest, FdTableExhaustionAndRecovery) {
+  auto fd0 = p().open("/many", kOpenCreate | kOpenWrite);
+  ASSERT_TRUE(fd0.is_ok());
+  std::vector<int> fds{*fd0};
+  for (;;) {
+    auto fd = p().open("/many", kOpenRead | kOpenWrite);
+    if (!fd.is_ok()) {
+      EXPECT_EQ(fd.code(), Errc::bad_fd);
+      break;
+    }
+    fds.push_back(*fd);
+    ASSERT_LE(fds.size(), static_cast<std::size_t>(
+                              core::OpenFileMap::kMaxFds + 1));
+  }
+  EXPECT_EQ(fds.size(), static_cast<std::size_t>(core::OpenFileMap::kMaxFds));
+  // Closing one slot makes open work again.
+  ASSERT_TRUE(p().close(fds.back()).is_ok());
+  EXPECT_TRUE(p().open("/many", kOpenRead).is_ok());
+  for (std::size_t i = 0; i + 1 < fds.size(); ++i)
+    ASSERT_TRUE(p().close(fds[i]).is_ok());
+}
+
+TEST_F(FsTest, SparseFileExtremes) {
+  auto fd = p().open("/sparse", kOpenCreate | kOpenWrite | kOpenRead);
+  ASSERT_TRUE(fd.is_ok());
+  // One byte at 100 MB: only the tail block is allocated.
+  const std::uint64_t far = 100ull << 20;
+  const std::uint64_t free_before = fs_->blocks().free_blocks();
+  ASSERT_TRUE(p().pwrite(*fd, "!", 1, far).is_ok());
+  EXPECT_LE(free_before - fs_->blocks().free_blocks(), 2u);
+  EXPECT_EQ(p().stat("/sparse")->size, far + 1);
+  char c = 0;
+  ASSERT_TRUE(p().pread(*fd, &c, 1, far).is_ok());
+  EXPECT_EQ(c, '!');
+  ASSERT_TRUE(p().pread(*fd, &c, 1, far / 2).is_ok());
+  EXPECT_EQ(c, '\0');
+}
+
+TEST_F(FsTest, DeviceFullSurfacesNoSpace) {
+  nvmm::Device tiny(80ull << 20);  // barely above the minimum layout
+  nvmm::Device shm(4ull << 20);
+  auto fs = core::FileSystem::format(tiny, shm);
+  auto proc = fs->open_process(1000, 1000);
+  auto fd = proc->open("/fill", kOpenCreate | kOpenWrite);
+  ASSERT_TRUE(fd.is_ok());
+  std::vector<char> chunk(1 << 20, 'f');
+  Status last = Status::ok();
+  for (int i = 0; i < 200 && last.is_ok(); ++i) {
+    auto r = proc->pwrite(*fd, chunk.data(), chunk.size(),
+                          static_cast<std::uint64_t>(i) << 20);
+    last = r.status();
+  }
+  EXPECT_EQ(last.code(), Errc::no_space);
+  // The file system stays functional after ENOSPC.
+  EXPECT_TRUE(proc->stat("/fill").is_ok());
+  ASSERT_TRUE(proc->ftruncate(*fd, 0).is_ok());
+  EXPECT_TRUE(
+      proc->pwrite(*fd, chunk.data(), 4096, 0).is_ok());
+}
+
+TEST_F(FsTest, HardLinkCountLimitsAndChains) {
+  ASSERT_TRUE(p().open("/base", kOpenCreate | kOpenWrite).is_ok());
+  for (int i = 0; i < 30; ++i)
+    ASSERT_TRUE(p().link("/base", "/ln" + std::to_string(i)).is_ok());
+  EXPECT_EQ(p().stat("/base")->nlink, 31u);
+  for (int i = 0; i < 30; ++i)
+    ASSERT_TRUE(p().unlink("/ln" + std::to_string(i)).is_ok());
+  EXPECT_EQ(p().stat("/base")->nlink, 1u);
+}
+
+TEST_F(FsTest, LinkToDirectoryRejected) {
+  ASSERT_TRUE(p().mkdir("/dir").is_ok());
+  EXPECT_EQ(p().link("/dir", "/dirlink").code(), Errc::is_dir);
+}
+
+TEST_F(FsTest, SymlinkToMissingTargetIsDangling) {
+  ASSERT_TRUE(p().symlink("/nowhere", "/dangling").is_ok());
+  EXPECT_EQ(p().stat("/dangling").code(), Errc::not_found);  // follows
+  EXPECT_TRUE(p().lstat("/dangling").is_ok());               // itself
+  EXPECT_EQ(*p().readlink("/dangling"), "/nowhere");
+}
+
+TEST_F(FsTest, ReaddirOnFileFails) {
+  ASSERT_TRUE(p().open("/plainf", kOpenCreate | kOpenWrite).is_ok());
+  EXPECT_EQ(p().readdir("/plainf").code(), Errc::not_dir);
+}
+
+TEST_F(FsTest, StatNonexistentComponentsInTheMiddle) {
+  ASSERT_TRUE(p().mkdir("/mid").is_ok());
+  EXPECT_EQ(p().stat("/mid/ghost/deeper").code(), Errc::not_found);
+  ASSERT_TRUE(p().open("/mid/file", kOpenCreate | kOpenWrite).is_ok());
+  EXPECT_EQ(p().stat("/mid/file/under").code(), Errc::not_dir);
+}
+
+TEST_F(FsTest, TruncateOnDirectoryFails) {
+  ASSERT_TRUE(p().mkdir("/td").is_ok());
+  EXPECT_EQ(p().truncate("/td", 0).code(), Errc::is_dir);
+}
+
+TEST_F(FsTest, WriteAtExactBlockBoundaries) {
+  auto fd = p().open("/bb", kOpenCreate | kOpenWrite | kOpenRead);
+  ASSERT_TRUE(fd.is_ok());
+  std::vector<char> blk(4096);
+  for (int i = 0; i < 4; ++i) {
+    std::memset(blk.data(), 'A' + i, blk.size());
+    ASSERT_EQ(*p().pwrite(*fd, blk.data(), blk.size(), i * 4096ull), 4096u);
+  }
+  EXPECT_EQ(p().stat("/bb")->size, 4u * 4096);
+  char probe;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(p().pread(*fd, &probe, 1, i * 4096ull + 4095).is_ok());
+    EXPECT_EQ(probe, 'A' + i);
+  }
+}
+
+TEST_F(FsTest, ManySmallAppendsMatchOneBigWrite) {
+  auto a = p().open("/small", kOpenCreate | kOpenWrite | kOpenAppend |
+                                  kOpenRead);
+  ASSERT_TRUE(a.is_ok());
+  std::string expect;
+  for (int i = 0; i < 500; ++i) {
+    const std::string piece = std::to_string(i) + ";";
+    ASSERT_TRUE(p().write(*a, piece.data(), piece.size()).is_ok());
+    expect += piece;
+  }
+  std::string got(expect.size(), '\0');
+  ASSERT_EQ(*p().pread(*a, got.data(), got.size(), 0), expect.size());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(FsTest, DirectoryWithManyDistinctHashLines) {
+  // 480 files = 10 per line on average: every line of the first block plus
+  // chained blocks get exercised, then fully drained.
+  ASSERT_TRUE(p().mkdir("/lines").is_ok());
+  for (int i = 0; i < 480; ++i)
+    ASSERT_TRUE(
+        p().open("/lines/n" + std::to_string(i), kOpenCreate | kOpenWrite)
+            .is_ok());
+  auto listing = p().readdir("/lines");
+  ASSERT_TRUE(listing.is_ok());
+  EXPECT_EQ(listing->size(), 480u);
+  for (int i = 479; i >= 0; --i)
+    ASSERT_TRUE(p().unlink("/lines/n" + std::to_string(i)).is_ok()) << i;
+  EXPECT_TRUE(p().readdir("/lines")->empty());
+  EXPECT_TRUE(p().rmdir("/lines").is_ok());
+}
+
+TEST_F(FsTest, ReuseAfterRmdirRecreatesCleanDirectory) {
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(p().mkdir("/cycle").is_ok());
+    ASSERT_TRUE(
+        p().open("/cycle/f", kOpenCreate | kOpenWrite).is_ok());
+    ASSERT_TRUE(p().unlink("/cycle/f").is_ok());
+    ASSERT_TRUE(p().rmdir("/cycle").is_ok());
+  }
+  EXPECT_EQ(p().stat("/cycle").code(), Errc::not_found);
+}
+
+}  // namespace
+}  // namespace simurgh::testing

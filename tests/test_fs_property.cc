@@ -1,0 +1,272 @@
+// Property-based testing: random operation sequences executed against both
+// Simurgh and an in-memory reference model must agree; crash injection at
+// random points must never lose committed state.
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "fs_fixture.h"
+
+namespace simurgh::testing {
+namespace {
+
+using core::kOpenCreate;
+using core::kOpenRead;
+using core::kOpenWrite;
+
+// A trivially correct reference: path -> file contents (files only, one
+// flat directory per test).  Directory ops are compared structurally.
+class ReferenceModel {
+ public:
+  bool create(const std::string& name) {
+    return files_.emplace(name, std::string()).second;
+  }
+  bool remove(const std::string& name) { return files_.erase(name) == 1; }
+  bool rename(const std::string& from, const std::string& to) {
+    auto it = files_.find(from);
+    if (it == files_.end()) return false;
+    std::string data = std::move(it->second);
+    files_.erase(it);
+    files_[to] = std::move(data);
+    return true;
+  }
+  bool write(const std::string& name, std::uint64_t off,
+             const std::string& data) {
+    auto it = files_.find(name);
+    if (it == files_.end()) return false;
+    std::string& f = it->second;
+    if (f.size() < off + data.size()) f.resize(off + data.size(), '\0');
+    f.replace(off, data.size(), data);
+    return true;
+  }
+  std::optional<std::string> read(const std::string& name, std::uint64_t off,
+                                  std::size_t n) const {
+    auto it = files_.find(name);
+    if (it == files_.end()) return std::nullopt;
+    if (off >= it->second.size()) return std::string();
+    return it->second.substr(off, n);
+  }
+  const std::map<std::string, std::string>& files() const { return files_; }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+class FsPropertyTest : public FsTest,
+                       public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(FsPropertyTest, RandomOpsMatchReferenceModel) {
+  Rng rng(GetParam());
+  ReferenceModel ref;
+  ASSERT_TRUE(p().mkdir("/w").is_ok());
+  auto name_of = [&](std::uint64_t i) {
+    return "/w/f" + std::to_string(i % 40);
+  };
+  for (int step = 0; step < 800; ++step) {
+    const std::uint64_t pick = rng.next();
+    const std::string name = name_of(rng.next());
+    switch (pick % 5) {
+      case 0: {  // create
+        const bool ref_ok = ref.create(name);
+        auto fd = p().open(name, kOpenCreate | core::kOpenExcl | kOpenWrite);
+        EXPECT_EQ(fd.is_ok(), ref_ok) << name << " step " << step;
+        if (fd.is_ok()) ASSERT_TRUE(p().close(*fd).is_ok());
+        break;
+      }
+      case 1: {  // unlink
+        const bool ref_ok = ref.remove(name);
+        EXPECT_EQ(p().unlink(name).is_ok(), ref_ok) << name;
+        break;
+      }
+      case 2: {  // rename
+        const std::string to = name_of(rng.next());
+        if (name == to) break;
+        const bool ref_ok = ref.rename(name, to);
+        EXPECT_EQ(p().rename(name, to).is_ok(), ref_ok)
+            << name << " -> " << to;
+        break;
+      }
+      case 3: {  // write
+        const std::uint64_t off = rng.below(20000);
+        std::string data(1 + rng.below(300), 'a' + char(rng.below(26)));
+        const bool ref_ok = ref.write(name, off, data);
+        auto fd = p().open(name, kOpenWrite);
+        if (!ref_ok) {
+          EXPECT_FALSE(fd.is_ok()) << name;
+          break;
+        }
+        ASSERT_TRUE(fd.is_ok()) << name;
+        EXPECT_EQ(*p().pwrite(*fd, data.data(), data.size(), off),
+                  data.size());
+        ASSERT_TRUE(p().close(*fd).is_ok());
+        break;
+      }
+      case 4: {  // read + compare
+        const std::uint64_t off = rng.below(20000);
+        const std::size_t n = 1 + rng.below(400);
+        const auto expect = ref.read(name, off, n);
+        auto fd = p().open(name, kOpenRead);
+        if (!expect.has_value()) {
+          EXPECT_FALSE(fd.is_ok()) << name;
+          break;
+        }
+        ASSERT_TRUE(fd.is_ok()) << name;
+        std::string buf(n, 'X');
+        auto r = p().pread(*fd, buf.data(), n, off);
+        ASSERT_TRUE(r.is_ok());
+        buf.resize(*r);
+        EXPECT_EQ(buf, *expect) << name << " off " << off;
+        ASSERT_TRUE(p().close(*fd).is_ok());
+        break;
+      }
+    }
+  }
+  // Final structural comparison.
+  auto listing = p().readdir("/w");
+  ASSERT_TRUE(listing.is_ok());
+  std::set<std::string> fs_names;
+  for (const auto& e : *listing) fs_names.insert("/w/" + e.name);
+  std::set<std::string> ref_names;
+  for (const auto& [n, _] : ref.files()) ref_names.insert(n);
+  EXPECT_EQ(fs_names, ref_names);
+  // Sizes agree for every surviving file.
+  for (const auto& [n, data] : ref.files())
+    EXPECT_EQ(p().stat(n)->size, data.size()) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Crash-anywhere property: arm a random fail point with a random skip
+// count, run a batch of metadata ops, crash somewhere inside, remount, and
+// check invariants (no duplicate names, no dangling entries, allocator
+// consistency).
+class FsCrashAnywhereTest : public FsTest,
+                            public ::testing::WithParamInterface<std::uint64_t> {
+};
+
+TEST_P(FsCrashAnywhereTest, InvariantsHoldAfterRandomCrash) {
+  static constexpr const char* kPoints[] = {
+      "objalloc.claimed",
+      "fs.create.inode_persisted",
+      "fs.create.entry_persisted",
+      "fs.create.published",
+      "dir.insert.before_publish",
+      "dir.insert.after_publish",
+      "dir.remove.entry_invalidated",
+      "dir.remove.entry_zeroed",
+      "dir.remove.slot_cleared",
+      "dir.rename.shadow_created",
+      "dir.rename.line_inconsistent",
+      "dir.rename.published",
+      "dir.xrename.log_armed",
+      "dir.xrename.dst_published",
+      "fs.drop_inode.storage_freed",
+  };
+  Rng rng(GetParam());
+  fs_->set_lease_ns(2'000'000);
+  ASSERT_TRUE(p().mkdir("/a").is_ok());
+  ASSERT_TRUE(p().mkdir("/b").is_ok());
+
+  const char* point = kPoints[rng.below(std::size(kPoints))];
+  FailPoint::arm(point, static_cast<int>(rng.below(20)));
+  bool crashed = false;
+  try {
+    for (int i = 0; i < 120 && !crashed; ++i) {
+      const std::string n = "/a/f" + std::to_string(rng.below(30));
+      switch (rng.below(4)) {
+        case 0:
+          (void)p().open(n, kOpenCreate | kOpenWrite);
+          break;
+        case 1:
+          (void)p().unlink(n);
+          break;
+        case 2:
+          (void)p().rename(n, "/a/g" + std::to_string(rng.below(30)));
+          break;
+        case 3:
+          (void)p().rename(n, "/b/x" + std::to_string(rng.below(30)));
+          break;
+      }
+    }
+  } catch (const CrashedException&) {
+    crashed = true;
+  }
+  FailPoint::disarm();
+
+  remount_after_crash();
+
+  // Invariant 1: directory listings contain no duplicate names and every
+  // entry resolves to a live inode.
+  for (const char* dir : {"/a", "/b"}) {
+    auto listing = p().readdir(dir);
+    ASSERT_TRUE(listing.is_ok());
+    std::set<std::string> names;
+    for (const auto& e : *listing) {
+      EXPECT_TRUE(names.insert(e.name).second)
+          << "duplicate " << e.name << " after crash at " << point;
+      EXPECT_TRUE(p().stat(std::string(dir) + "/" + e.name).is_ok());
+    }
+  }
+  // Invariant 2: a second recovery pass finds nothing left to fix.
+  const auto report = fs_->recover();
+  EXPECT_EQ(report.reclaimed_objects, 0u) << point;
+  EXPECT_EQ(report.committed_objects, 0u) << point;
+  // Invariant 3: the namespace still works.
+  EXPECT_TRUE(p().open("/a/post_crash", kOpenCreate | kOpenWrite).is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsCrashAnywhereTest,
+                         ::testing::Range<std::uint64_t>(100, 124));
+
+}  // namespace
+}  // namespace simurgh::testing
+
+namespace simurgh::testing {
+namespace {
+
+// Fuzz the path surface: arbitrary byte strings must never crash the
+// walker and must come back with a sensible error (or succeed).
+class PathFuzzTest : public FsTest,
+                     public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(PathFuzzTest, ArbitraryPathsNeverCrash) {
+  Rng rng(GetParam());
+  ASSERT_TRUE(p().mkdir("/real").is_ok());
+  ASSERT_TRUE(
+      p().open("/real/file", core::kOpenCreate | core::kOpenWrite).is_ok());
+  static const char alphabet[] = "/ab./\\\x01\xff ~$*?";
+  for (int i = 0; i < 400; ++i) {
+    std::string path;
+    const std::size_t len = rng.below(40);
+    for (std::size_t k = 0; k < len; ++k)
+      path += alphabet[rng.below(sizeof alphabet - 1)];
+    // None of these may crash; results are whatever POSIX-ish code fits.
+    (void)p().stat(path);
+    (void)p().open(path, core::kOpenRead);
+    (void)p().unlink(path);
+    (void)p().mkdir(path);
+    (void)p().readdir(path);
+    (void)p().rename(path, "/real/file");
+    (void)p().rename("/real/file", path);
+    // Keep the anchor file alive for the next round.
+    if (!p().stat("/real/file").is_ok())
+      ASSERT_TRUE(p().open("/real/file",
+                           core::kOpenCreate | core::kOpenWrite)
+                      .is_ok());
+  }
+  // The namespace survived the abuse.
+  EXPECT_TRUE(p().stat("/real").is_ok());
+  const auto report = fs_->recover();
+  EXPECT_TRUE(p().stat("/real/file").is_ok());
+  (void)report;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathFuzzTest,
+                         ::testing::Values(901, 902, 903, 904));
+
+}  // namespace
+}  // namespace simurgh::testing

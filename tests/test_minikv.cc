@@ -1,0 +1,117 @@
+// Tests for the minikv LSM store (the LevelDB stand-in under YCSB).
+#include <gtest/gtest.h>
+
+#include "baselines/kernelfs.h"
+#include "workloads/minikv.h"
+
+namespace simurgh::bench {
+namespace {
+
+class MiniKvTest : public ::testing::Test {
+ protected:
+  MiniKvTest() : fs_(world_, nova_profile()), kv_(make_kv()) {}
+
+  MiniKv make_kv() {
+    MiniKvOptions o;
+    o.memtable_budget = 8 << 10;  // tiny: force flushes in tests
+    o.compaction_trigger = 3;
+    return MiniKv(fs_, setup_, o);
+  }
+
+  sim::SimWorld world_;
+  KernelFs fs_;
+  sim::SimThread setup_{-1};
+  sim::SimThread t_{0};
+  MiniKv kv_;
+};
+
+TEST_F(MiniKvTest, PutGetRoundTrip) {
+  ASSERT_TRUE(kv_.put(t_, "alpha", 100).is_ok());
+  auto v = kv_.get(t_, "alpha");
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(*v, 100u);
+}
+
+TEST_F(MiniKvTest, MissingKeyNotFound) {
+  EXPECT_EQ(kv_.get(t_, "ghost").code(), Errc::not_found);
+}
+
+TEST_F(MiniKvTest, OverwriteReturnsLatestValue) {
+  ASSERT_TRUE(kv_.put(t_, "k", 10).is_ok());
+  ASSERT_TRUE(kv_.put(t_, "k", 20).is_ok());
+  EXPECT_EQ(*kv_.get(t_, "k"), 20u);
+}
+
+TEST_F(MiniKvTest, DeleteTombstones) {
+  ASSERT_TRUE(kv_.put(t_, "k", 10).is_ok());
+  ASSERT_TRUE(kv_.remove(t_, "k").is_ok());
+  EXPECT_EQ(kv_.get(t_, "k").code(), Errc::not_found);
+}
+
+TEST_F(MiniKvTest, FlushMovesDataToTablesAndStillReads) {
+  for (int i = 0; i < 50; ++i)
+    ASSERT_TRUE(kv_.put(t_, "key" + std::to_string(i), 500).is_ok());
+  ASSERT_TRUE(kv_.flush(t_).is_ok());
+  EXPECT_GE(kv_.table_count(), 1u);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(kv_.get(t_, "key" + std::to_string(i)).is_ok()) << i;
+}
+
+TEST_F(MiniKvTest, ValueSurvivesFlushAndOverwriteWins) {
+  ASSERT_TRUE(kv_.put(t_, "x", 111).is_ok());
+  ASSERT_TRUE(kv_.flush(t_).is_ok());
+  ASSERT_TRUE(kv_.put(t_, "x", 222).is_ok());  // newer, in memtable
+  EXPECT_EQ(*kv_.get(t_, "x"), 222u);
+  ASSERT_TRUE(kv_.flush(t_).is_ok());  // now both in tables
+  EXPECT_EQ(*kv_.get(t_, "x"), 222u);  // newest table wins
+}
+
+TEST_F(MiniKvTest, DeleteSurvivesFlush) {
+  ASSERT_TRUE(kv_.put(t_, "gone", 5).is_ok());
+  ASSERT_TRUE(kv_.flush(t_).is_ok());
+  ASSERT_TRUE(kv_.remove(t_, "gone").is_ok());
+  ASSERT_TRUE(kv_.flush(t_).is_ok());
+  EXPECT_EQ(kv_.get(t_, "gone").code(), Errc::not_found);
+}
+
+TEST_F(MiniKvTest, CompactionMergesTablesAndDropsTombstones) {
+  for (int round = 0; round < 6; ++round)
+    for (int i = 0; i < 30; ++i)
+      ASSERT_TRUE(
+          kv_.put(t_, "k" + std::to_string(i), 300 + round).is_ok());
+  ASSERT_TRUE(kv_.remove(t_, "k0").is_ok());
+  ASSERT_TRUE(kv_.flush(t_).is_ok());
+  EXPECT_GE(kv_.compactions(), 1u);
+  EXPECT_LE(kv_.table_count(), 3u);  // merged down
+  EXPECT_EQ(kv_.get(t_, "k0").code(), Errc::not_found);
+  EXPECT_EQ(*kv_.get(t_, "k1"), 305u);  // last round's value
+}
+
+TEST_F(MiniKvTest, ScanReturnsRequestedRange) {
+  for (int i = 10; i < 60; ++i)
+    ASSERT_TRUE(kv_.put(t_, "s" + std::to_string(i), 64).is_ok());
+  auto n = kv_.scan(t_, "s20", 15);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(*n, 15u);
+}
+
+TEST_F(MiniKvTest, WalRotationDeletesOldLogs) {
+  // Each flush rotates the WAL; the filesystem must not accumulate logs.
+  for (int i = 0; i < 200; ++i)
+    ASSERT_TRUE(kv_.put(t_, "w" + std::to_string(i), 400).is_ok());
+  auto names = fs_.readdir(t_, "/db");
+  ASSERT_TRUE(names.is_ok());
+  int wals = 0;
+  for (const auto& n : *names)
+    if (n.rfind("wal-", 0) == 0) ++wals;
+  EXPECT_EQ(wals, 1) << "exactly one live WAL after rotations";
+}
+
+TEST_F(MiniKvTest, ChargesApplicationTimeSeparately) {
+  const auto app_before = t_.bucket(sim::SimThread::Attr::app);
+  ASSERT_TRUE(kv_.put(t_, "attr", 128).is_ok());
+  EXPECT_GT(t_.bucket(sim::SimThread::Attr::app), app_before);
+}
+
+}  // namespace
+}  // namespace simurgh::bench

@@ -1,0 +1,107 @@
+// Tests for the DAX-style MappedFile view.
+#include <cstring>
+
+#include "common/rng.h"
+
+#include "core/mmap_view.h"
+#include "fs_fixture.h"
+
+namespace simurgh::testing {
+namespace {
+
+using core::kOpenCreate;
+using core::kOpenRead;
+using core::kOpenWrite;
+using core::MappedFile;
+
+class MmapViewTest : public FsTest {
+ protected:
+  int make_file(const std::string& path, const std::string& content) {
+    auto fd = p().open(path, kOpenCreate | kOpenWrite | kOpenRead);
+    EXPECT_TRUE(fd.is_ok());
+    EXPECT_TRUE(p().pwrite(*fd, content.data(), content.size(), 0).is_ok());
+    return *fd;
+  }
+};
+
+TEST_F(MmapViewTest, ZeroCopySpanPointsIntoTheDevice) {
+  make_file("/m", "mapped-bytes");
+  auto view = MappedFile::map(p(), "/m");
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_EQ(view->size(), 12u);
+  const auto span = view->span_at(0);
+  ASSERT_EQ(span.size(), 12u);
+  EXPECT_EQ(std::memcmp(span.data(), "mapped-bytes", 12), 0);
+  // Genuinely zero-copy: the span lies inside the NVMM device mapping.
+  EXPECT_TRUE(nvmm_->contains(span.data()));
+}
+
+TEST_F(MmapViewTest, SpanStopsAtExtentRunAndOffsetsWork) {
+  // Two discontiguous extents: write block 0 and block 2 (hole at 1).
+  const int fd = make_file("/gap", "");
+  std::vector<char> blk(4096, 'A');
+  ASSERT_TRUE(p().pwrite(fd, blk.data(), blk.size(), 0).is_ok());
+  std::fill(blk.begin(), blk.end(), 'C');
+  ASSERT_TRUE(p().pwrite(fd, blk.data(), blk.size(), 2 * 4096).is_ok());
+  auto view = MappedFile::map(p(), "/gap");
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_EQ(view->span_at(100).size(), 4096u - 100);  // stops at the hole
+  EXPECT_TRUE(view->span_at(4096).empty());           // the hole itself
+  const auto tail = view->span_at(2 * 4096 + 5);
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(std::to_integer<char>(tail[0]), 'C');
+}
+
+TEST_F(MmapViewTest, CopyStreamsAcrossHolesWithZeroFill) {
+  const int fd = make_file("/holes", "");
+  ASSERT_TRUE(p().pwrite(fd, "head", 4, 0).is_ok());
+  ASSERT_TRUE(p().pwrite(fd, "tail", 4, 2 * 4096).is_ok());
+  auto view = MappedFile::map(p(), "/holes");
+  ASSERT_TRUE(view.is_ok());
+  std::vector<char> buf(2 * 4096 + 4);
+  EXPECT_EQ(view->copy(buf.data(), buf.size(), 0), buf.size());
+  EXPECT_EQ(std::memcmp(buf.data(), "head", 4), 0);
+  EXPECT_EQ(buf[4096], '\0');
+  EXPECT_EQ(std::memcmp(buf.data() + 2 * 4096, "tail", 4), 0);
+  // Tail clamp at EOF.
+  EXPECT_EQ(view->copy(buf.data(), 100, 2 * 4096 + 2), 2u);
+}
+
+TEST_F(MmapViewTest, SeesWritesCoherently) {
+  const int fd = make_file("/coherent", "before--");
+  auto view = MappedFile::map(p(), "/coherent");
+  ASSERT_TRUE(view.is_ok());
+  ASSERT_TRUE(p().pwrite(fd, "after!!!", 8, 0).is_ok());
+  const auto span = view->span_at(0);
+  EXPECT_EQ(std::memcmp(span.data(), "after!!!", 8), 0);
+}
+
+TEST_F(MmapViewTest, PermissionAndTypeChecks) {
+  make_file("/secret", "x");
+  ASSERT_TRUE(p().chmod("/secret", 0200).is_ok());  // owner write-only
+  EXPECT_EQ(MappedFile::map(p(), "/secret").code(), Errc::permission);
+  ASSERT_TRUE(p().mkdir("/d").is_ok());
+  EXPECT_EQ(MappedFile::map(p(), "/d").code(), Errc::invalid);
+  EXPECT_EQ(MappedFile::map(p(), "/nope").code(), Errc::not_found);
+}
+
+TEST_F(MmapViewTest, TarStylePackViaMmapMatchesReads) {
+  // The tar use case: stream a large file through the view and compare
+  // with the read() path byte for byte.
+  const int fd = make_file("/big", "");
+  std::vector<char> data(300 * 1024);
+  simurgh::Rng rng(5);
+  for (auto& c : data) c = static_cast<char>(rng.next());
+  ASSERT_TRUE(p().pwrite(fd, data.data(), data.size(), 0).is_ok());
+  auto view = MappedFile::map(p(), "/big");
+  ASSERT_TRUE(view.is_ok());
+  std::vector<char> via_mmap(data.size());
+  EXPECT_EQ(view->copy(via_mmap.data(), via_mmap.size(), 0), data.size());
+  std::vector<char> via_read(data.size());
+  ASSERT_TRUE(p().pread(fd, via_read.data(), via_read.size(), 0).is_ok());
+  EXPECT_EQ(via_mmap, via_read);
+  EXPECT_EQ(via_mmap, data);
+}
+
+}  // namespace
+}  // namespace simurgh::testing

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nvmm/device.h"
+#include "nvmm/persist.h"
+#include "nvmm/pptr.h"
+
+namespace simurgh::nvmm {
+namespace {
+
+TEST(Device, AnonymousMappingIsZeroed) {
+  Device dev(1 << 20);
+  ASSERT_NE(dev.base(), nullptr);
+  EXPECT_GE(dev.size(), 1u << 20);
+  for (std::size_t i = 0; i < dev.size(); i += 4096)
+    EXPECT_EQ(std::to_integer<int>(dev.base()[i]), 0);
+}
+
+TEST(Device, RoundsUpToPageSize) {
+  Device dev(100);
+  EXPECT_EQ(dev.size(), 4096u);
+}
+
+TEST(Device, OffsetTranslation) {
+  Device dev(1 << 20);
+  EXPECT_EQ(dev.at(0), nullptr);  // offset 0 is null
+  std::byte* p = dev.at(64);
+  EXPECT_EQ(dev.offset_of(p), 64u);
+  EXPECT_TRUE(dev.contains(p));
+  EXPECT_FALSE(dev.contains(&p));
+}
+
+TEST(Device, WipeZeroes) {
+  Device dev(1 << 16);
+  std::memset(dev.base(), 0xAB, dev.size());
+  dev.wipe();
+  EXPECT_EQ(std::to_integer<int>(dev.base()[123]), 0);
+}
+
+TEST(Device, FileBackedPersistsAcrossMappings) {
+  const std::string path = ::testing::TempDir() + "/simurgh_dev_test.img";
+  {
+    Device dev(path, 1 << 16);
+    EXPECT_TRUE(dev.file_backed());
+    std::memcpy(dev.base(), "simurgh", 7);
+  }
+  {
+    Device dev(path, 1 << 16);
+    EXPECT_EQ(std::memcmp(dev.base(), "simurgh", 7), 0);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(Device, MoveTransfersOwnership) {
+  Device a(1 << 16);
+  std::byte* base = a.base();
+  Device b(std::move(a));
+  EXPECT_EQ(b.base(), base);
+  EXPECT_EQ(a.base(), nullptr);
+}
+
+TEST(Pptr, NullSemantics) {
+  pptr<int> p;
+  EXPECT_TRUE(p.is_null());
+  EXPECT_FALSE(p);
+  Device dev(1 << 16);
+  EXPECT_EQ(p.in(dev), nullptr);
+}
+
+TEST(Pptr, RoundTrip) {
+  Device dev(1 << 16);
+  auto* obj = reinterpret_cast<int*>(dev.at(128));
+  *obj = 77;
+  auto p = pptr<int>::to(dev, obj);
+  EXPECT_EQ(p.raw(), 128u);
+  EXPECT_EQ(*p.in(dev), 77);
+}
+
+TEST(Pptr, SurvivesRemapping) {
+  // The core property (§4.1): offsets stay valid when the mapping address
+  // changes.  Simulate by copying the device contents to a second device.
+  Device a(1 << 16);
+  *reinterpret_cast<int*>(a.at(256)) = 99;
+  pptr<int> p(256);
+  Device b(1 << 16);
+  std::memcpy(b.base(), a.base(), a.size());
+  EXPECT_EQ(*p.in(b), 99);
+}
+
+TEST(AtomicPptr, CompareExchange) {
+  atomic_pptr<int> cell;
+  pptr<int> expected;
+  EXPECT_TRUE(cell.compare_exchange(expected, pptr<int>(64)));
+  EXPECT_EQ(cell.load().raw(), 64u);
+  expected = pptr<int>(1);
+  EXPECT_FALSE(cell.compare_exchange(expected, pptr<int>(128)));
+  EXPECT_EQ(expected.raw(), 64u);  // observed value reported back
+}
+
+TEST(Persist, CountsFlushedLines) {
+  auto& s = persist_stats();
+  s.reset();
+  alignas(64) char buf[256];
+  persist(buf, 1);
+  EXPECT_EQ(s.flushed_lines.load(), 1u);
+  persist(buf, 65);  // spans two lines
+  EXPECT_EQ(s.flushed_lines.load(), 3u);
+}
+
+TEST(Persist, FenceAdvancesEpoch) {
+  auto& s = persist_stats();
+  s.reset();
+  const std::uint64_t e0 = fence();
+  const std::uint64_t e1 = fence();
+  EXPECT_EQ(e1, e0 + 1);
+  EXPECT_EQ(s.fences.load(), 2u);
+}
+
+TEST(Persist, OrderingObservable) {
+  // The write path's contract: data flush epoch <= fence epoch that
+  // precedes the metadata update.
+  auto& s = persist_stats();
+  s.reset();
+  char data[64];
+  const std::uint64_t data_epoch = persist(data, sizeof data);
+  const std::uint64_t fence_epoch = fence();
+  char meta[8];
+  const std::uint64_t meta_epoch = persist(meta, sizeof meta);
+  EXPECT_LE(data_epoch, fence_epoch);
+  EXPECT_GT(meta_epoch, data_epoch);
+}
+
+TEST(Persist, NtCopyCountsBytes) {
+  auto& s = persist_stats();
+  s.reset();
+  char src[100], dst[100];
+  std::memset(src, 5, sizeof src);
+  nt_copy(dst, src, sizeof src);
+  EXPECT_EQ(s.nt_bytes.load(), 100u);
+  EXPECT_EQ(std::memcmp(src, dst, sizeof src), 0);
+}
+
+}  // namespace
+}  // namespace simurgh::nvmm

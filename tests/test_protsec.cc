@@ -1,0 +1,277 @@
+// Tests for the protected-function security model (§3).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "protsec/bootstrap.h"
+#include "protsec/cyclemodel.h"
+#include "protsec/gateway.h"
+#include "protsec/pagetable.h"
+
+namespace simurgh::protsec {
+namespace {
+
+TEST(CycleModel, MatchesPaperNumbers) {
+  // §3.3: jmpp+pret ≈ 70 cycles; delta over a call ≈ 46 cycles (the value
+  // the evaluation charges to every Simurgh call).
+  EXPECT_EQ(kCycleModel.jmpp_pret(), 70u);
+  EXPECT_EQ(kCycleModel.jmpp_delta(), 46u);
+  EXPECT_EQ(kCycleModel.call, 24u);
+  EXPECT_EQ(kCycleModel.gem5_syscall, 1200u);
+  EXPECT_EQ(kCycleModel.host_syscall, 400u);
+}
+
+TEST(PageTable, UserCannotSetEpBit) {
+  PageTable pt;
+  Pte pte;
+  pte.ep = true;
+  EXPECT_EQ(pt.map(Cpl::user, 0x1000, pte), Fault::privileged_bit);
+  EXPECT_EQ(pt.map(Cpl::kernel, 0x1000, pte), Fault::none);
+  EXPECT_EQ(pt.set_ep(Cpl::user, 0x1000, false), Fault::privileged_bit);
+  EXPECT_EQ(pt.set_ep(Cpl::kernel, 0x1000, false), Fault::none);
+}
+
+TEST(PageTable, UserCannotWriteEpPage) {
+  // §3.1 Requirement 2: normal functions cannot change protected code.
+  PageTable pt;
+  Pte pte;
+  pte.ep = true;
+  pte.writable = true;
+  pte.user = true;
+  ASSERT_EQ(pt.map(Cpl::kernel, 0x2000, pte), Fault::none);
+  EXPECT_EQ(pt.check_write(Cpl::user, 0x2100), Fault::write_protected);
+  EXPECT_EQ(pt.check_write(Cpl::kernel, 0x2100), Fault::none);
+}
+
+TEST(PageTable, UserCannotWriteKernelPage) {
+  // §3.1 Requirement 1: FS data/metadata pages are kernel pages.
+  PageTable pt;
+  Pte pte;
+  pte.writable = true;
+  pte.user = false;
+  ASSERT_EQ(pt.map(Cpl::kernel, 0x3000, pte), Fault::none);
+  EXPECT_EQ(pt.check_write(Cpl::user, 0x3000), Fault::write_protected);
+  EXPECT_EQ(pt.check_write(Cpl::kernel, 0x3000), Fault::none);
+}
+
+TEST(PageTable, UserCannotRemapProtectedPage) {
+  // §3.2: mmap() is modified to refuse replacing protected mappings.
+  PageTable pt;
+  Pte prot;
+  prot.ep = true;
+  ASSERT_EQ(pt.map(Cpl::kernel, 0x4000, prot), Fault::none);
+  Pte attack;
+  attack.writable = true;
+  attack.user = true;
+  EXPECT_EQ(pt.remap(Cpl::user, 0x4000, attack), Fault::privileged_bit);
+  EXPECT_EQ(pt.remap(Cpl::kernel, 0x4000, attack), Fault::none);
+}
+
+TEST(PageTable, JmppChecks) {
+  PageTable pt;
+  EXPECT_EQ(pt.check_jmpp(0x5000), Fault::not_present);
+  Pte plain;
+  plain.user = true;
+  ASSERT_EQ(pt.map(Cpl::kernel, 0x5000, plain), Fault::none);
+  EXPECT_EQ(pt.check_jmpp(0x5000), Fault::not_executable_protected);
+  ASSERT_EQ(pt.set_ep(Cpl::kernel, 0x5000, true), Fault::none);
+  EXPECT_EQ(pt.check_jmpp(0x5000), Fault::none);
+  EXPECT_EQ(pt.check_jmpp(0x5400), Fault::none);   // entry offset 0x400
+  EXPECT_EQ(pt.check_jmpp(0x5404), Fault::bad_entry_offset);
+  EXPECT_EQ(pt.check_jmpp(0x5123), Fault::bad_entry_offset);
+}
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  void install(std::array<ProtFn, kEntriesPerPage> entries,
+               std::uint64_t vaddr = 0x10000) {
+    ASSERT_EQ(gw_.install_page(Cpl::kernel, vaddr, std::move(entries)),
+              Fault::none);
+  }
+  PageTable pt_;
+  Gateway gw_{pt_};
+};
+
+TEST_F(GatewayTest, UserCannotInstall) {
+  EXPECT_EQ(gw_.install_page(Cpl::user, 0x10000, {}),
+            Fault::privileged_bit);
+}
+
+TEST_F(GatewayTest, JmppRunsWithKernelPrivilege) {
+  Cpl seen = Cpl::user;
+  install({[&](void*) -> std::uint64_t {
+             seen = gw_.current_cpl();
+             return 42;
+           },
+           nullptr, nullptr, nullptr});
+  std::uint64_t result = 0;
+  EXPECT_EQ(gw_.jmpp(0x10000, nullptr, &result), Fault::none);
+  EXPECT_EQ(result, 42u);
+  EXPECT_EQ(seen, Cpl::kernel);             // escalated inside
+  EXPECT_EQ(gw_.current_cpl(), Cpl::user);  // dropped after pret
+  EXPECT_EQ(gw_.nesting(), 0);
+}
+
+TEST_F(GatewayTest, JmppToNopSlotFaults) {
+  install({[](void*) -> std::uint64_t { return 1; }, nullptr, nullptr,
+           nullptr});
+  EXPECT_EQ(gw_.jmpp(0x10400, nullptr), Fault::bad_entry_offset);
+}
+
+TEST_F(GatewayTest, JmppToMisalignedOffsetFaults) {
+  install({[](void*) -> std::uint64_t { return 1; }, nullptr, nullptr,
+           nullptr});
+  EXPECT_EQ(gw_.jmpp(0x10008, nullptr), Fault::bad_entry_offset);
+}
+
+TEST_F(GatewayTest, JmppToUnprotectedPageFaults) {
+  Pte plain;
+  plain.user = true;
+  ASSERT_EQ(pt_.map(Cpl::kernel, 0x20000, plain), Fault::none);
+  EXPECT_EQ(gw_.jmpp(0x20000, nullptr), Fault::not_executable_protected);
+}
+
+TEST_F(GatewayTest, NestedJmppKeepsPrivilegeUntilOutermostPret) {
+  int inner_nest = 0;
+  Cpl cpl_after_inner = Cpl::user;
+  install({[&](void*) -> std::uint64_t {  // entry 0: outer
+             std::uint64_t r = 0;
+             gw_.jmpp(0x10400, nullptr, &r);
+             cpl_after_inner = gw_.current_cpl();
+             return r;
+           },
+           [&](void*) -> std::uint64_t {  // entry 1: inner
+             inner_nest = gw_.nesting();
+             return 7;
+           },
+           nullptr, nullptr});
+  std::uint64_t result = 0;
+  EXPECT_EQ(gw_.jmpp(0x10000, nullptr, &result), Fault::none);
+  EXPECT_EQ(result, 7u);
+  EXPECT_EQ(inner_nest, 2);
+  EXPECT_EQ(cpl_after_inner, Cpl::kernel);  // still kernel after inner pret
+  EXPECT_EQ(gw_.current_cpl(), Cpl::user);
+}
+
+TEST_F(GatewayTest, PretWithoutJmppFaults) {
+  EXPECT_EQ(gw_.pret(), Fault::pret_without_jmpp);
+}
+
+TEST_F(GatewayTest, ProtectedStackShieldsReturnAddresses) {
+  std::size_t depth_inside = 0;
+  install({[&](void*) -> std::uint64_t {
+             depth_inside = gw_.protected_stack_depth();
+             return 0;
+           },
+           nullptr, nullptr, nullptr});
+  EXPECT_EQ(gw_.protected_stack_depth(), 0u);
+  ASSERT_EQ(gw_.jmpp(0x10000, nullptr), Fault::none);
+  EXPECT_EQ(depth_inside, 1u);              // return address parked inside
+  EXPECT_EQ(gw_.protected_stack_depth(), 0u);
+}
+
+TEST_F(GatewayTest, ChargesCycleModelCosts) {
+  install({[](void*) -> std::uint64_t { return 0; }, nullptr, nullptr,
+           nullptr});
+  gw_.reset_cycles();
+  ASSERT_EQ(gw_.jmpp(0x10000, nullptr), Fault::none);
+  EXPECT_EQ(gw_.cycles(), kCycleModel.jmpp_pret());
+  ASSERT_EQ(gw_.jmpp(0x10000, nullptr), Fault::none);
+  EXPECT_EQ(gw_.cycles(), 2 * kCycleModel.jmpp_pret());
+}
+
+TEST(Bootstrap, RejectsNonWhitelistedLibrary) {
+  PageTable pt;
+  Gateway gw(pt);
+  Bootstrap boot(pt, gw);
+  auto h = boot.load_protected("evil", {[](void*) -> std::uint64_t { return 0; }},
+                               Credentials{1000, 1000});
+  EXPECT_EQ(h.code(), Errc::permission);
+}
+
+TEST(Bootstrap, LoadsWhitelistedLibraryAcrossPages) {
+  PageTable pt;
+  Gateway gw(pt);
+  Bootstrap boot(pt, gw);
+  boot.whitelist("simurgh");
+  std::vector<ProtFn> fns;
+  for (int i = 0; i < 6; ++i)  // spans two pages (4 entries per page)
+    fns.push_back([i](void*) -> std::uint64_t { return 100 + i; });
+  auto h = boot.load_protected("simurgh", std::move(fns),
+                               Credentials{1000, 1000});
+  ASSERT_TRUE(h.is_ok());
+  EXPECT_EQ(h->creds.euid, 1000u);
+  for (int i = 0; i < 6; ++i) {
+    std::uint64_t r = 0;
+    EXPECT_EQ(gw.jmpp(h->entry(i), nullptr, &r), Fault::none) << i;
+    EXPECT_EQ(r, 100u + i);
+  }
+  // Entry 6 would be slot 2 of page 2 — installed as nop, must fault.
+  EXPECT_EQ(gw.jmpp(h->entry(6), nullptr), Fault::bad_entry_offset);
+}
+
+}  // namespace
+}  // namespace simurgh::protsec
+
+namespace simurgh::protsec {
+namespace {
+
+TEST(GatewayThreads, PerThreadPrivilegeIsolation) {
+  // The CPL, nesting counter and protected stack are per-hardware-thread
+  // state: one thread sitting inside a protected function must not leak
+  // privilege to another (§3.2's multi-threading discussion).
+  PageTable pt;
+  Gateway gw(pt);
+  std::atomic<bool> inside{false}, checked{false};
+  std::array<ProtFn, kEntriesPerPage> entries{};
+  entries[0] = [&](void*) -> std::uint64_t {
+    inside.store(true, std::memory_order_release);
+    while (!checked.load(std::memory_order_acquire)) {
+    }
+    return 0;
+  };
+  ASSERT_EQ(gw.install_page(Cpl::kernel, 0x30000, std::move(entries)),
+            Fault::none);
+
+  std::thread worker([&] { ASSERT_EQ(gw.jmpp(0x30000, nullptr), Fault::none); });
+  while (!inside.load(std::memory_order_acquire)) {
+  }
+  // This thread observes *its own* CPU state, not the worker's.
+  EXPECT_EQ(gw.current_cpl(), Cpl::user);
+  EXPECT_EQ(gw.nesting(), 0);
+  EXPECT_EQ(gw.protected_stack_depth(), 0u);
+  EXPECT_EQ(gw.pret(), Fault::pret_without_jmpp);
+  checked.store(true, std::memory_order_release);
+  worker.join();
+}
+
+TEST(GatewayThreads, ConcurrentJmppsAllSucceed) {
+  PageTable pt;
+  Gateway gw(pt);
+  std::array<ProtFn, kEntriesPerPage> entries{};
+  entries[0] = [](void* a) -> std::uint64_t {
+    return *static_cast<std::uint64_t*>(a) * 2;
+  };
+  ASSERT_EQ(gw.install_page(Cpl::kernel, 0x40000, std::move(entries)),
+            Fault::none);
+  std::vector<std::thread> ts;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        std::uint64_t arg = t * 1000 + i, out = 0;
+        if (gw.jmpp(0x40000, &arg, &out) != Fault::none || out != arg * 2)
+          ++failures;
+        if (gw.current_cpl() != Cpl::user) ++failures;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace simurgh::protsec

@@ -1,0 +1,252 @@
+// Tests for workload generators and end-to-end harness plumbing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/vfs.h"
+#include "harness/runner.h"
+#include "workloads/filebench.h"
+#include "workloads/gitsim.h"
+#include "workloads/srctree.h"
+#include "workloads/tarsim.h"
+#include "workloads/ycsb.h"
+
+namespace simurgh::bench {
+namespace {
+
+TEST(SrcTree, DeterministicAndShaped) {
+  SrcTreeConfig cfg;
+  cfg.scale = 0.01;
+  const auto a = make_srctree(cfg);
+  const auto b = make_srctree(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97)
+    EXPECT_EQ(a[i].path, b[i].path);
+
+  std::uint64_t files = 0, dirs = 0, bytes = 0;
+  std::set<std::string> paths;
+  for (const auto& f : a) {
+    EXPECT_TRUE(paths.insert(f.path).second) << "duplicate " << f.path;
+    if (f.is_dir) ++dirs;
+    else {
+      ++files;
+      bytes += f.size;
+      EXPECT_GE(f.size, 128u);
+      EXPECT_LE(f.size, 1u << 20);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(files), 670, 10);
+  EXPECT_NEAR(static_cast<double>(files) / static_cast<double>(dirs), 8, 3);
+  // Mean size roughly 10-20 KB, like a kernel tree.
+  EXPECT_GT(bytes / files, 6000u);
+  EXPECT_LT(bytes / files, 40000u);
+}
+
+TEST(SrcTree, DirectoriesPrecedeTheirFiles) {
+  SrcTreeConfig cfg;
+  cfg.scale = 0.005;
+  const auto tree = make_srctree(cfg);
+  std::set<std::string> seen_dirs;
+  for (const auto& f : tree) {
+    if (f.is_dir) seen_dirs.insert(f.path);
+    const std::string parent = parent_of(f.path);
+    if (parent != "/") {
+      EXPECT_TRUE(seen_dirs.count(parent)) << f.path;
+    }
+  }
+}
+
+TEST(SrcTree, PopulatesAnyBackend) {
+  sim::SimWorld world;
+  auto fs = make_backend(Backend::nova, world);
+  sim::SimThread t;
+  SrcTreeConfig cfg;
+  cfg.scale = 0.005;
+  const auto tree = make_srctree(cfg);
+  const std::uint64_t bytes = populate(*fs, t, tree);
+  EXPECT_GT(bytes, 0u);
+  for (const auto& f : tree)
+    EXPECT_TRUE(fs->resolve(t, f.path).is_ok()) << f.path;
+}
+
+TEST(Fxmark, EveryVariantProducesThroughputOnEveryBackend) {
+  for (Backend b : all_backends()) {
+    for (FxOp op : {FxOp::create_private, FxOp::create_shared,
+                    FxOp::delete_private, FxOp::rename_shared,
+                    FxOp::resolve_private, FxOp::resolve_shared,
+                    FxOp::append_private, FxOp::fallocate_private,
+                    FxOp::read_shared, FxOp::read_private,
+                    FxOp::write_shared, FxOp::write_private}) {
+      sim::SimWorld world;
+      auto fs = make_backend(b, world);
+      FxConfig cfg;
+      cfg.threads = 2;
+      cfg.ops_per_thread = 20;
+      cfg.file_bytes = 1 << 20;
+      cfg.falloc_chunk = 64 << 10;
+      const double tput = run_fxmark(*fs, op, cfg);
+      EXPECT_GT(tput, 0.0) << backend_name(b) << " " << fx_name(op);
+    }
+  }
+}
+
+TEST(Fxmark, SharedCreateScalesOnlyForSimurgh) {
+  auto tput = [](Backend b, int threads) {
+    sim::SimWorld world;
+    auto fs = make_backend(b, world);
+    FxConfig cfg;
+    cfg.threads = threads;
+    cfg.ops_per_thread = 300;
+    return run_fxmark(*fs, FxOp::create_shared, cfg);
+  };
+  const double s1 = tput(Backend::simurgh, 1);
+  const double s8 = tput(Backend::simurgh, 8);
+  EXPECT_GT(s8 / s1, 4.0) << "Simurgh must scale in a shared directory";
+  const double n1 = tput(Backend::nova, 1);
+  const double n8 = tput(Backend::nova, 8);
+  EXPECT_LT(n8 / n1, 1.5) << "NOVA must serialize in a shared directory";
+}
+
+TEST(Fxmark, CachedReadsBeatNvmmBoundReads) {
+  sim::SimWorld w1, w2;
+  auto a = make_backend(Backend::simurgh, w1);
+  auto b = make_backend(Backend::simurgh, w2);
+  FxConfig cfg;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 200;
+  cfg.file_bytes = 4 << 20;
+  cfg.cached_reads = true;
+  const double cached = run_fxmark(*a, FxOp::read_private, cfg);
+  cfg.cached_reads = false;
+  const double bound = run_fxmark(*b, FxOp::read_private, cfg);
+  EXPECT_GT(cached, bound * 1.5);
+}
+
+TEST(Filebench, AllPersonalitiesRunOnAllBackends) {
+  for (Backend b : all_backends()) {
+    for (auto kind : {FilebenchKind::varmail, FilebenchKind::webserver,
+                      FilebenchKind::webproxy, FilebenchKind::fileserver}) {
+      sim::SimWorld world;
+      auto fs = make_backend(b, world);
+      FilebenchConfig cfg;
+      cfg.kind = kind;
+      cfg.scale = 0.02;
+      cfg.flows_per_thread = 3;
+      cfg.threads = 4;
+      auto r = run_filebench(*fs, cfg);
+      EXPECT_GT(r.ops_per_sec, 0.0)
+          << backend_name(b) << " " << filebench_name(kind);
+    }
+  }
+}
+
+TEST(Filebench, VarmailFavorsSimurghOverNova) {
+  auto run = [](Backend b) {
+    sim::SimWorld world;
+    auto fs = make_backend(b, world);
+    FilebenchConfig cfg;
+    cfg.kind = FilebenchKind::varmail;
+    cfg.scale = 0.05;
+    cfg.flows_per_thread = 20;
+    return run_filebench(*fs, cfg).ops_per_sec;
+  };
+  EXPECT_GT(run(Backend::simurgh), run(Backend::nova) * 1.3);
+}
+
+TEST(Ycsb, WorkloadsRunAndBreakdownSumsToOne) {
+  sim::SimWorld world;
+  auto fs = make_backend(Backend::simurgh, world);
+  YcsbConfig cfg;
+  cfg.record_count = 500;
+  cfg.ops = 500;
+  for (auto w : {YcsbWorkload::load_a, YcsbWorkload::run_a,
+                 YcsbWorkload::run_c, YcsbWorkload::run_e}) {
+    sim::SimWorld w2;
+    auto fs2 = make_backend(Backend::simurgh, w2);
+    auto r = run_ycsb(*fs2, w, cfg);
+    EXPECT_GT(r.ops_per_sec, 0.0) << ycsb_name(w);
+    EXPECT_NEAR(r.frac_app + r.frac_copy + r.frac_fs, 1.0, 1e-9);
+  }
+  (void)fs;
+}
+
+TEST(Ycsb, SimurghFsShareSmall) {
+  // Fig. 10's claim, at test scale: the FS share under Simurgh stays low.
+  sim::SimWorld world;
+  auto fs = make_backend(Backend::simurgh, world);
+  YcsbConfig cfg;
+  cfg.record_count = 1500;
+  cfg.ops = 1500;
+  auto r = run_ycsb(*fs, YcsbWorkload::run_a, cfg);
+  EXPECT_LT(r.frac_fs, 0.25);
+}
+
+TEST(Tar, PackAndUnpackProduceThroughput) {
+  sim::SimWorld world;
+  auto fs = make_backend(Backend::simurgh, world);
+  SrcTreeConfig cfg;
+  cfg.scale = 0.005;
+  auto r = run_tar(*fs, cfg);
+  EXPECT_GT(r.pack_mb_per_sec, 0.0);
+  EXPECT_GT(r.unpack_mb_per_sec, 0.0);
+  EXPECT_GT(r.bytes, 0u);
+}
+
+TEST(Tar, UnpackGapFavorsSimurgh) {
+  // Fig. 11: Simurgh unpack ≈ 2x kernel FSs (attribute syscalls per file).
+  auto run = [](Backend b) {
+    sim::SimWorld world;
+    auto fs = make_backend(b, world);
+    SrcTreeConfig cfg;
+    cfg.scale = 0.005;
+    return run_tar(*fs, cfg);
+  };
+  const auto s = run(Backend::simurgh);
+  const auto n = run(Backend::nova);
+  EXPECT_GT(s.unpack_mb_per_sec, n.unpack_mb_per_sec * 1.3);
+  EXPECT_GT(s.pack_mb_per_sec, n.pack_mb_per_sec);
+}
+
+TEST(Git, CommitGapExceedsAddAndResetGaps) {
+  // Fig. 12: add/reset are application-bound (small gaps), commit is
+  // metadata-bound (large gap).
+  auto run = [](Backend b) {
+    sim::SimWorld world;
+    auto fs = make_backend(b, world);
+    SrcTreeConfig cfg;
+    cfg.scale = 0.004;
+    return run_git(*fs, cfg);
+  };
+  const auto s = run(Backend::simurgh);
+  const auto p = run(Backend::pmfs);
+  const double add_gap = s.add_files_per_sec / p.add_files_per_sec;
+  const double commit_gap = s.commit_files_per_sec / p.commit_files_per_sec;
+  const double reset_gap = s.reset_files_per_sec / p.reset_files_per_sec;
+  EXPECT_GT(commit_gap, add_gap);
+  EXPECT_GT(commit_gap, reset_gap);
+  EXPECT_NEAR(commit_gap, 1.48, 0.35);  // paper: +48% vs PMFS
+}
+
+TEST(Harness, SweepProducesSeriesPerBackend) {
+  FxConfig cfg;
+  cfg.ops_per_thread = 30;
+  auto series = sweep_fxmark(FxOp::create_private, cfg,
+                             {Backend::simurgh, Backend::nova}, {1, 2});
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].backend, "Simurgh");
+  ASSERT_EQ(series[0].points.size(), 2u);
+  EXPECT_GT(series[0].points[0].value, 0.0);
+  auto table = sweep_table("t", series, {1, 2});
+  EXPECT_NE(table.render().find("Simurgh"), std::string::npos);
+}
+
+TEST(Harness, BenchScaleDefaultsToOne) {
+  ::unsetenv("SIMURGH_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  ::setenv("SIMURGH_BENCH_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 2.5);
+  ::unsetenv("SIMURGH_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace simurgh::bench
