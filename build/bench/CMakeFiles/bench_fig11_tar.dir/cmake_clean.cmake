@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_tar.dir/bench_fig11_tar.cc.o"
+  "CMakeFiles/bench_fig11_tar.dir/bench_fig11_tar.cc.o.d"
+  "bench_fig11_tar"
+  "bench_fig11_tar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_drbl.cc" "bench/CMakeFiles/bench_fig6_drbl.dir/bench_fig6_drbl.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_drbl.dir/bench_fig6_drbl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simurgh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_nvmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_protsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_drbl.dir/bench_fig6_drbl.cc.o"
+  "CMakeFiles/bench_fig6_drbl.dir/bench_fig6_drbl.cc.o.d"
+  "bench_fig6_drbl"
+  "bench_fig6_drbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_drbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

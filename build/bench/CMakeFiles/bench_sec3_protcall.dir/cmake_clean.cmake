@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_protcall.dir/bench_sec3_protcall.cc.o"
+  "CMakeFiles/bench_sec3_protcall.dir/bench_sec3_protcall.cc.o.d"
+  "bench_sec3_protcall"
+  "bench_sec3_protcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_protcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_service.dir/protected_service.cc.o"
+  "CMakeFiles/protected_service.dir/protected_service.cc.o.d"
+  "protected_service"
+  "protected_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

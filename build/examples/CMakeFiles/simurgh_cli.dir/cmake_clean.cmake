@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_cli.dir/simurgh_cli.cc.o"
+  "CMakeFiles/simurgh_cli.dir/simurgh_cli.cc.o.d"
+  "simurgh_cli"
+  "simurgh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

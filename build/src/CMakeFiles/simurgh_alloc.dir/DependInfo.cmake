@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/block_alloc.cc" "src/CMakeFiles/simurgh_alloc.dir/alloc/block_alloc.cc.o" "gcc" "src/CMakeFiles/simurgh_alloc.dir/alloc/block_alloc.cc.o.d"
+  "/root/repo/src/alloc/obj_alloc.cc" "src/CMakeFiles/simurgh_alloc.dir/alloc/obj_alloc.cc.o" "gcc" "src/CMakeFiles/simurgh_alloc.dir/alloc/obj_alloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simurgh_nvmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

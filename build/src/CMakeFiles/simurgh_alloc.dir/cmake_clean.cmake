@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_alloc.dir/alloc/block_alloc.cc.o"
+  "CMakeFiles/simurgh_alloc.dir/alloc/block_alloc.cc.o.d"
+  "CMakeFiles/simurgh_alloc.dir/alloc/obj_alloc.cc.o"
+  "CMakeFiles/simurgh_alloc.dir/alloc/obj_alloc.cc.o.d"
+  "libsimurgh_alloc.a"
+  "libsimurgh_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ext4dax.cc" "src/CMakeFiles/simurgh_baselines.dir/baselines/ext4dax.cc.o" "gcc" "src/CMakeFiles/simurgh_baselines.dir/baselines/ext4dax.cc.o.d"
+  "/root/repo/src/baselines/kernelfs.cc" "src/CMakeFiles/simurgh_baselines.dir/baselines/kernelfs.cc.o" "gcc" "src/CMakeFiles/simurgh_baselines.dir/baselines/kernelfs.cc.o.d"
+  "/root/repo/src/baselines/novafs.cc" "src/CMakeFiles/simurgh_baselines.dir/baselines/novafs.cc.o" "gcc" "src/CMakeFiles/simurgh_baselines.dir/baselines/novafs.cc.o.d"
+  "/root/repo/src/baselines/pmfs.cc" "src/CMakeFiles/simurgh_baselines.dir/baselines/pmfs.cc.o" "gcc" "src/CMakeFiles/simurgh_baselines.dir/baselines/pmfs.cc.o.d"
+  "/root/repo/src/baselines/simurgh_backend.cc" "src/CMakeFiles/simurgh_baselines.dir/baselines/simurgh_backend.cc.o" "gcc" "src/CMakeFiles/simurgh_baselines.dir/baselines/simurgh_backend.cc.o.d"
+  "/root/repo/src/baselines/splitfs.cc" "src/CMakeFiles/simurgh_baselines.dir/baselines/splitfs.cc.o" "gcc" "src/CMakeFiles/simurgh_baselines.dir/baselines/splitfs.cc.o.d"
+  "/root/repo/src/baselines/vfs.cc" "src/CMakeFiles/simurgh_baselines.dir/baselines/vfs.cc.o" "gcc" "src/CMakeFiles/simurgh_baselines.dir/baselines/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simurgh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_nvmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_protsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

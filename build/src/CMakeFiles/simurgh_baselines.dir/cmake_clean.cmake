@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_baselines.dir/baselines/ext4dax.cc.o"
+  "CMakeFiles/simurgh_baselines.dir/baselines/ext4dax.cc.o.d"
+  "CMakeFiles/simurgh_baselines.dir/baselines/kernelfs.cc.o"
+  "CMakeFiles/simurgh_baselines.dir/baselines/kernelfs.cc.o.d"
+  "CMakeFiles/simurgh_baselines.dir/baselines/novafs.cc.o"
+  "CMakeFiles/simurgh_baselines.dir/baselines/novafs.cc.o.d"
+  "CMakeFiles/simurgh_baselines.dir/baselines/pmfs.cc.o"
+  "CMakeFiles/simurgh_baselines.dir/baselines/pmfs.cc.o.d"
+  "CMakeFiles/simurgh_baselines.dir/baselines/simurgh_backend.cc.o"
+  "CMakeFiles/simurgh_baselines.dir/baselines/simurgh_backend.cc.o.d"
+  "CMakeFiles/simurgh_baselines.dir/baselines/splitfs.cc.o"
+  "CMakeFiles/simurgh_baselines.dir/baselines/splitfs.cc.o.d"
+  "CMakeFiles/simurgh_baselines.dir/baselines/vfs.cc.o"
+  "CMakeFiles/simurgh_baselines.dir/baselines/vfs.cc.o.d"
+  "libsimurgh_baselines.a"
+  "libsimurgh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

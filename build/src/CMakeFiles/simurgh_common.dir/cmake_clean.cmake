@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_common.dir/common/status.cc.o"
+  "CMakeFiles/simurgh_common.dir/common/status.cc.o.d"
+  "CMakeFiles/simurgh_common.dir/common/table.cc.o"
+  "CMakeFiles/simurgh_common.dir/common/table.cc.o.d"
+  "libsimurgh_common.a"
+  "libsimurgh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

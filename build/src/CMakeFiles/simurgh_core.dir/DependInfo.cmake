@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data.cc" "src/CMakeFiles/simurgh_core.dir/core/data.cc.o" "gcc" "src/CMakeFiles/simurgh_core.dir/core/data.cc.o.d"
+  "/root/repo/src/core/dir_block.cc" "src/CMakeFiles/simurgh_core.dir/core/dir_block.cc.o" "gcc" "src/CMakeFiles/simurgh_core.dir/core/dir_block.cc.o.d"
+  "/root/repo/src/core/fs.cc" "src/CMakeFiles/simurgh_core.dir/core/fs.cc.o" "gcc" "src/CMakeFiles/simurgh_core.dir/core/fs.cc.o.d"
+  "/root/repo/src/core/inode.cc" "src/CMakeFiles/simurgh_core.dir/core/inode.cc.o" "gcc" "src/CMakeFiles/simurgh_core.dir/core/inode.cc.o.d"
+  "/root/repo/src/core/path.cc" "src/CMakeFiles/simurgh_core.dir/core/path.cc.o" "gcc" "src/CMakeFiles/simurgh_core.dir/core/path.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/CMakeFiles/simurgh_core.dir/core/recovery.cc.o" "gcc" "src/CMakeFiles/simurgh_core.dir/core/recovery.cc.o.d"
+  "/root/repo/src/core/superblock.cc" "src/CMakeFiles/simurgh_core.dir/core/superblock.cc.o" "gcc" "src/CMakeFiles/simurgh_core.dir/core/superblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simurgh_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_protsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_nvmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

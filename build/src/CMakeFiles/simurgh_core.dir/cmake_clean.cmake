@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_core.dir/core/data.cc.o"
+  "CMakeFiles/simurgh_core.dir/core/data.cc.o.d"
+  "CMakeFiles/simurgh_core.dir/core/dir_block.cc.o"
+  "CMakeFiles/simurgh_core.dir/core/dir_block.cc.o.d"
+  "CMakeFiles/simurgh_core.dir/core/fs.cc.o"
+  "CMakeFiles/simurgh_core.dir/core/fs.cc.o.d"
+  "CMakeFiles/simurgh_core.dir/core/inode.cc.o"
+  "CMakeFiles/simurgh_core.dir/core/inode.cc.o.d"
+  "CMakeFiles/simurgh_core.dir/core/path.cc.o"
+  "CMakeFiles/simurgh_core.dir/core/path.cc.o.d"
+  "CMakeFiles/simurgh_core.dir/core/recovery.cc.o"
+  "CMakeFiles/simurgh_core.dir/core/recovery.cc.o.d"
+  "CMakeFiles/simurgh_core.dir/core/superblock.cc.o"
+  "CMakeFiles/simurgh_core.dir/core/superblock.cc.o.d"
+  "libsimurgh_core.a"
+  "libsimurgh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

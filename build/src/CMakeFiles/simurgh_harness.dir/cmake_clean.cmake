@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/simurgh_harness.dir/harness/runner.cc.o.d"
+  "libsimurgh_harness.a"
+  "libsimurgh_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

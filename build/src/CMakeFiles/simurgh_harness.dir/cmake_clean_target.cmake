@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimurgh_harness.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_nvmm.dir/nvmm/device.cc.o"
+  "CMakeFiles/simurgh_nvmm.dir/nvmm/device.cc.o.d"
+  "CMakeFiles/simurgh_nvmm.dir/nvmm/persist.cc.o"
+  "CMakeFiles/simurgh_nvmm.dir/nvmm/persist.cc.o.d"
+  "libsimurgh_nvmm.a"
+  "libsimurgh_nvmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_nvmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for simurgh_nvmm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protsec/bootstrap.cc" "src/CMakeFiles/simurgh_protsec.dir/protsec/bootstrap.cc.o" "gcc" "src/CMakeFiles/simurgh_protsec.dir/protsec/bootstrap.cc.o.d"
+  "/root/repo/src/protsec/gateway.cc" "src/CMakeFiles/simurgh_protsec.dir/protsec/gateway.cc.o" "gcc" "src/CMakeFiles/simurgh_protsec.dir/protsec/gateway.cc.o.d"
+  "/root/repo/src/protsec/pagetable.cc" "src/CMakeFiles/simurgh_protsec.dir/protsec/pagetable.cc.o" "gcc" "src/CMakeFiles/simurgh_protsec.dir/protsec/pagetable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simurgh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_protsec.dir/protsec/bootstrap.cc.o"
+  "CMakeFiles/simurgh_protsec.dir/protsec/bootstrap.cc.o.d"
+  "CMakeFiles/simurgh_protsec.dir/protsec/gateway.cc.o"
+  "CMakeFiles/simurgh_protsec.dir/protsec/gateway.cc.o.d"
+  "CMakeFiles/simurgh_protsec.dir/protsec/pagetable.cc.o"
+  "CMakeFiles/simurgh_protsec.dir/protsec/pagetable.cc.o.d"
+  "libsimurgh_protsec.a"
+  "libsimurgh_protsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_protsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

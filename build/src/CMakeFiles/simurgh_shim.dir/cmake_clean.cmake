@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_shim.dir/shim/posix_shim.cc.o"
+  "CMakeFiles/simurgh_shim.dir/shim/posix_shim.cc.o.d"
+  "libsimurgh_shim.a"
+  "libsimurgh_shim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_shim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

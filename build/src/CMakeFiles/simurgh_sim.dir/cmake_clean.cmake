@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_sim.dir/sim/desim.cc.o"
+  "CMakeFiles/simurgh_sim.dir/sim/desim.cc.o.d"
+  "CMakeFiles/simurgh_sim.dir/sim/resources.cc.o"
+  "CMakeFiles/simurgh_sim.dir/sim/resources.cc.o.d"
+  "libsimurgh_sim.a"
+  "libsimurgh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

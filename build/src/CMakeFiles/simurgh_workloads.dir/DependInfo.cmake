@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/filebench.cc" "src/CMakeFiles/simurgh_workloads.dir/workloads/filebench.cc.o" "gcc" "src/CMakeFiles/simurgh_workloads.dir/workloads/filebench.cc.o.d"
+  "/root/repo/src/workloads/fxmark.cc" "src/CMakeFiles/simurgh_workloads.dir/workloads/fxmark.cc.o" "gcc" "src/CMakeFiles/simurgh_workloads.dir/workloads/fxmark.cc.o.d"
+  "/root/repo/src/workloads/gitsim.cc" "src/CMakeFiles/simurgh_workloads.dir/workloads/gitsim.cc.o" "gcc" "src/CMakeFiles/simurgh_workloads.dir/workloads/gitsim.cc.o.d"
+  "/root/repo/src/workloads/minikv.cc" "src/CMakeFiles/simurgh_workloads.dir/workloads/minikv.cc.o" "gcc" "src/CMakeFiles/simurgh_workloads.dir/workloads/minikv.cc.o.d"
+  "/root/repo/src/workloads/srctree.cc" "src/CMakeFiles/simurgh_workloads.dir/workloads/srctree.cc.o" "gcc" "src/CMakeFiles/simurgh_workloads.dir/workloads/srctree.cc.o.d"
+  "/root/repo/src/workloads/tarsim.cc" "src/CMakeFiles/simurgh_workloads.dir/workloads/tarsim.cc.o" "gcc" "src/CMakeFiles/simurgh_workloads.dir/workloads/tarsim.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/CMakeFiles/simurgh_workloads.dir/workloads/ycsb.cc.o" "gcc" "src/CMakeFiles/simurgh_workloads.dir/workloads/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simurgh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_nvmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_protsec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simurgh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simurgh_workloads.dir/workloads/filebench.cc.o"
+  "CMakeFiles/simurgh_workloads.dir/workloads/filebench.cc.o.d"
+  "CMakeFiles/simurgh_workloads.dir/workloads/fxmark.cc.o"
+  "CMakeFiles/simurgh_workloads.dir/workloads/fxmark.cc.o.d"
+  "CMakeFiles/simurgh_workloads.dir/workloads/gitsim.cc.o"
+  "CMakeFiles/simurgh_workloads.dir/workloads/gitsim.cc.o.d"
+  "CMakeFiles/simurgh_workloads.dir/workloads/minikv.cc.o"
+  "CMakeFiles/simurgh_workloads.dir/workloads/minikv.cc.o.d"
+  "CMakeFiles/simurgh_workloads.dir/workloads/srctree.cc.o"
+  "CMakeFiles/simurgh_workloads.dir/workloads/srctree.cc.o.d"
+  "CMakeFiles/simurgh_workloads.dir/workloads/tarsim.cc.o"
+  "CMakeFiles/simurgh_workloads.dir/workloads/tarsim.cc.o.d"
+  "CMakeFiles/simurgh_workloads.dir/workloads/ycsb.cc.o"
+  "CMakeFiles/simurgh_workloads.dir/workloads/ycsb.cc.o.d"
+  "libsimurgh_workloads.a"
+  "libsimurgh_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simurgh_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_alloc.dir/test_block_alloc.cc.o"
+  "CMakeFiles/test_block_alloc.dir/test_block_alloc.cc.o.d"
+  "test_block_alloc"
+  "test_block_alloc.pdb"
+  "test_block_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

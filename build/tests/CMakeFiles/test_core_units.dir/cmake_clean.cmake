@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_units.dir/test_core_units.cc.o"
+  "CMakeFiles/test_core_units.dir/test_core_units.cc.o.d"
+  "test_core_units"
+  "test_core_units.pdb"
+  "test_core_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

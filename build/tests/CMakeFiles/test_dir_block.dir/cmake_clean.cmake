@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dir_block.dir/test_dir_block.cc.o"
+  "CMakeFiles/test_dir_block.dir/test_dir_block.cc.o.d"
+  "test_dir_block"
+  "test_dir_block.pdb"
+  "test_dir_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dir_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

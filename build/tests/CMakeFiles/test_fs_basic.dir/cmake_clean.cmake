@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_basic.dir/test_fs_basic.cc.o"
+  "CMakeFiles/test_fs_basic.dir/test_fs_basic.cc.o.d"
+  "test_fs_basic"
+  "test_fs_basic.pdb"
+  "test_fs_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

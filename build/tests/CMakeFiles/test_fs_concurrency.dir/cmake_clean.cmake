@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_concurrency.dir/test_fs_concurrency.cc.o"
+  "CMakeFiles/test_fs_concurrency.dir/test_fs_concurrency.cc.o.d"
+  "test_fs_concurrency"
+  "test_fs_concurrency.pdb"
+  "test_fs_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

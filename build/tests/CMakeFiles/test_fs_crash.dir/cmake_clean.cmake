@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_crash.dir/test_fs_crash.cc.o"
+  "CMakeFiles/test_fs_crash.dir/test_fs_crash.cc.o.d"
+  "test_fs_crash"
+  "test_fs_crash.pdb"
+  "test_fs_crash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_data.dir/test_fs_data.cc.o"
+  "CMakeFiles/test_fs_data.dir/test_fs_data.cc.o.d"
+  "test_fs_data"
+  "test_fs_data.pdb"
+  "test_fs_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

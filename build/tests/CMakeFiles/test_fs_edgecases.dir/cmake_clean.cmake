@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_edgecases.dir/test_fs_edgecases.cc.o"
+  "CMakeFiles/test_fs_edgecases.dir/test_fs_edgecases.cc.o.d"
+  "test_fs_edgecases"
+  "test_fs_edgecases.pdb"
+  "test_fs_edgecases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_edgecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

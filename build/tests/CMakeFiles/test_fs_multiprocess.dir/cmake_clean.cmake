@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_multiprocess.dir/test_fs_multiprocess.cc.o"
+  "CMakeFiles/test_fs_multiprocess.dir/test_fs_multiprocess.cc.o.d"
+  "test_fs_multiprocess"
+  "test_fs_multiprocess.pdb"
+  "test_fs_multiprocess[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_multiprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

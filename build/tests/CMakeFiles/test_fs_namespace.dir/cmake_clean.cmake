@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_namespace.dir/test_fs_namespace.cc.o"
+  "CMakeFiles/test_fs_namespace.dir/test_fs_namespace.cc.o.d"
+  "test_fs_namespace"
+  "test_fs_namespace.pdb"
+  "test_fs_namespace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_namespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

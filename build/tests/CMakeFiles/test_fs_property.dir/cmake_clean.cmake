@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_property.dir/test_fs_property.cc.o"
+  "CMakeFiles/test_fs_property.dir/test_fs_property.cc.o.d"
+  "test_fs_property"
+  "test_fs_property.pdb"
+  "test_fs_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

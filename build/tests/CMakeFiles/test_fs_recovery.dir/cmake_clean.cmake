@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_recovery.dir/test_fs_recovery.cc.o"
+  "CMakeFiles/test_fs_recovery.dir/test_fs_recovery.cc.o.d"
+  "test_fs_recovery"
+  "test_fs_recovery.pdb"
+  "test_fs_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_security.dir/test_fs_security.cc.o"
+  "CMakeFiles/test_fs_security.dir/test_fs_security.cc.o.d"
+  "test_fs_security"
+  "test_fs_security.pdb"
+  "test_fs_security[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

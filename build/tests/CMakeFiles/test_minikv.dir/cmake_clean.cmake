@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minikv.dir/test_minikv.cc.o"
+  "CMakeFiles/test_minikv.dir/test_minikv.cc.o.d"
+  "test_minikv"
+  "test_minikv.pdb"
+  "test_minikv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minikv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

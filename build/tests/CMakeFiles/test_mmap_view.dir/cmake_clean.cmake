@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmap_view.dir/test_mmap_view.cc.o"
+  "CMakeFiles/test_mmap_view.dir/test_mmap_view.cc.o.d"
+  "test_mmap_view"
+  "test_mmap_view.pdb"
+  "test_mmap_view[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmap_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvmm.dir/test_nvmm.cc.o"
+  "CMakeFiles/test_nvmm.dir/test_nvmm.cc.o.d"
+  "test_nvmm"
+  "test_nvmm.pdb"
+  "test_nvmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

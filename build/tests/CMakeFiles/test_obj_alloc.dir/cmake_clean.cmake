@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obj_alloc.dir/test_obj_alloc.cc.o"
+  "CMakeFiles/test_obj_alloc.dir/test_obj_alloc.cc.o.d"
+  "test_obj_alloc"
+  "test_obj_alloc.pdb"
+  "test_obj_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obj_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protsec.dir/test_protsec.cc.o"
+  "CMakeFiles/test_protsec.dir/test_protsec.cc.o.d"
+  "test_protsec"
+  "test_protsec.pdb"
+  "test_protsec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

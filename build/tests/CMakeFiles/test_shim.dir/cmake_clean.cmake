@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shim.dir/test_shim.cc.o"
+  "CMakeFiles/test_shim.dir/test_shim.cc.o.d"
+  "test_shim"
+  "test_shim.pdb"
+  "test_shim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_nvmm[1]_include.cmake")
+include("/root/repo/build/tests/test_protsec[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_block_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_obj_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_dir_block[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_data[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_namespace[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_concurrency[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_crash[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_security[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_property[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_minikv[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_shim[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_edgecases[1]_include.cmake")
+include("/root/repo/build/tests/test_core_units[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_multiprocess[1]_include.cmake")
+include("/root/repo/build/tests/test_mmap_view[1]_include.cmake")
