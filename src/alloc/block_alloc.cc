@@ -107,7 +107,7 @@ bool BlockAllocator::lock_segment(SegmentHeader& seg) {
               expected, self_token(), std::memory_order_acquire)) {
         seg.lock.last_accessed_ns.store(monotonic_ns(),
                                         std::memory_order_relaxed);
-        ++stats_.lock_steals;
+        stats_->lock_steals.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
@@ -136,7 +136,7 @@ Result<std::uint64_t> BlockAllocator::alloc(std::uint64_t n_blocks,
       SegmentHeader& seg = segs[(start + i) % h.n_segments];
       if (pass == 0) {
         if (!try_lock_segment(seg)) {
-          ++stats_.segment_hops;
+          stats_->segment_hops.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
       } else {
@@ -145,7 +145,7 @@ Result<std::uint64_t> BlockAllocator::alloc(std::uint64_t n_blocks,
       auto r = alloc_from(seg, n_blocks);
       unlock_segment(seg);
       if (r.is_ok()) {
-        ++stats_.allocs;
+        stats_->allocs.fetch_add(1, std::memory_order_relaxed);
         return r;
       }
     }
@@ -198,7 +198,7 @@ void BlockAllocator::free(std::uint64_t block_off, std::uint64_t n_blocks) {
   lock_segment(seg);
   free_into(seg, block_off, n_blocks);
   unlock_segment(seg);
-  ++stats_.frees;
+  stats_->frees.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BlockAllocator::free_into(SegmentHeader& seg, std::uint64_t block_off,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <cstdint>
 
 #include "common/status.h"
@@ -57,11 +58,13 @@ struct BlockAllocHeader {
   // SegmentHeader[n_segments] follows immediately.
 };
 
+// Per-process DRAM counters; bumped relaxed (allocators of different
+// threads share one instance, and a lost increment is acceptable).
 struct BlockAllocStats {
-  std::uint64_t allocs = 0;
-  std::uint64_t frees = 0;
-  std::uint64_t segment_hops = 0;  // busy-segment skips
-  std::uint64_t lock_steals = 0;   // expired leases taken over
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> segment_hops{0};  // busy-segment skips
+  std::atomic<std::uint64_t> lock_steals{0};   // expired leases taken over
 };
 
 class BlockAllocator {
@@ -95,7 +98,7 @@ class BlockAllocator {
   // used by the crash tests; production default is 100 ms.
   void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
 
-  BlockAllocStats& stats() noexcept { return stats_; }
+  BlockAllocStats& stats() noexcept { return *stats_; }
 
   // Recovery: rebuild every segment's free list from a caller-provided
   // "block in use" predicate (mark phase done by the FS sweep).
@@ -104,7 +107,9 @@ class BlockAllocator {
 
  private:
   BlockAllocator(nvmm::Device& dev, std::uint64_t header_off)
-      : dev_(&dev), header_off_(header_off) {}
+      : dev_(&dev),
+        header_off_(header_off),
+        stats_(std::make_unique<BlockAllocStats>()) {}
 
   [[nodiscard]] BlockAllocHeader& header() const noexcept {
     return *reinterpret_cast<BlockAllocHeader*>(dev_->at(header_off_));
@@ -126,7 +131,8 @@ class BlockAllocator {
   nvmm::Device* dev_;
   std::uint64_t header_off_;
   std::uint64_t lease_ns_ = 100'000'000;  // 100 ms
-  BlockAllocStats stats_;
+  // Heap-held so the allocator stays movable (atomics pin the struct).
+  std::unique_ptr<BlockAllocStats> stats_;
 };
 
 template <typename InUseFn>

@@ -1,5 +1,6 @@
 #include "alloc/obj_alloc.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/failpoint.h"
@@ -98,8 +99,19 @@ void ObjectAllocator::free(std::uint64_t payload_off) {
 }
 
 void ObjectAllocator::finish_pending_free(std::uint64_t payload_off) {
-  // Step 2: zero the payload so stale pointers read as null.
-  std::memset(dev_->at(payload_off), 0, pool().payload_size);
+  // Step 2: zero the payload so stale pointers read as null.  Lock-free
+  // walkers may still be value-validating this object (the paper's probes
+  // hold no locks), so the scrub is word-wise atomic rather than memset —
+  // a racing reader sees either the old word or zero, never a torn value.
+  auto* words =
+      reinterpret_cast<std::atomic<std::uint64_t>*>(dev_->at(payload_off));
+  const std::size_t n_words = pool().payload_size / 8;
+  for (std::size_t i = 0; i < n_words; ++i)
+    words[i].store(0, std::memory_order_relaxed);
+  auto* tail = reinterpret_cast<std::atomic<unsigned char>*>(words + n_words);
+  for (std::size_t i = 0; i < pool().payload_size % 8; ++i)
+    tail[i].store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
   nvmm::persist(dev_->at(payload_off), pool().payload_size);
   SIMURGH_FAILPOINT("objalloc.free.zeroed");
   // Step 3: unset dirty — object is free again.

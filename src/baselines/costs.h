@@ -30,6 +30,10 @@ struct Costs {
 
   // ---- Simurgh library ----
   std::uint32_t sim_component = 180;  // hash + line probe, straight to NVMM
+  // Warm component through the shared DRAM lookup cache: one hash, one
+  // slot read, one epoch check — no NVMM touch, no lockref (unlike
+  // dentry_hit, which pays the kernel's lockref bounce).
+  std::uint32_t sim_cache_hit = 40;
   std::uint32_t sim_create = 1100;    // inode+entry alloc, persists, commit
   std::uint32_t sim_unlink = 850;
   std::uint32_t sim_rename = 1500;

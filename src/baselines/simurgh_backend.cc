@@ -28,12 +28,50 @@ SimurghBackend::SimurghBackend(sim::SimWorld& world,
       cache_read_(world.bandwidth("cpu.cache", kCosts.cache_read_bpc, 30)) {
   fs_ = core::FileSystem::format(dev_, shm_);
   fs_->set_relaxed_writes(relaxed_);
+  fs_->set_lookup_cache_enabled(opts.path_cache);
   proc_ = fs_->open_process(1000, 1000);
 }
 
 void SimurghBackend::walk_cost(sim::SimThread& t, const std::string& path) {
   const auto comps = split_path(path);
-  t.cpu(static_cast<std::uint32_t>(comps.size()) * kCosts.sim_component);
+  const auto n = static_cast<std::uint32_t>(comps.size());
+  if (!opts_.path_cache) {
+    t.cpu(n * kCosts.sim_component);
+    return;
+  }
+  // Per-component: charge the DRAM hit cost for prefixes the shared cache
+  // already holds, the full hash-block probe for the rest, then warm them
+  // (the slow probe refills the cache when the directory epoch held still).
+  std::string prefix;
+  std::uint32_t cycles = 0;
+  for (const auto& c : comps) {
+    prefix += '/';
+    prefix += c;
+    if (warm_paths_.count(prefix) != 0) {
+      cycles += kCosts.sim_cache_hit;
+    } else {
+      cycles += kCosts.sim_component;
+      warm_paths_.insert(prefix);
+    }
+  }
+  t.cpu(cycles);
+}
+
+void SimurghBackend::cool_path(const std::string& path) {
+  if (!opts_.path_cache) return;
+  std::string canon;  // same "/a/b" form walk_cost builds its keys in
+  for (const auto& c : split_path(path)) {
+    canon += '/';
+    canon += c;
+  }
+  warm_paths_.erase(canon);
+  const std::string subtree = canon + '/';
+  for (auto it = warm_paths_.begin(); it != warm_paths_.end();) {
+    if (it->compare(0, subtree.size(), subtree) == 0)
+      it = warm_paths_.erase(it);
+    else
+      ++it;
+  }
 }
 
 void SimurghBackend::line_critical(sim::SimThread& t, const std::string& dir,
@@ -135,6 +173,7 @@ Status SimurghBackend::unlink(sim::SimThread& t, const std::string& path) {
                 kCosts.sim_line_hold + (coarse ? kCosts.sim_unlink : 0));
   t.transfer(nvmm_write_, kCosts.sim_meta_unlink);
   evict_fd(path);
+  cool_path(path);
   return proc_->unlink(path);
 }
 
@@ -151,6 +190,8 @@ Status SimurghBackend::rename(sim::SimThread& t, const std::string& from,
   t.transfer(nvmm_write_, kCosts.sim_meta_rename);
   evict_fd(from);
   evict_fd(to);
+  cool_path(from);
+  cool_path(to);
   return proc_->rename(from, to);
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "baselines/kernelfs.h"
@@ -32,6 +33,11 @@ struct SimurghModelOptions {
   // Per-call entry cost: jmpp delta (46) in the paper's design; a syscall
   // (~700 with dispatch) for the kernel-style strawman; 0 for "free".
   std::uint32_t entry_cycles = kCosts.jmpp_delta;
+  // Epoch-validated DRAM lookup cache (lookup_cache.h).  Defaults to the
+  // paper's design point — *no* dentry-style cache, every component probes
+  // the hash blocks — so the cost anchors keep reproducing Figs. 6/7.
+  // The ablation flips it on to show what the cache buys on warm walks.
+  bool path_cache = false;
   std::size_t device_size = 4ull << 30;
 };
 
@@ -72,6 +78,10 @@ class SimurghBackend : public FsBackend {
  private:
   void entry_cost(sim::SimThread& t) { t.cpu(opts_.entry_cycles); }
   void walk_cost(sim::SimThread& t, const std::string& path);
+  // Drops `path` (and, for directories, everything under it) from the
+  // warm-path model after unlink/rename — mirroring the epoch bump that
+  // invalidates the real cache's bindings.
+  void cool_path(const std::string& path);
   // Virtual busy-line lock of the leaf's hash line in `dir`.
   void line_critical(sim::SimThread& t, const std::string& dir,
                      const std::string& leaf, std::uint32_t hold);
@@ -90,6 +100,10 @@ class SimurghBackend : public FsBackend {
   std::unique_ptr<core::FileSystem> fs_;
   std::unique_ptr<core::Process> proc_;
   std::unordered_map<std::string, int> fds_;
+  // Paths whose final binding the shared lookup cache holds; the virtual
+  // clock charges sim_cache_hit instead of sim_component for them.  The
+  // real cache in fs_ runs too — this set only mirrors it for costing.
+  std::unordered_set<std::string> warm_paths_;
   std::vector<char> scratch_;
   sim::Bandwidth& nvmm_read_;
   sim::Bandwidth& nvmm_write_;

@@ -42,9 +42,27 @@ bool clear_slot(DirSlot& slot, std::uint64_t expected) noexcept {
 }  // namespace
 
 void FileEntry::set_name(std::string_view n) noexcept {
-  name_len = static_cast<std::uint16_t>(n.size());
-  std::memcpy(name, n.data(), n.size());
-  name[n.size()] = '\0';
+  // Atomic byte stores: the entry may sit on pool memory a straggling
+  // lock-free probe (holding a pre-delete slot snapshot) is still reading.
+  // Such a probe value-validates and loses the race benignly; the atomics
+  // keep the interleaving defined.
+  name_len.store(static_cast<std::uint16_t>(n.size()),
+                 std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n.size(); ++i)
+    __atomic_store_n(&name[i], n[i], __ATOMIC_RELAXED);
+  __atomic_store_n(&name[n.size()], '\0', __ATOMIC_RELAXED);
+}
+
+void scrub_entry(FileEntry* fe) noexcept {
+  // Delete steps 3-4 with lock-free probes still possible: word-wise atomic
+  // zeroing instead of memset so a racing reader sees old-or-zero words,
+  // never torn bytes.  FileEntry is 8-aligned and padded to a multiple of 8.
+  static_assert(sizeof(FileEntry) % 8 == 0 && alignof(FileEntry) >= 8);
+  auto* words = reinterpret_cast<std::atomic<std::uint64_t>*>(fe);
+  for (std::size_t i = 0; i < sizeof(FileEntry) / 8; ++i)
+    words[i].store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  nvmm::persist(fe, sizeof(FileEntry));
 }
 
 // ---------------------------------------------------------------- LineLock
@@ -109,7 +127,8 @@ bool DirOps::scrub_slot(DirSlot& slot) const {
   const std::uint32_t flags = pools_.fentry->flags_of(off);
   // Interrupted delete: entry invalidated (dirty-only) or already zeroed
   // while the slot still points at it (Fig. 5b crash between steps 2-5).
-  if (flags == alloc::kObjDirty || (fe->name_len == 0 && flags == 0)) {
+  if (flags == alloc::kObjDirty ||
+      (fe->name_len.load(std::memory_order_acquire) == 0 && flags == 0)) {
     if (clear_slot(slot, v) && flags == alloc::kObjDirty)
       pools_.fentry->finish_pending_free(off);
     return true;
@@ -129,7 +148,7 @@ DirOps::SlotRef DirOps::find_slot(Inode& dir, unsigned ln,
       const std::uint64_t off = DirSlot::off_of(v);
       if (off == 0 || DirSlot::tag_of(v) != tag) continue;
       FileEntry* fe = entry_at(off);
-      if (fe->name_len == name.size() && fe->name_view() == name) {
+      if (fe->name_equals(name)) {
         if (scrub_slot(slot)) continue;  // was a dead entry
         return {blk, &slot};
       }
@@ -193,6 +212,7 @@ Status DirOps::insert(Inode& dir, std::string_view name,
   const unsigned ln = line_of(name);
   const std::uint16_t tag = tag_of_name(name);
   LineLock lock(*this, dir, ln, lease_ns_);  // Fig. 5a step 3
+  EpochGuard epoch(*this, dir);
   if (lock.stole_lease()) repair_line(dir, ln);
   if (find_slot(dir, ln, name, tag).slot != nullptr)
     return Status(Errc::exists);
@@ -209,6 +229,7 @@ Result<std::uint64_t> DirOps::remove(Inode& dir, std::string_view name) {
   if (name.empty() || name.size() > kMaxName) return Errc::invalid;
   const unsigned ln = line_of(name);
   LineLock lock(*this, dir, ln, lease_ns_);  // Fig. 5b step 1
+  EpochGuard epoch(*this, dir);
   if (lock.stole_lease()) repair_line(dir, ln);
   return remove_locked(dir, ln, name);
 }
@@ -230,8 +251,7 @@ Result<std::uint64_t> DirOps::remove_locked(Inode& dir, unsigned ln,
   // the caller once the last link drops; a crash in between leaves an
   // unreachable inode that the full-recovery sweep reclaims — same final
   // state as the paper's ordering.)
-  std::memset(fe, 0, sizeof(FileEntry));
-  nvmm::persist(fe, sizeof(FileEntry));
+  scrub_entry(fe);
   nvmm::fence();
   SIMURGH_FAILPOINT("dir.remove.entry_zeroed");
   // Step 5: zero the slot.
@@ -266,6 +286,7 @@ Result<std::uint64_t> DirOps::rename_local(Inode& dir,
   const unsigned lo = l_old < l_new ? l_old : l_new;
   const unsigned hi = l_old < l_new ? l_new : l_old;
   LineLock lock_lo(*this, dir, lo, lease_ns_);
+  EpochGuard epoch(*this, dir);
   if (lock_lo.stole_lease()) repair_line(dir, lo);
   std::unique_ptr<LineLock> lock_hi;
   if (hi != lo) {
@@ -324,8 +345,7 @@ Result<std::uint64_t> DirOps::rename_local(Inode& dir,
                              std::memory_order_release);
     nvmm::persist_now(target_ref.slot->v);
     pools_.fentry->set_flags(t_off, alloc::kObjDirty);
-    std::memset(t_fe, 0, sizeof(FileEntry));
-    nvmm::persist(t_fe, sizeof(FileEntry));
+    scrub_entry(t_fe);
     pools_.fentry->finish_pending_free(t_off);
   } else if (l_new != l_old) {
     for (;;) {
@@ -369,6 +389,8 @@ Result<std::uint64_t> DirOps::rename_cross(Inode& src_dir,
   auto lock_b = std::make_unique<LineLock>(
       *this, src_first_order ? dst_dir : src_dir,
       src_first_order ? l_dst : l_src, lease_ns_);
+  EpochGuard epoch_src(*this, src_dir);
+  EpochGuard epoch_dst(*this, dst_dir);
   if (lock_a->stole_lease())
     repair_line(src_first_order ? src_dir : dst_dir,
                 src_first_order ? l_src : l_dst);
@@ -424,8 +446,7 @@ Result<std::uint64_t> DirOps::rename_cross(Inode& src_dir,
                           std::memory_order_release);
     nvmm::persist_now(dst_ref.slot->v);
     pools_.fentry->set_flags(t_off, alloc::kObjDirty);
-    std::memset(t_fe, 0, sizeof(FileEntry));
-    nvmm::persist(t_fe, sizeof(FileEntry));
+    scrub_entry(t_fe);
     pools_.fentry->finish_pending_free(t_off);
   } else {
     for (;;) {
@@ -437,8 +458,7 @@ Result<std::uint64_t> DirOps::rename_cross(Inode& src_dir,
 
   // Retire the source entry + slot.
   pools_.fentry->set_flags(old_fe_off, alloc::kObjDirty);
-  std::memset(old_fe, 0, sizeof(FileEntry));
-  nvmm::persist(old_fe, sizeof(FileEntry));
+  scrub_entry(old_fe);
   clear_slot(*src_ref.slot, src_v);
   pools_.fentry->finish_pending_free(old_fe_off);
   SIMURGH_FAILPOINT("dir.xrename.src_cleared");
@@ -480,15 +500,21 @@ void DirOps::repair_line(Inode& dir, unsigned ln) {
       }
       if (n_seen < std::size(seen)) seen[n_seen++] = off;
       FileEntry* fe = entry_at(off);
-      if (fe->name_len == 0) continue;
-      const unsigned want = line_of(fe->name_view());
+      // Snapshot the name race-safely: the line lock keeps other *writers*
+      // out, but a lock-free probe's scrub (interrupted-delete completion)
+      // can still zero the entry under us.
+      char namebuf[kMaxName + 1];
+      const std::uint16_t nlen = fe->load_name(namebuf);
+      if (nlen == 0) continue;
+      const std::string_view nm{namebuf, nlen};
+      const unsigned want = line_of(nm);
       if (want == ln) continue;
       // Rename stray (Fig. 5c crash between steps 5 and 8): publish the
       // entry in its correct line if not already there, then retire this
       // slot.  Publication uses CAS, so racing with the original renamer
       // resolves to exactly one slot.
-      const std::uint16_t tag = tag_of_name(fe->name_view());
-      if (find_slot(dir, want, fe->name_view(), tag).slot == nullptr) {
+      const std::uint16_t tag = tag_of_name(nm);
+      if (find_slot(dir, want, nm, tag).slot == nullptr) {
         auto free_ref = free_slot(dir, want);
         if (free_ref.is_ok())
           claim_slot(*free_ref->slot, DirSlot::pack(tag, off));
@@ -530,8 +556,7 @@ void DirOps::replay_cross_log(Inode& src_dir) {
     FileEntry* old_fe = entry_at(log.old_fentry);
     if (pools_.fentry->flags_of(log.old_fentry) != 0) {
       pools_.fentry->set_flags(log.old_fentry, alloc::kObjDirty);
-      std::memset(old_fe, 0, sizeof(FileEntry));
-      nvmm::persist(old_fe, sizeof(FileEntry));
+      scrub_entry(old_fe);
       pools_.fentry->finish_pending_free(log.old_fentry);
     }
     // Scrub the stale source slot wherever it is.
@@ -539,9 +564,7 @@ void DirOps::replay_cross_log(Inode& src_dir) {
   } else if (pools_.fentry->flags_of(new_fe) != 0) {
     // Undo: the new entry never became visible; drop it.
     pools_.fentry->set_flags(new_fe, alloc::kObjDirty);
-    FileEntry* fe = entry_at(new_fe);
-    std::memset(fe, 0, sizeof(FileEntry));
-    nvmm::persist(fe, sizeof(FileEntry));
+    scrub_entry(entry_at(new_fe));
     pools_.fentry->finish_pending_free(new_fe);
   }
   log.state.store(0, std::memory_order_release);
@@ -560,6 +583,7 @@ std::uint64_t DirOps::chain_length(Inode& dir) const {
 
 std::uint64_t DirOps::compact_chain(Inode& dir) {
   if (!dir.dir.load()) return 0;
+  EpochGuard epoch(*this, dir);
   std::uint64_t freed = 0;
   DirBlock* prev = first_block(dir);
   nvmm::pptr<DirBlock> cur = prev->next.load();
@@ -590,6 +614,7 @@ std::uint64_t DirOps::compact_chain(Inode& dir) {
 
 void DirOps::recover_directory(Inode& dir) {
   if (!dir.dir.load()) return;
+  EpochGuard epoch(*this, dir);
   replay_cross_log(dir);
   for (unsigned ln = 0; ln < kLines; ++ln) repair_line(dir, ln);
   DirBlock* first = first_block(dir);

@@ -37,18 +37,50 @@ constexpr unsigned kLines = 48;
 constexpr unsigned kSlotsPerLine = 8;
 
 // File entry: name plus the persistent pointer to its inode (Fig. 4).
+//
+// Lock-free probes read entries that a concurrent delete may be scrubbing,
+// so every field a reader can race on is accessed atomically: name_len is a
+// real atomic, and the name bytes go through byte-wise __atomic loads
+// (plain movzbl on x86 — the atomicity is free, only the data-race-freedom
+// matters).  Value validation makes half-scrubbed reads harmless: a reader
+// that sees a partial name simply mismatches, and the slot's CAS protocol
+// decides liveness.
 struct FileEntry {
   nvmm::atomic_pptr<Inode> inode;
   std::atomic<std::uint32_t> flags{0};  // bit0: symlink ("link flag")
-  std::uint16_t name_len = 0;
+  std::atomic<std::uint16_t> name_len{0};
   char name[kMaxName + 1] = {};
 
+  // Race-safe compare against a candidate name (lock-free probe path).
+  [[nodiscard]] bool name_equals(std::string_view n) const noexcept {
+    if (name_len.load(std::memory_order_acquire) != n.size()) return false;
+    for (std::size_t i = 0; i < n.size(); ++i)
+      if (__atomic_load_n(&name[i], __ATOMIC_RELAXED) != n[i]) return false;
+    return true;
+  }
+  // Race-safe snapshot into `dst` (>= kMaxName + 1 bytes); returns the
+  // length read.  A torn result is possible and fine: callers re-validate.
+  std::uint16_t load_name(char* dst) const noexcept {
+    const std::uint16_t len = name_len.load(std::memory_order_acquire);
+    if (len > kMaxName) return 0;  // never stored; belt and braces
+    for (std::uint16_t i = 0; i < len; ++i)
+      dst[i] = __atomic_load_n(&name[i], __ATOMIC_RELAXED);
+    dst[len] = '\0';
+    return len;
+  }
+  // Only for entries no other thread can reach (pre-publication, locked
+  // recovery): plain reads.
   [[nodiscard]] std::string_view name_view() const noexcept {
-    return {name, name_len};
+    return {name, name_len.load(std::memory_order_relaxed)};
   }
   void set_name(std::string_view n) noexcept;
 };
 static_assert(sizeof(FileEntry) <= kFileEntryPayload);
+
+// Atomically zeroes a *visible* entry (delete step 3-4): word-wise atomic
+// stores instead of memset, because lock-free probes may still be reading
+// it.  Includes the persist; the fence is the release for the zero stores.
+void scrub_entry(FileEntry* fe) noexcept;
 
 constexpr std::uint32_t kEntrySymlink = 1u;
 
@@ -90,6 +122,12 @@ struct DirBlock {
   std::atomic<std::uint64_t> busy{0};          // one bit per line
   std::atomic<std::uint32_t> rename_busy{0};   // intra-dir rename marker
   std::uint32_t _pad = 0;
+  // Mutation epoch for the DRAM lookup cache (lookup_cache.h): every
+  // DirOps mutation increments it once before its first visible change and
+  // once after its last.  Volatile semantics — it is never persisted and
+  // its absolute value is meaningless across mounts; only shared-memory
+  // visibility matters, so it lives here where all processes map it.
+  std::atomic<std::uint64_t> epoch{0};
   RenameLog log;
   std::atomic<std::uint64_t> stamp_ns[kLines]; // line lease stamps
   // ---- all blocks ----
@@ -159,6 +197,14 @@ class DirOps {
   // Number of hash blocks in the directory's chain (tests, stats).
   [[nodiscard]] std::uint64_t chain_length(Inode& dir) const;
 
+  // Current mutation epoch of `dir` (see DirBlock::epoch).  ~0 when the
+  // directory has no hash block (being torn down) — a value no fill ever
+  // stores, so cache validation can never succeed against it.
+  [[nodiscard]] std::uint64_t dir_epoch(Inode& dir) const noexcept {
+    DirBlock* f = first_block(dir);
+    return f != nullptr ? f->epoch.load(std::memory_order_acquire) : ~0ull;
+  }
+
   // Lease for busy-line locks (tests shrink it).
   void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
 
@@ -166,6 +212,7 @@ class DirOps {
 
  private:
   friend class LineLock;
+  friend class EpochGuard;
 
   [[nodiscard]] DirBlock* first_block(Inode& dir) const noexcept {
     return dir.dir.load().in(dev_);
@@ -201,6 +248,32 @@ class DirOps {
   nvmm::Device& dev_;
   Pools pools_;
   std::uint64_t lease_ns_ = 100'000'000;
+};
+
+// Brackets a directory mutation with epoch bumps for the lookup cache
+// (lookup_cache.h): +1 on entry (before any slot/entry store of the guarded
+// operation can be observed) and +1 on exit (after the last).  A cache fill
+// that read the epoch before a mutation's entry bump can therefore never
+// validate once any part of that mutation became visible.  The destructor
+// bumps even while crash-unwinding (CrashedException): an aborted mutation
+// must invalidate just like a finished one — survivors of a genuinely dead
+// process are covered because the pre-bump already made fills unverifiable.
+class EpochGuard {
+ public:
+  EpochGuard(const DirOps& ops, Inode& dir) noexcept
+      : blk_(ops.first_block(dir)) {
+    if (blk_ != nullptr)
+      blk_->epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~EpochGuard() {
+    if (blk_ != nullptr)
+      blk_->epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  DirBlock* blk_;
 };
 
 // Busy-wait lock on one line of a directory (bit in the first block).
@@ -242,8 +315,10 @@ void DirOps::list(Inode& dir, Fn&& fn) const {
         const std::uint64_t off = DirSlot::off_of(v);
         if (off == 0) continue;
         const FileEntry* fe = entry_at(off);
-        if (fe->name_len == 0) continue;  // being deleted
-        fn(fe->name_view(), off, fe->inode.load().raw());
+        char namebuf[kMaxName + 1];
+        const std::uint16_t len = fe->load_name(namebuf);
+        if (len == 0) continue;  // being deleted
+        fn(std::string_view{namebuf, len}, off, fe->inode.load().raw());
       }
     }
     b = blk->next.load();

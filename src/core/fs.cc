@@ -3,7 +3,10 @@
 
 #include <time.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string_view>
 
 #include "common/failpoint.h"
 
@@ -27,6 +30,31 @@ std::uint64_t pool_header_off(unsigned i) {
          i * sizeof(alloc::PoolHeader);
 }
 }  // namespace
+
+// Builds the lookup cache + walker pair, honouring the env switches
+// (SIMURGH_LOOKUP_CACHE=0|off disables, SIMURGH_LOOKUP_CACHE_SLOTS sizes).
+void FileSystem::make_walker() {
+  bool enabled = true;
+  if (const char* s = std::getenv("SIMURGH_LOOKUP_CACHE")) {
+    const std::string_view v(s);
+    if (v == "0" || v == "off" || v == "false") enabled = false;
+  }
+  std::size_t slots = LookupCache::kDefaultSlots;
+  if (const char* s = std::getenv("SIMURGH_LOOKUP_CACHE_SLOTS")) {
+    const long n = std::strtol(s, nullptr, 10);
+    if (n > 0) slots = static_cast<std::size_t>(n);
+  }
+  lookup_cache_ = std::make_unique<LookupCache>(slots);
+  // The whole-path table holds one entry per hot path, not per component;
+  // a quarter of the component-slot count keeps it proportionate when
+  // SIMURGH_LOOKUP_CACHE_SLOTS resizes both.
+  path_cache_ = std::make_unique<PathCache>(
+      slots == LookupCache::kDefaultSlots ? PathCache::kDefaultSlots
+                                          : slots / 4);
+  walker_ = std::make_unique<PathWalker>(
+      *dev_, *dirops_, root_off_, enabled ? lookup_cache_.get() : nullptr,
+      enabled ? path_cache_.get() : nullptr);
+}
 
 std::unique_ptr<FileSystem> FileSystem::format(nvmm::Device& nvmm,
                                                nvmm::Device& shm,
@@ -87,8 +115,7 @@ std::unique_ptr<FileSystem> FileSystem::format(nvmm::Device& nvmm,
   nvmm::persist_now(sb.root);
   fs->root_off_ = *ino_off;
 
-  fs->walker_ =
-      std::make_unique<PathWalker>(nvmm, *fs->dirops_, fs->root_off_);
+  fs->make_walker();
   fs->register_protected_functions();
   return fs;
 }
@@ -121,8 +148,7 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
     fs->locks_ =
         std::make_unique<FileLockTable>(FileLockTable::attach(shm, 0));
   fs->root_off_ = sb.root.load().raw();
-  fs->walker_ =
-      std::make_unique<PathWalker>(nvmm, *fs->dirops_, fs->root_off_);
+  fs->make_walker();
   fs->register_protected_functions();
   if (!clean) fs->recover();
   return fs;
@@ -152,6 +178,12 @@ FsStat FileSystem::fsstat() {
   pools_[kPoolInode]->scan([&](std::uint64_t, std::uint32_t flags) {
     if ((flags & alloc::kObjValid) != 0) ++st.live_inodes;
   });
+  const LookupCacheStats ls = lookup_cache_->stats();
+  const LookupCacheStats ps = path_cache_->stats();
+  st.lookup_hits = ls.hits + ps.hits;
+  st.lookup_misses = ls.misses + ps.misses;
+  st.lookup_conflicts = ls.conflicts + ps.conflicts;
+  st.lookup_fills = ls.fills + ps.fills;
   return st;
 }
 
@@ -172,10 +204,9 @@ void FileSystem::register_protected_functions() {
   // resolves a path with the pinned credentials.
   entries.push_back([this](void* arg) -> std::uint64_t {
     auto* path = static_cast<const char*>(arg);
-    PathWalker w(*dev_, *dirops_, root_off_);
-    auto r = w.resolve(Credentials{prot_handle_.creds.euid,
-                                   prot_handle_.creds.egid},
-                       path);
+    auto r = walker_->resolve(Credentials{prot_handle_.creds.euid,
+                                          prot_handle_.creds.egid},
+                              path);
     return r.is_ok() ? r->inode_off : 0;
   });
   // Entry 2: nested call demonstration (jmpp from within a protected fn).
@@ -197,8 +228,8 @@ Stat Process::stat_of(std::uint64_t ino_off) const {
   Stat st;
   st.inode = ino_off;
   st.mode = ino->mode.load(std::memory_order_acquire);
-  st.uid = ino->uid;
-  st.gid = ino->gid;
+  st.uid = ino->uid.load(std::memory_order_relaxed);
+  st.gid = ino->gid.load(std::memory_order_relaxed);
   st.nlink = ino->nlink.load(std::memory_order_acquire);
   st.size = ino->size.load(std::memory_order_acquire);
   st.atime_ns = ino->atime_ns.load(std::memory_order_relaxed);
@@ -219,10 +250,14 @@ Result<std::uint64_t> Process::create_file(const ResolveResult& where,
   SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t ino_off,
                            fs_.pool(kPoolInode).alloc());
   Inode* ino = fs_.inode_at(ino_off);
-  new (ino) Inode();
+  // No placement-new: a recycled inode may still be read by walkers holding
+  // a pre-delete offset, and constructing the atomic members would be a
+  // plain (racy) write.  The allocator's free scrub left every byte zero —
+  // exactly Inode's default state — so atomic stores of the nonzero fields
+  // suffice.
   ino->mode.store(type | (mode & kPermMask), std::memory_order_relaxed);
-  ino->uid = cred_.euid;
-  ino->gid = cred_.egid;
+  ino->uid.store(cred_.euid, std::memory_order_relaxed);
+  ino->gid.store(cred_.egid, std::memory_order_relaxed);
   ino->nlink.store(1, std::memory_order_relaxed);
   const std::uint64_t now = wall_ns();
   ino->atime_ns = now;
@@ -270,7 +305,7 @@ Result<std::uint64_t> Process::create_file(const ResolveResult& where,
     return fe_off.status();
   }
   auto* fe = reinterpret_cast<FileEntry*>(fs_.dev().at(*fe_off));
-  fe->set_name(where.leaf);
+  fe->set_name(where.leaf());
   fe->flags.store(type == kModeSymlink ? kEntrySymlink : 0,
                   std::memory_order_relaxed);
   fe->inode.store(nvmm::pptr<Inode>(ino_off));
@@ -279,7 +314,7 @@ Result<std::uint64_t> Process::create_file(const ResolveResult& where,
   SIMURGH_FAILPOINT("fs.create.entry_persisted");
 
   // Fig. 5a steps 3-5: publish in the directory hash map.
-  Status st = fs_.dirops().insert(*parent, where.leaf, *fe_off);
+  Status st = fs_.dirops().insert(*parent, where.leaf(), *fe_off);
   if (!st.is_ok()) {
     fs_.pool(kPoolFileEntry).free(*fe_off);
     (void)drop_inode(ino_off);
@@ -378,7 +413,7 @@ Status Process::rmdir(std::string_view path) {
   if (!may_access(*parent, cred_, kMayWrite | kMayExec))
     return Status(Errc::permission);
   SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t removed,
-                           fs_.dirops().remove(*parent, rr.leaf));
+                           fs_.dirops().remove(*parent, rr.leaf()));
   return drop_inode(removed);
 }
 
@@ -392,7 +427,7 @@ Status Process::unlink(std::string_view path) {
   if (!may_access(*parent, cred_, kMayWrite | kMayExec))
     return Status(Errc::permission);
   SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t removed,
-                           fs_.dirops().remove(*parent, rr.leaf));
+                           fs_.dirops().remove(*parent, rr.leaf()));
   return drop_inode(removed);
 }
 
@@ -418,9 +453,9 @@ Status Process::rename(std::string_view from, std::string_view to) {
   }
   Result<std::uint64_t> replaced =
       src.parent_off == dst.parent_off
-          ? fs_.dirops().rename_local(*src_parent, src.leaf, dst.leaf)
-          : fs_.dirops().rename_cross(*src_parent, src.leaf, *dst_parent,
-                                      dst.leaf);
+          ? fs_.dirops().rename_local(*src_parent, src.leaf(), dst.leaf())
+          : fs_.dirops().rename_cross(*src_parent, src.leaf(), *dst_parent,
+                                      dst.leaf());
   SIMURGH_RETURN_IF_ERROR(replaced);
   if (*replaced != 0) return drop_inode(*replaced);
   const std::uint64_t now = wall_ns();
@@ -464,12 +499,12 @@ Status Process::link(std::string_view existing, std::string_view newpath) {
   SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t fe_off,
                            fs_.pool(kPoolFileEntry).alloc());
   auto* fe = reinterpret_cast<FileEntry*>(fs_.dev().at(fe_off));
-  fe->set_name(dst.leaf);
+  fe->set_name(dst.leaf());
   fe->flags.store(0, std::memory_order_relaxed);
   fe->inode.store(nvmm::pptr<Inode>(src.inode_off));
   nvmm::persist(fe, sizeof(FileEntry));
   nvmm::fence();
-  Status st = fs_.dirops().insert(*parent, dst.leaf, fe_off);
+  Status st = fs_.dirops().insert(*parent, dst.leaf(), fe_off);
   if (!st.is_ok()) {
     fs_.pool(kPoolFileEntry).free(fe_off);
     ino->nlink.fetch_sub(1, std::memory_order_acq_rel);
@@ -509,8 +544,14 @@ Status Process::access(std::string_view path, unsigned may) {
 Status Process::chmod(std::string_view path, std::uint32_t mode) {
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   Inode* ino = fs_.inode_at(rr.inode_off);
-  if (cred_.euid != 0 && cred_.euid != ino->uid)
+  if (cred_.euid != 0 &&
+      cred_.euid != ino->uid.load(std::memory_order_relaxed))
     return Status(Errc::permission);
+  // Changing a *directory's* mode changes who may traverse it, so bump its
+  // epoch around the visible change: every cached walk through it stops
+  // validating and re-checks permissions.  File modes never gate a walk.
+  std::optional<EpochGuard> guard;
+  if (ino->is_dir()) guard.emplace(fs_.dirops(), *ino);
   const std::uint32_t type = ino->type();
   ino->mode.store(type | (mode & kPermMask), std::memory_order_release);
   nvmm::persist_now(ino->mode);
@@ -523,8 +564,12 @@ Status Process::chown(std::string_view path, std::uint32_t uid,
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   Inode* ino = fs_.inode_at(rr.inode_off);
   if (cred_.euid != 0) return Status(Errc::permission);
-  ino->uid = uid;
-  ino->gid = gid;
+  // Same reasoning as chmod: directory ownership decides which permission
+  // triple applies during traversal.
+  std::optional<EpochGuard> guard;
+  if (ino->is_dir()) guard.emplace(fs_.dirops(), *ino);
+  ino->uid.store(uid, std::memory_order_relaxed);
+  ino->gid.store(gid, std::memory_order_relaxed);
   nvmm::persist(ino, sizeof(Inode));
   nvmm::fence();
   ino->ctime_ns.store(wall_ns(), std::memory_order_relaxed);

@@ -25,6 +25,7 @@
 #include "alloc/obj_alloc.h"
 #include "core/dir_block.h"
 #include "core/layout.h"
+#include "core/lookup_cache.h"
 #include "core/openfile.h"
 #include "core/path.h"
 #include "core/shm.h"
@@ -72,6 +73,11 @@ struct FsStat {
   std::uint64_t total_blocks = 0;
   std::uint64_t free_blocks = 0;
   std::uint64_t live_inodes = 0;  // allocated inode objects
+  // Path-lookup cache counters (this mount's view; see LookupCache).
+  std::uint64_t lookup_hits = 0;
+  std::uint64_t lookup_misses = 0;
+  std::uint64_t lookup_conflicts = 0;
+  std::uint64_t lookup_fills = 0;
 };
 
 struct RecoveryReport {
@@ -124,6 +130,21 @@ class FileSystem {
   // Shrinks every busy-wait lease (crash tests).
   void set_lease_ns(std::uint64_t ns);
 
+  // Path-lookup cache A/B switch (benches, tests); toggles both the
+  // per-component cache and the whole-path fast layer.  Construction
+  // honours SIMURGH_LOOKUP_CACHE=0|off and SIMURGH_LOOKUP_CACHE_SLOTS=<n>.
+  void set_lookup_cache_enabled(bool enabled) noexcept {
+    walker_->set_cache(enabled ? lookup_cache_.get() : nullptr);
+    walker_->set_path_cache(enabled ? path_cache_.get() : nullptr);
+  }
+  [[nodiscard]] bool lookup_cache_enabled() const noexcept {
+    return walker_->cache() != nullptr;
+  }
+  [[nodiscard]] LookupCache& lookup_cache() noexcept {
+    return *lookup_cache_;
+  }
+  [[nodiscard]] PathCache& path_cache() noexcept { return *path_cache_; }
+
   // ---- component access (tests, benches, recovery) ----
   // The superblock lives at device offset 0, which pptr reserves as null,
   // so it is addressed through base() directly.
@@ -168,7 +189,10 @@ class FileSystem {
   std::unique_ptr<alloc::ObjectAllocator> pools_[kNumPools];
   std::unique_ptr<DirOps> dirops_;
   std::unique_ptr<FileLockTable> locks_;
+  std::unique_ptr<LookupCache> lookup_cache_;
+  std::unique_ptr<PathCache> path_cache_;
   std::unique_ptr<PathWalker> walker_;
+  void make_walker();
 
   std::unique_ptr<protsec::PageTable> pagetable_;
   std::unique_ptr<protsec::Gateway> gateway_;

@@ -33,8 +33,10 @@ constexpr unsigned kInlineSymlinkMax = 143;  // fits the extent area
 
 struct Inode {
   std::atomic<std::uint32_t> mode{0};
-  std::uint32_t uid = 0;
-  std::uint32_t gid = 0;
+  // Atomic (relaxed) because lock-free walkers and stat() read them while
+  // chown or the free-scrub writes them.
+  std::atomic<std::uint32_t> uid{0};
+  std::atomic<std::uint32_t> gid{0};
   std::atomic<std::uint32_t> nlink{0};
   std::atomic<std::uint64_t> size{0};
   std::atomic<std::uint64_t> atime_ns{0};

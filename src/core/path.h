@@ -1,16 +1,26 @@
 // Path resolution with POSIX permission checks.
 //
 // Simurgh path walks go straight from hash block to hash block: there is no
-// DRAM dentry cache and no inode-number indirection — each component lookup
-// hashes the name, probes the directory's line, and lands directly on the
-// persistent inode (§3.2, §4.3).  Permission bits are checked during the
-// walk against the credentials the bootstrap pinned for the process.
+// inode-number indirection — each component lookup hashes the name, probes
+// the directory's line, and lands directly on the persistent inode (§3.2,
+// §4.3).  On top of that, the walker consults a shared DRAM lookup cache
+// (lookup_cache.h) validated by per-directory epoch counters, so warm walks
+// skip the hash-block probes entirely while staying fully decentralized.
+// Permission bits are checked during the walk against the credentials the
+// bootstrap pinned for the process.
+//
+// The hot path is allocation-free: components are iterated in place over
+// the input string_view, the ".." ancestor chain lives in a fixed-size
+// stack, and the resolved leaf is returned in an inline buffer inside
+// ResolveResult.  Only symlink restarts (cold, bounded by
+// kMaxSymlinkDepth) build a temporary path string.
 #pragma once
 
-#include <string>
+#include <cstring>
 #include <string_view>
 
 #include "core/dir_block.h"
+#include "core/lookup_cache.h"
 #include "protsec/bootstrap.h"
 
 namespace simurgh::core {
@@ -22,6 +32,11 @@ constexpr unsigned kMayRead = 4;
 constexpr unsigned kMayWrite = 2;
 constexpr unsigned kMayExec = 1;
 
+// Deepest directory nesting a single walk supports (the ".." ancestor
+// stack is this big; deeper paths fail with name_too_long, mirroring how
+// PATH_MAX bounds kernel walks).
+constexpr unsigned kMaxWalkDepth = 128;
+
 // Classic owner/group/other check against an inode's mode bits.
 [[nodiscard]] bool may_access(const Inode& ino, const Credentials& cred,
                               unsigned want) noexcept;
@@ -29,13 +44,47 @@ constexpr unsigned kMayExec = 1;
 struct ResolveResult {
   std::uint64_t inode_off = 0;   // final inode (0 if only parent resolved)
   std::uint64_t parent_off = 0;  // parent directory inode
-  std::string leaf;              // last path component
+
+  // Last path component, stored inline so a result never dangles into a
+  // temporary (symlink-restart) path and never heap-allocates.
+  [[nodiscard]] std::string_view leaf() const noexcept {
+    return {leaf_buf_, leaf_len_};
+  }
+  void set_leaf(std::string_view s) noexcept {
+    leaf_len_ = static_cast<std::uint16_t>(s.size());
+    std::memcpy(leaf_buf_, s.data(), s.size());
+  }
+
+ private:
+  std::uint16_t leaf_len_ = 0;
+  char leaf_buf_[kMaxName + 1] = {};
+};
+
+// Validation chain recorded while a walk runs: the (inode offset, epoch)
+// of every directory traversed, each epoch loaded *before* that directory
+// was probed or permission-checked.  A PathCache entry built from a trace
+// replays identically as long as every chained epoch is unchanged.  Walks
+// that the chain cannot represent — symlinks (followed or returned), "."
+// or "..", more than PathCache::kMaxChain directories, a directory being
+// torn down — poison the trace instead.
+struct WalkTrace {
+  bool ok = true;
+  std::uint32_t n = 0;
+  std::uint32_t leaf_pos = 0;  // leaf component's span in the walked path
+  std::uint32_t leaf_len = 0;
+  std::uint64_t dirs[PathCache::kMaxChain] = {};
+  std::uint64_t epochs[PathCache::kMaxChain] = {};
 };
 
 class PathWalker {
  public:
-  PathWalker(nvmm::Device& dev, DirOps& dirops, std::uint64_t root_off)
-      : dev_(dev), dirops_(dirops), root_off_(root_off) {}
+  PathWalker(nvmm::Device& dev, DirOps& dirops, std::uint64_t root_off,
+             LookupCache* cache = nullptr, PathCache* pcache = nullptr)
+      : dev_(dev),
+        dirops_(dirops),
+        root_off_(root_off),
+        cache_(cache),
+        pcache_(pcache) {}
 
   // Resolves `path` fully.  If `follow_symlink` is false, a trailing
   // symlink is returned itself.  Errors: not_found / not_dir / permission.
@@ -51,14 +100,47 @@ class PathWalker {
     return reinterpret_cast<Inode*>(dev_.at(off));
   }
 
+  // The lookup cache consulted per component; null disables caching (the
+  // A/B switch the benches and tests use).
+  void set_cache(LookupCache* cache) noexcept { cache_ = cache; }
+  [[nodiscard]] LookupCache* cache() const noexcept { return cache_; }
+
+  // The whole-path fast layer consulted by resolve(); null disables it.
+  void set_path_cache(PathCache* pcache) noexcept { pcache_ = pcache; }
+  [[nodiscard]] PathCache* path_cache() const noexcept { return pcache_; }
+
  private:
+  struct ChildRef {
+    std::uint64_t fentry_off = 0;
+    std::uint64_t inode_off = 0;
+  };
+
+  // One component lookup in `dir` (inode at dir_off): cache probe with
+  // epoch validation, falling back to the hash-block probe on miss or
+  // conflict, refilling when the epoch held still.
+  Result<ChildRef> lookup_child(std::uint64_t dir_off, Inode& dir,
+                                std::string_view name) const;
+
   Result<ResolveResult> walk(const Credentials& cred, std::string_view path,
-                             bool follow_symlink, bool want_parent,
-                             int depth) const;
+                             bool follow_symlink, bool want_parent, int depth,
+                             WalkTrace* trace = nullptr) const;
+
+  // Loads the current epoch of the directory inode at `ino_off`, refusing
+  // offsets that cannot denote a live first block (bounds / alignment):
+  // validation chases offsets recorded in the past, so unlike the walk it
+  // may encounter freed-and-rewritten inodes and must stay in bounds.
+  bool dir_epoch_now(std::uint64_t ino_off, std::uint64_t& out) const noexcept;
+
+  // One forward pass: every chained directory still carries its recorded
+  // epoch.  Hits require two passes (see lookup_cache.h); fills one.
+  bool chain_matches(const std::uint64_t* dirs, const std::uint64_t* epochs,
+                     std::uint32_t n) const noexcept;
 
   nvmm::Device& dev_;
   DirOps& dirops_;
   std::uint64_t root_off_;
+  LookupCache* cache_;
+  PathCache* pcache_;
 };
 
 }  // namespace simurgh::core

@@ -102,7 +102,7 @@ TEST_F(CoreUnitTest, WalkerResolveParentOfMissingLeaf) {
   auto rr = fs_->walker().resolve_parent({1000, 1000}, "/w/newname");
   ASSERT_TRUE(rr.is_ok());
   EXPECT_EQ(rr->inode_off, 0u);
-  EXPECT_EQ(rr->leaf, "newname");
+  EXPECT_EQ(rr->leaf(), "newname");
   EXPECT_EQ(rr->parent_off, proc->stat("/w")->inode);
 }
 

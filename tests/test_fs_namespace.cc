@@ -162,6 +162,23 @@ TEST_F(FsTest, SymlinkLoopDetected) {
   EXPECT_EQ(p().stat("/loop_a").code(), Errc::too_many_links);
 }
 
+TEST_F(FsTest, SymlinkSelfLoopTerminates) {
+  // The tightest loop: a link naming itself.  The walk must fail with
+  // too_many_links after kMaxSymlinkDepth restarts, never recurse forever,
+  // and the link object itself must stay reachable via lstat.
+  ASSERT_TRUE(p().symlink("/self", "/self").is_ok());
+  EXPECT_EQ(p().stat("/self").code(), Errc::too_many_links);
+  EXPECT_EQ(p().open("/self", kOpenRead).code(), Errc::too_many_links);
+  auto st = p().lstat("/self");
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_TRUE(st->is_symlink());
+  EXPECT_EQ(*p().readlink("/self"), "/self");
+  // A relative self-loop exercises the sub-walker restart path too.
+  ASSERT_TRUE(p().mkdir("/sd").is_ok());
+  ASSERT_TRUE(p().symlink("me", "/sd/me").is_ok());
+  EXPECT_EQ(p().stat("/sd/me").code(), Errc::too_many_links);
+}
+
 TEST_F(FsTest, LongSymlinkTargetViaDataBlock) {
   const std::string long_target = "/" + std::string(500, 'x');
   ASSERT_TRUE(p().symlink(long_target, "/longln").is_ok());
