@@ -53,6 +53,18 @@ class FsBackend {
                            std::uint64_t len) = 0;
   virtual Status fsync(sim::SimThread& t, const std::string& path) = 0;
 
+  // Permission changes; cost shape = resolve + small attribute write.  The
+  // kernel baselines keep no permission state, so the default only charges
+  // the resolution; backends with real permission semantics override.
+  virtual Status chmod(sim::SimThread& t, const std::string& path,
+                       std::uint32_t /*mode*/) {
+    return resolve(t, path);
+  }
+  virtual Status chown(sim::SimThread& t, const std::string& path,
+                       std::uint32_t /*uid*/, std::uint32_t /*gid*/) {
+    return resolve(t, path);
+  }
+
   // Backends that distinguish cached vs. NVMM-bound reads (Fig. 6) expose
   // a knob; default is the adapted-FxMark behaviour (always NVMM-bound).
   virtual void set_cached_reads(bool) {}

@@ -30,6 +30,7 @@ SimurghBackend::SimurghBackend(sim::SimWorld& world,
   fs_->set_relaxed_writes(relaxed_);
   fs_->set_lookup_cache_enabled(opts.path_cache);
   proc_ = fs_->open_process(1000, 1000);
+  root_proc_ = fs_->open_process(0, 0);
 }
 
 void SimurghBackend::walk_cost(sim::SimThread& t, const std::string& path) {
@@ -40,34 +41,63 @@ void SimurghBackend::walk_cost(sim::SimThread& t, const std::string& path) {
     return;
   }
   // Per-component: charge the DRAM hit cost for prefixes the shared cache
-  // already holds, the full hash-block probe for the rest, then warm them
-  // (the slow probe refills the cache when the directory epoch held still).
+  // already holds, the full hash-block probe for the rest.  Warming happens
+  // only after the operation succeeds (warm_path).
   std::string prefix;
   std::uint32_t cycles = 0;
   for (const auto& c : comps) {
     prefix += '/';
     prefix += c;
-    if (warm_paths_.count(prefix) != 0) {
-      cycles += kCosts.sim_cache_hit;
-    } else {
-      cycles += kCosts.sim_component;
-      warm_paths_.insert(prefix);
-    }
+    cycles += warm_paths_.count(prefix) != 0 ? kCosts.sim_cache_hit
+                                             : kCosts.sim_component;
   }
   t.cpu(cycles);
 }
 
-void SimurghBackend::cool_path(const std::string& path) {
-  if (!opts_.path_cache) return;
-  std::string canon;  // same "/a/b" form walk_cost builds its keys in
+namespace {
+// The "/a/b" form walk_cost builds its keys in.
+std::string canon_path(const std::string& path) {
+  std::string canon;
   for (const auto& c : split_path(path)) {
     canon += '/';
     canon += c;
   }
+  return canon;
+}
+}  // namespace
+
+void SimurghBackend::warm_path(const std::string& path, bool leaf) {
+  if (!opts_.path_cache) return;
+  const auto comps = split_path(path);
+  std::string prefix;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    prefix += '/';
+    prefix += comps[i];
+    if (i + 1 < comps.size() || leaf) warm_paths_.insert(prefix);
+  }
+}
+
+void SimurghBackend::cool_path(const std::string& path) {
+  if (!opts_.path_cache) return;
+  const std::string canon = canon_path(path);
   warm_paths_.erase(canon);
   const std::string subtree = canon + '/';
   for (auto it = warm_paths_.begin(); it != warm_paths_.end();) {
     if (it->compare(0, subtree.size(), subtree) == 0)
+      it = warm_paths_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void SimurghBackend::cool_dir_children(const std::string& dir) {
+  if (!opts_.path_cache) return;
+  const std::string prefix = canon_path(dir) + '/';
+  for (auto it = warm_paths_.begin(); it != warm_paths_.end();) {
+    const std::string& w = *it;
+    if (w.size() > prefix.size() &&
+        w.compare(0, prefix.size(), prefix) == 0 &&
+        w.find('/', prefix.size()) == std::string::npos)
       it = warm_paths_.erase(it);
     else
       ++it;
@@ -151,6 +181,11 @@ Status SimurghBackend::create(sim::SimThread& t, const std::string& path) {
   auto fd = proc_->open(path, core::kOpenCreate | core::kOpenExcl |
                                   core::kOpenWrite);
   if (!fd.is_ok()) return fd.status();
+  // The insert bumped the parent's epoch: every binding held in it stops
+  // validating.  The walk verified the parent chain; the new leaf itself
+  // stays cold until something resolves it.
+  cool_dir_children(parent_of(path));
+  warm_path(path, /*leaf=*/false);
   return proc_->close(*fd);
 }
 
@@ -161,7 +196,10 @@ Status SimurghBackend::mkdir(sim::SimThread& t, const std::string& path) {
   line_critical(t, parent_of(path), split_path(path).back(),
                 kCosts.sim_line_hold);
   t.transfer(nvmm_write_, 4096 + kCosts.sim_meta_create);
-  return proc_->mkdir(path);
+  SIMURGH_RETURN_IF_ERROR(proc_->mkdir(path));
+  cool_dir_children(parent_of(path));
+  warm_path(path, /*leaf=*/false);
+  return Status::ok();
 }
 
 Status SimurghBackend::unlink(sim::SimThread& t, const std::string& path) {
@@ -173,8 +211,11 @@ Status SimurghBackend::unlink(sim::SimThread& t, const std::string& path) {
                 kCosts.sim_line_hold + (coarse ? kCosts.sim_unlink : 0));
   t.transfer(nvmm_write_, kCosts.sim_meta_unlink);
   evict_fd(path);
+  SIMURGH_RETURN_IF_ERROR(proc_->unlink(path));
   cool_path(path);
-  return proc_->unlink(path);
+  cool_dir_children(parent_of(path));
+  warm_path(path, /*leaf=*/false);
+  return Status::ok();
 }
 
 Status SimurghBackend::rename(sim::SimThread& t, const std::string& from,
@@ -190,16 +231,23 @@ Status SimurghBackend::rename(sim::SimThread& t, const std::string& from,
   t.transfer(nvmm_write_, kCosts.sim_meta_rename);
   evict_fd(from);
   evict_fd(to);
+  SIMURGH_RETURN_IF_ERROR(proc_->rename(from, to));
   cool_path(from);
   cool_path(to);
-  return proc_->rename(from, to);
+  cool_dir_children(parent_of(from));
+  cool_dir_children(parent_of(to));
+  warm_path(from, /*leaf=*/false);
+  warm_path(to, /*leaf=*/false);
+  return Status::ok();
 }
 
 Status SimurghBackend::resolve(sim::SimThread& t, const std::string& path) {
   entry_cost(t);
   walk_cost(t, path);
   t.cpu(120);  // permission bits + attribute read, straight off NVMM
-  return proc_->stat(path).status();
+  SIMURGH_RETURN_IF_ERROR(proc_->stat(path).status());
+  warm_path(path, /*leaf=*/true);
+  return Status::ok();
 }
 
 Result<std::uint64_t> SimurghBackend::file_size(sim::SimThread& t,
@@ -213,6 +261,7 @@ Result<std::vector<std::string>> SimurghBackend::readdir(
   entry_cost(t);
   walk_cost(t, path);
   SIMURGH_ASSIGN_OR_RETURN(auto entries, proc_->readdir(path));
+  warm_path(path, /*leaf=*/true);
   t.cpu(static_cast<std::uint32_t>(30 * entries.size()));
   std::vector<std::string> names;
   names.reserve(entries.size());
@@ -245,6 +294,7 @@ Status SimurghBackend::read(sim::SimThread& t, const std::string& path,
     done += got;
     if (got < chunk) break;  // EOF
   }
+  if (!fd_workload_) warm_path(path, /*leaf=*/true);
   return Status::ok();
 }
 
@@ -277,6 +327,7 @@ Status SimurghBackend::write(sim::SimThread& t, const std::string& path,
         proc_->pwrite(fd, scratch_.data(), chunk, off + done));
     done += put;
   }
+  if (!fd_workload_) warm_path(path, /*leaf=*/true);
   return Status::ok();
 }
 
@@ -317,6 +368,7 @@ Status SimurghBackend::append(sim::SimThread& t, const std::string& path,
         proc_->pwrite(fd0, scratch_.data(), chunk, st0.size + done));
     done += put;
   }
+  if (!fd_workload_) warm_path(path, /*leaf=*/true);
   return Status::ok();
 }
 
@@ -330,7 +382,9 @@ Status SimurghBackend::fallocate(sim::SimThread& t, const std::string& path,
   t.transfer(nvmm_write_, kCosts.sim_meta_fallocate);  // extent map only (no zeroing)
   SIMURGH_ASSIGN_OR_RETURN(const int fd, cached_fd(path, true));
   SIMURGH_ASSIGN_OR_RETURN(const auto st, proc_->fstat(fd));
-  return proc_->fallocate(fd, st.size, len);
+  SIMURGH_RETURN_IF_ERROR(proc_->fallocate(fd, st.size, len));
+  warm_path(path, /*leaf=*/true);
+  return Status::ok();
 }
 
 Status SimurghBackend::fsync(sim::SimThread& t, const std::string& path) {
@@ -338,6 +392,38 @@ Status SimurghBackend::fsync(sim::SimThread& t, const std::string& path) {
   t.cpu(100);  // sfence + bookkeeping; everything is already persistent
   auto it = fds_.find(path);
   if (it != fds_.end()) return proc_->fsync(it->second);
+  return Status::ok();
+}
+
+Status SimurghBackend::chmod(sim::SimThread& t, const std::string& path,
+                             std::uint32_t mode) {
+  entry_cost(t);
+  walk_cost(t, path);
+  t.cpu(120);  // permission check + mode word update
+  auto st = proc_->stat(path);
+  if (!st.is_ok()) return st.status();
+  t.transfer(nvmm_write_, 64);  // one flushed line for the mode word
+  SIMURGH_RETURN_IF_ERROR(proc_->chmod(path, mode));
+  warm_path(path, /*leaf=*/true);
+  // A directory's mode gates traversal, so the real chmod bumps its epoch
+  // and every binding held in it stops validating.
+  if (st->is_dir()) cool_dir_children(path);
+  return Status::ok();
+}
+
+Status SimurghBackend::chown(sim::SimThread& t, const std::string& path,
+                             std::uint32_t uid, std::uint32_t gid) {
+  entry_cost(t);
+  walk_cost(t, path);
+  t.cpu(120);
+  auto st = proc_->stat(path);
+  if (!st.is_ok()) return st.status();
+  t.transfer(nvmm_write_, 64);
+  SIMURGH_RETURN_IF_ERROR(root_proc_->chown(path, uid, gid));
+  warm_path(path, /*leaf=*/true);
+  // Same as chmod: ownership decides which permission triple applies
+  // during traversal of a directory.
+  if (st->is_dir()) cool_dir_children(path);
   return Status::ok();
 }
 

@@ -70,6 +70,10 @@ class SimurghBackend : public FsBackend {
   Status fallocate(sim::SimThread& t, const std::string& path,
                    std::uint64_t len) override;
   Status fsync(sim::SimThread& t, const std::string& path) override;
+  Status chmod(sim::SimThread& t, const std::string& path,
+               std::uint32_t mode) override;
+  Status chown(sim::SimThread& t, const std::string& path, std::uint32_t uid,
+               std::uint32_t gid) override;
   void set_cached_reads(bool cached) override { cached_reads_ = cached; }
   void set_fd_workload(bool fd) override { fd_workload_ = fd; }
 
@@ -77,11 +81,25 @@ class SimurghBackend : public FsBackend {
 
  private:
   void entry_cost(sim::SimThread& t) { t.cpu(opts_.entry_cycles); }
+  // Charges the walk against the current warm set: sim_cache_hit per warm
+  // prefix, the full hash-block probe for the rest.  Never warms anything
+  // itself — warmth is recorded only after the operation succeeded
+  // (warm_path), so repeated lookups of nonexistent paths keep paying the
+  // full probe, exactly like the real cache (no negative caching).
   void walk_cost(sim::SimThread& t, const std::string& path);
-  // Drops `path` (and, for directories, everything under it) from the
-  // warm-path model after unlink/rename — mirroring the epoch bump that
-  // invalidates the real cache's bindings.
+  // Records a successful walk: every prefix it verified against the hash
+  // blocks is now cached.  `leaf` is false for ops that only resolve the
+  // parent chain (create/unlink/rename leave the leaf binding cold).
+  void warm_path(const std::string& path, bool leaf);
+  // Drops `path` and everything under it from the warm model — the
+  // bindings a removed/renamed subtree can never serve again.
   void cool_path(const std::string& path);
+  // Mirrors the epoch bump of a mutated (or chmod/chown-ed) directory:
+  // every binding held *in* it — its immediate children — stops
+  // validating.  Deeper descendants keep their own bindings; a walk
+  // through them re-pays exactly one full probe at the cooled component,
+  // matching the real cache's conflict-and-refill cost.
+  void cool_dir_children(const std::string& dir);
   // Virtual busy-line lock of the leaf's hash line in `dir`.
   void line_critical(sim::SimThread& t, const std::string& dir,
                      const std::string& leaf, std::uint32_t hold);
@@ -99,6 +117,7 @@ class SimurghBackend : public FsBackend {
   nvmm::Device shm_;
   std::unique_ptr<core::FileSystem> fs_;
   std::unique_ptr<core::Process> proc_;
+  std::unique_ptr<core::Process> root_proc_;  // chown needs euid 0
   std::unordered_map<std::string, int> fds_;
   // Paths whose final binding the shared lookup cache holds; the virtual
   // clock charges sim_cache_hit instead of sim_component for them.  The

@@ -8,10 +8,18 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "core/layout.h"
 
 namespace simurgh::core {
 
 namespace {
+
+// Mount-wide generation counter for directory epochs; lives in the
+// superblock so every process of the mount shares it (volatile semantics).
+std::atomic<std::uint64_t>& epoch_gen(nvmm::Device& dev) noexcept {
+  return reinterpret_cast<Superblock*>(dev.base() + kSuperblockOff)
+      ->dir_epoch_gen;
+}
 
 std::uint64_t monotonic_ns() noexcept {
   timespec ts{};
@@ -113,10 +121,29 @@ Result<std::uint64_t> DirOps::create_dir_block() {
   SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t off, pools_.dirblock->alloc());
   auto* blk = reinterpret_cast<DirBlock*>(dev_.at(off));
   new (blk) DirBlock();
+  // Stamp the mutation epoch from the mount-wide generation counter rather
+  // than leaving the constructed 0: retire_dir_epoch keeps the counter
+  // above every freed directory's final epoch, so a recycled offset starts
+  // a fresh, never-before-observed epoch stream and stale lookup-cache
+  // entries can never validate again.  Stride 2 keeps stable epochs even,
+  // matching EpochGuard's balanced bumps.
+  blk->epoch.store(epoch_gen(dev_).fetch_add(2, std::memory_order_acq_rel),
+                   std::memory_order_release);
   nvmm::persist(blk, sizeof(DirBlock));
   nvmm::fence();
   pools_.dirblock->commit(off);
   return off;
+}
+
+void DirOps::retire_dir_epoch(Inode& dir) noexcept {
+  DirBlock* first = first_block(dir);
+  if (first == nullptr) return;
+  const std::uint64_t e = first->epoch.load(std::memory_order_acquire);
+  auto& gen = epoch_gen(dev_);
+  std::uint64_t g = gen.load(std::memory_order_relaxed);
+  while (g <= e &&
+         !gen.compare_exchange_weak(g, e + 2, std::memory_order_acq_rel)) {
+  }
 }
 
 bool DirOps::scrub_slot(DirSlot& slot) const {

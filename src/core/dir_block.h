@@ -127,6 +127,9 @@ struct DirBlock {
   // once after its last.  Volatile semantics — it is never persisted and
   // its absolute value is meaningless across mounts; only shared-memory
   // visibility matters, so it lives here where all processes map it.
+  // create_dir_block stamps it from Superblock::dir_epoch_gen (never 0), so
+  // epoch values are unique across directory lifetimes at a recycled
+  // offset; see DirOps::retire_dir_epoch.
   std::atomic<std::uint64_t> epoch{0};
   RenameLog log;
   std::atomic<std::uint64_t> stamp_ns[kLines]; // line lease stamps
@@ -183,6 +186,15 @@ class DirOps {
 
   // Creates (and persists) the first hash block of a new directory.
   Result<std::uint64_t> create_dir_block();
+
+  // Must be called before a directory's first hash block is freed (rmdir,
+  // rename-over, unlink of the last link): advances the mount-wide epoch
+  // generation (Superblock::dir_epoch_gen) past the directory's final
+  // epoch.  The next create_dir_block then stamps a strictly larger value,
+  // so no later directory recycling this offset can reach an epoch some
+  // cache entry of the dead directory was filled against (the cache-key
+  // offsets are recycled; the epoch stream is what stays unique).
+  void retire_dir_epoch(Inode& dir) noexcept;
 
   // Applies pending recovery for one directory: finishes interrupted
   // deletes/renames and replays the cross-directory log.  Used both by the

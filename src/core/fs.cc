@@ -335,6 +335,10 @@ Status Process::drop_inode(std::uint64_t inode_off) {
     return Status::ok();  // other hard links remain
   // Last link: release storage, then the inode object itself.
   if (ino->is_dir()) {
+    // Before the first hash block can be recycled, push the mount-wide
+    // epoch generation past this directory's final epoch so no stale
+    // lookup-cache entry can ever validate against its successor.
+    fs_.dirops().retire_dir_epoch(*ino);
     nvmm::pptr<DirBlock> b = ino->dir.load();
     ino->dir.store(nvmm::pptr<DirBlock>());
     while (b) {

@@ -17,6 +17,7 @@
 // identity *is* the inode's offset — there are no inode numbers (§4.3).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "alloc/block_alloc.h"
@@ -60,6 +61,13 @@ struct Superblock {
   std::uint64_t n_cores = 0;  // segments = 2 * n_cores at format time
   alloc::PoolHeader pools[kNumPools];
   nvmm::atomic_pptr<struct Inode> root;
+  // Generation source for directory mutation epochs (volatile semantics,
+  // like DirBlock::epoch — never meaningfully persisted).  Every new first
+  // hash block is stamped from it (DirOps::create_dir_block) and retiring a
+  // directory advances it past the dead directory's final epoch
+  // (DirOps::retire_dir_epoch), so a recycled offset can never replay an
+  // epoch value some DRAM cache entry was filled against (lookup_cache.h).
+  std::atomic<std::uint64_t> dir_epoch_gen{0};
 };
 static_assert(sizeof(Superblock) <= 4096);
 

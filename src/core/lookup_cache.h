@@ -22,6 +22,15 @@
 // stale entries simply stop validating — preserving the paper's fully
 // decentralized coordination model.
 //
+// Epoch values are unique across directory *lifetimes*, not just within
+// one: a new directory's epoch is stamped from a mount-wide generation
+// counter that retiring any directory advances past its final epoch
+// (DirOps::create_dir_block / retire_dir_epoch).  Without that, the object
+// allocator's offset recycling would re-arm old entries: a deleted
+// directory's (parent_off, name, epoch) could validate again once an
+// unrelated directory reusing the same offset counted its own epoch up to
+// the recorded value.
+//
 // The table itself is lock-free: direct-mapped slots, each guarded by a
 // per-slot sequence counter (even = stable, odd = being written).  All slot
 // fields are relaxed atomics so concurrent fills and probes are race-free

@@ -38,6 +38,12 @@ RecoveryReport FileSystem::recover() {
   // hand out objects the sweep will reason about.
   locks_->reset_all();
   for (auto& p : pools_) p->drop_volatile_cache();
+  // The sweep below may reclaim directory first blocks without going
+  // through retire_dir_epoch; drop the DRAM lookup state wholesale instead
+  // so no pre-recovery binding can validate against whatever epoch streams
+  // the recycled blocks start afterwards.
+  lookup_cache_->clear();
+  path_cache_->clear();
 
   const Superblock& s = sb();
   const std::uint64_t n_blocks = blocks_->n_blocks_total();

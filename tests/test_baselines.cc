@@ -256,6 +256,41 @@ TEST(SimurghBackend, RunsTheRealFileSystem) {
   EXPECT_EQ(st->size, 8192u);
 }
 
+TEST(SimurghCostModel, WarmthIsSuccessGatedAndCooledByMutation) {
+  sim::SimWorld world;
+  SimurghModelOptions o;
+  o.path_cache = true;
+  o.device_size = 256ull << 20;
+  SimurghBackend be(world, o);
+  sim::SimThread setup(-1);
+  ASSERT_TRUE(be.mkdir(setup, "/d").is_ok());
+  ASSERT_TRUE(be.create(setup, "/d/a").is_ok());
+  auto stat_cost = [&](const std::string& path, bool expect_ok) {
+    sim::SimThread s;
+    EXPECT_EQ(be.resolve(s, path).is_ok(), expect_ok);
+    return s.now();
+  };
+  // Nonexistent paths never warm: the repeat costs exactly as much (the
+  // real cache keeps no negative entries).
+  const auto miss1 = stat_cost("/d/none", false);
+  EXPECT_EQ(stat_cost("/d/none", false), miss1);
+  // A successful stat warms its leaf; the repeat is cheaper.
+  const auto cold = stat_cost("/d/a", true);
+  const auto warm = stat_cost("/d/a", true);
+  EXPECT_LT(warm, cold);
+  // Creating a sibling bumps /d's epoch: /d/a's binding stops validating,
+  // the next stat re-pays the full probe, then re-warms.
+  ASSERT_TRUE(be.create(setup, "/d/c").is_ok());
+  EXPECT_EQ(stat_cost("/d/a", true), cold);
+  EXPECT_EQ(stat_cost("/d/a", true), warm);
+  // chmod of the directory cools its children too (traversal rights moved);
+  // chmod of a file cools nothing.
+  ASSERT_TRUE(be.chmod(setup, "/d", 0755).is_ok());
+  EXPECT_EQ(stat_cost("/d/a", true), cold);
+  ASSERT_TRUE(be.chmod(setup, "/d/a", 0600).is_ok());
+  EXPECT_EQ(stat_cost("/d/a", true), warm);
+}
+
 TEST(SimurghBackend, RelaxedVariantReportsItsName) {
   sim::SimWorld world;
   auto fs = make_backend(Backend::simurgh_relaxed, world);

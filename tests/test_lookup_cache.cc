@@ -372,6 +372,84 @@ TEST_F(LookupCacheFsTest, RmdirInvalidatesTheCachedDirectory) {
   EXPECT_EQ(p().stat("/d/sub").code(), Errc::not_found);
 }
 
+// ---- cross-lifetime epoch uniqueness (directory-recycling ABA) ----
+
+TEST_F(LookupCacheFsTest, FreshDirectoriesStartAtUniqueEpochs) {
+  ASSERT_TRUE(p().mkdir("/d1").is_ok());
+  ASSERT_TRUE(p().mkdir("/d2").is_ok());
+  EXPECT_NE(epoch_of("/d1"), epoch_of("/d2"));
+  // Recycling an offset never rewinds its epoch stream: a directory
+  // created after another died starts past the dead one's final epoch.
+  const std::uint64_t final_epoch = epoch_of("/d1");
+  ASSERT_TRUE(p().rmdir("/d1").is_ok());
+  ASSERT_TRUE(p().mkdir("/d3").is_ok());
+  EXPECT_GT(epoch_of("/d3"), final_epoch);
+}
+
+TEST_F(LookupCacheFsTest, RecycledDirectoryNeverServesStaleBindings) {
+  // Reconstructs the component-cache ABA: a directory dies while the cache
+  // holds one of its (parent_off, name) bindings, the allocator recycles
+  // its inode offset into a fresh directory, and the fresh directory's own
+  // mutations march its epoch to exactly the dead one's fill epoch.  With
+  // lifetime-unique epoch streams the stale entry can never validate;
+  // without them this walk would observe the dead directory's freed inode.
+  ASSERT_TRUE(p().mkdir("/p").is_ok());
+  const std::uint64_t p_ino = p().stat("/p")->inode;
+  auto fd = p().open("/p/f", core::kOpenCreate | core::kOpenWrite);
+  ASSERT_TRUE(fd.is_ok());
+  const std::uint64_t f_old = p().fstat(*fd)->inode;
+  ASSERT_TRUE(p().close(*fd).is_ok());
+  auto fd2 = p().open("/p/g", core::kOpenCreate | core::kOpenWrite);
+  ASSERT_TRUE(fd2.is_ok());
+  ASSERT_TRUE(p().close(*fd2).is_ok());
+  ASSERT_TRUE(p().stat("/p/f").is_ok());  // fills (p_ino, "f")
+  ASSERT_TRUE(p().unlink("/p/f").is_ok());
+  ASSERT_TRUE(p().unlink("/p/g").is_ok());
+  ASSERT_TRUE(p().rmdir("/p").is_ok());
+
+  // Recycle /p's inode offset into a fresh directory.
+  std::string q;
+  for (int i = 0; i < 32 && q.empty(); ++i) {
+    const std::string cand = "/q" + std::to_string(i);
+    ASSERT_TRUE(p().mkdir(cand).is_ok());
+    if (p().stat(cand)->inode == p_ino) q = cand;
+  }
+  ASSERT_FALSE(q.empty()) << "allocator stopped recycling inode offsets; "
+                             "re-provoke the ABA differently";
+
+  // Advance the recycled directory's epoch by the same two mutations the
+  // dead one had absorbed when the stale entry was filled.  The spare file
+  // soaks up /p/f's freed inode so a stale hit stays distinguishable.
+  auto g = p().open(q + "/g", core::kOpenCreate | core::kOpenWrite);
+  ASSERT_TRUE(g.is_ok());
+  ASSERT_TRUE(p().close(*g).is_ok());
+  auto spare = p().open("/spare", core::kOpenCreate | core::kOpenWrite);
+  ASSERT_TRUE(spare.is_ok());
+  ASSERT_TRUE(p().close(*spare).is_ok());
+  auto f = p().open(q + "/f", core::kOpenCreate | core::kOpenWrite);
+  ASSERT_TRUE(f.is_ok());
+  const std::uint64_t f_new = p().fstat(*f)->inode;
+  ASSERT_TRUE(p().close(*f).is_ok());
+  ASSERT_NE(f_new, f_old);  // distinct inode: a stale hit is observable
+
+  auto st = p().stat(q + "/f");
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_EQ(st->inode, f_new);
+}
+
+TEST_F(LookupCacheFsTest, RecoveryDropsCachedBindings) {
+  ASSERT_TRUE(p().mkdir("/d").is_ok());
+  ASSERT_TRUE(p().stat("/d").is_ok());
+  ASSERT_TRUE(p().stat("/d").is_ok());  // warm whole-path entry
+  (void)delta_stats();
+  (void)delta_path_stats();
+  // Recovery may recycle directory blocks without per-directory retire
+  // bookkeeping, so it drops all cached bindings wholesale.
+  (void)fs_->recover();
+  ASSERT_TRUE(p().stat("/d").is_ok());
+  EXPECT_EQ(delta_path_stats().hits, 0u);  // cold again
+}
+
 TEST_F(LookupCacheFsTest, OverlongNamesBypassTheCacheButResolve) {
   const std::string name(100, 'z');  // > kCacheNameMax, < kMaxName
   auto fd = p().open("/" + name, core::kOpenCreate | core::kOpenWrite);
