@@ -105,6 +105,28 @@ class BlockAllocator {
   template <typename InUseFn>
   void rebuild_free_lists(InUseFn&& in_use);
 
+  // Read-only walk of every free range: fn(segment_index, range_dev_off,
+  // n_blocks).  Quiescent-state inspection only (fsck); does not lock.
+  template <typename Fn>
+  void for_each_free_range(Fn&& fn) const {
+    const BlockAllocHeader& h = header();
+    const SegmentHeader* segs = segments();
+    for (unsigned s = 0; s < h.n_segments; ++s) {
+      nvmm::pptr<FreeRange> cur = segs[s].free_head.load();
+      while (cur) {
+        const FreeRange* range = cur.in(*dev_);
+        fn(s, cur.raw(), range->n_blocks);
+        cur = range->next;
+      }
+    }
+  }
+
+  // Free-block counter of one segment (fsck cross-checks it against the
+  // segment's actual free-range list).
+  [[nodiscard]] std::uint64_t segment_free_blocks(unsigned s) const noexcept {
+    return segments()[s].free_blocks.load(std::memory_order_acquire);
+  }
+
  private:
   BlockAllocator(nvmm::Device& dev, std::uint64_t header_off)
       : dev_(&dev),

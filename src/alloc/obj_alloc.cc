@@ -41,11 +41,16 @@ Status ObjectAllocator::grow() {
   auto* seg = reinterpret_cast<PoolSegment*>(dev_->at(seg_off));
   seg->n_objects = p.objs_per_segment;
   seg->n_blocks = n_blocks;
-  // Publish with a CAS push; the segment list is only ever prepended.
+  // Publish with a CAS push; the segment list is only ever prepended.  The
+  // header must be durable *before* the head can point at it, and the head
+  // must be durable before any object from the segment can be handed out —
+  // otherwise a crash image can hold a published head with a torn header
+  // (a zero-length segment) or live objects inside an unpublished segment.
   nvmm::pptr<PoolSegment> head = p.seg_head.load();
   do {
     seg->next = head;
     nvmm::persist_obj(*seg);
+    nvmm::fence();
   } while (!p.seg_head.compare_exchange(head, nvmm::pptr<PoolSegment>(seg_off)));
   nvmm::persist_obj(p.seg_head);
   nvmm::fence();

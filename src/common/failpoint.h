@@ -29,9 +29,10 @@ class FailPoint {
  public:
   // Arms `point` for the calling thread; fires after `skip` prior hits.
   static void arm(std::string_view point, int skip = 0) noexcept {
-    tl().point = point;
-    tl().remaining = skip;
-    hits_.store(0, std::memory_order_relaxed);
+    State& s = tl();
+    s.point = point;
+    s.remaining = skip;
+    s.hits = 0;
   }
 
   static void disarm() noexcept { tl().point = {}; }
@@ -40,27 +41,28 @@ class FailPoint {
   static void hit(std::string_view point) {
     State& s = tl();
     if (s.point.empty() || s.point != point) return;
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    ++s.hits;
     if (s.remaining-- > 0) return;
     s.point = {};  // one-shot
     throw CrashedException{point};
   }
 
-  // Number of times the armed point was reached (for test assertions).
-  static std::uint64_t hits() noexcept {
-    return hits_.load(std::memory_order_relaxed);
-  }
+  // Number of times the calling thread's armed point was reached (for test
+  // assertions).  Part of the armed thread-local state: a thread arming its
+  // own point must not reset — or read — another thread's count, so two
+  // crash tests can run concurrently without racing on a shared counter.
+  static std::uint64_t hits() noexcept { return tl().hits; }
 
  private:
   struct State {
     std::string_view point;
     int remaining = 0;
+    std::uint64_t hits = 0;
   };
   static State& tl() noexcept {
     thread_local State s;
     return s;
   }
-  inline static std::atomic<std::uint64_t> hits_{0};
 };
 
 #define SIMURGH_FAILPOINT(name) ::simurgh::FailPoint::hit(name)

@@ -197,13 +197,22 @@ Status Process::truncate_inode(std::uint64_t ino_off, std::uint64_t size) {
     lock = std::make_unique<ExclusiveFileLock>(
         fs_.file_locks(), fs_.file_locks().slot_for(ino_off));
   const std::uint64_t old = ino->size.load(std::memory_order_acquire);
+  // Commit point first: the persisted size store makes the truncate visible
+  // atomically; a crash before it leaves the old file intact, a crash after
+  // it leaves the new size with every byte in range unchanged.  Storage
+  // release and tail zeroing follow the commit — they only touch bytes
+  // beyond the (new) size, so interrupted cleanup is invisible and recovery
+  // finishes it (extent marking + tail re-zero).
+  ino->size.store(size, std::memory_order_release);
+  ino->mtime_ns.store(wall_ns(), std::memory_order_relaxed);
+  nvmm::persist(ino, sizeof(Inode));
+  nvmm::fence();
+  SIMURGH_FAILPOINT("fs.truncate.size_persisted");
   if (size < old) {
     const std::uint64_t keep_blocks = (size + kBS - 1) / kBS;
     ExtentMap map(fs_.dev(), fs_.pool(kPoolExtent), *ino, ino_off);
-    map.drop_from(keep_blocks, [&](std::uint64_t dev_off, std::uint64_t n) {
-      fs_.blocks().free(dev_off, n);
-    });
     // Zero the tail of the final kept block so growth re-exposes zeros.
+    // If a crash lands before this, recovery re-zeroes beyond-EOF tails.
     if (size % kBS != 0) {
       const std::uint64_t dev_off = map.find(size / kBS);
       if (dev_off != 0) {
@@ -211,11 +220,10 @@ Status Process::truncate_inode(std::uint64_t ino_off, std::uint64_t size) {
         nvmm::persist(fs_.dev().at(dev_off) + size % kBS, kBS - size % kBS);
       }
     }
+    map.drop_from(keep_blocks, [&](std::uint64_t dev_off, std::uint64_t n) {
+      fs_.blocks().free(dev_off, n);
+    });
   }
-  ino->size.store(size, std::memory_order_release);
-  ino->mtime_ns.store(wall_ns(), std::memory_order_relaxed);
-  nvmm::persist(ino, sizeof(Inode));
-  nvmm::fence();
   return Status::ok();
 }
 

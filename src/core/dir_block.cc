@@ -5,7 +5,9 @@
 #include <cstring>
 #include <iterator>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/failpoint.h"
 #include "core/layout.h"
@@ -506,9 +508,26 @@ bool DirOps::empty(Inode& dir) const {
 
 void DirOps::repair_line(Inode& dir, unsigned ln) {
   // Finish interrupted deletes, drop duplicate slots (rename crash between
-  // steps 7-8) and relocate rename strays in this line.
+  // steps 7-8), relocate rename strays and resolve displaced replace-rename
+  // targets in this line.
   std::uint64_t seen[kSlotsPerLine * 8];
   unsigned n_seen = 0;
+  // Entries whose name hashes to this line, to detect a replace-rename that
+  // crashed between swinging the source slot and retiring the displaced
+  // same-name target (both names then coexist in one line).
+  struct NamedSlot {
+    std::string name;
+    std::uint64_t off;
+    DirSlot* slot;
+  };
+  std::vector<NamedSlot> by_name;
+  // Retires a displaced entry exactly like delete steps 2-5.
+  auto retire_entry = [&](std::uint64_t fe_off) {
+    pools_.fentry->set_flags(fe_off, alloc::kObjDirty);
+    scrub_entry(entry_at(fe_off));
+    nvmm::fence();
+    pools_.fentry->finish_pending_free(fe_off);
+  };
   nvmm::pptr<DirBlock> b = dir.dir.load();
   while (b) {
     DirBlock* blk = b.in(dev_);
@@ -535,16 +554,55 @@ void DirOps::repair_line(Inode& dir, unsigned ln) {
       if (nlen == 0) continue;
       const std::string_view nm{namebuf, nlen};
       const unsigned want = line_of(nm);
-      if (want == ln) continue;
+      const std::uint16_t tag = tag_of_name(nm);
+      if (want == ln) {
+        // Two distinct entries under one name can only come from a
+        // replace-rename (Fig. 5c with an existing target) that crashed
+        // after swinging the source slot but before displacing the target.
+        // The swing is the visibility point, so roll forward: the still
+        // in-flight (uncommitted) entry is the rename's redo side and
+        // wins; the committed one is the displaced target.
+        bool dup_name = false;
+        for (NamedSlot& prev : by_name) {
+          if (prev.name != nm) continue;
+          dup_name = true;
+          const bool cur_wins =
+              pools_.fentry->flags_of(off) ==
+              (alloc::kObjValid | alloc::kObjDirty);
+          DirSlot* loser_slot = cur_wins ? prev.slot : &slot;
+          const std::uint64_t loser_off = cur_wins ? prev.off : off;
+          const std::uint64_t lv =
+              loser_slot->v.load(std::memory_order_acquire);
+          retire_entry(loser_off);
+          clear_slot(*loser_slot, lv);
+          if (cur_wins) {
+            prev.off = off;
+            prev.slot = &slot;
+          }
+          break;
+        }
+        if (!dup_name) by_name.push_back({std::string(nm), off, &slot});
+        continue;
+      }
       // Rename stray (Fig. 5c crash between steps 5 and 8): publish the
       // entry in its correct line if not already there, then retire this
       // slot.  Publication uses CAS, so racing with the original renamer
       // resolves to exactly one slot.
-      const std::uint16_t tag = tag_of_name(nm);
-      if (find_slot(dir, want, nm, tag).slot == nullptr) {
+      SlotRef home = find_slot(dir, want, nm, tag);
+      if (home.slot == nullptr) {
         auto free_ref = free_slot(dir, want);
         if (free_ref.is_ok())
           claim_slot(*free_ref->slot, DirSlot::pack(tag, off));
+      } else if (const std::uint64_t hv =
+                     home.slot->v.load(std::memory_order_acquire);
+                 DirSlot::off_of(hv) != off) {
+        // The home line holds a *different* entry under this name: the
+        // stray is a replace-rename's redo side and the home entry is the
+        // displaced target (roll forward, mirroring steps 5 and 7): swing
+        // the home slot onto the stray's entry, then retire the target.
+        home.slot->v.store(DirSlot::pack(tag, off), std::memory_order_release);
+        nvmm::persist_now(home.slot->v);
+        retire_entry(DirSlot::off_of(hv));
       }
       clear_slot(slot, v);
       if (pools_.fentry->flags_of(off) ==

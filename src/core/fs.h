@@ -87,6 +87,10 @@ struct RecoveryReport {
   std::uint64_t committed_objects = 0;   // in-flight creates completed
   std::uint64_t reclaimed_objects = 0;   // unreachable / half-freed objects
   std::uint64_t data_blocks_in_use = 0;
+  // Inodes whose nlink disagreed with the observed directory references
+  // (e.g. a crash between removing an entry and dropping the link count)
+  // and were reset to the observed value.
+  std::uint64_t link_counts_repaired = 0;
   double seconds = 0;
 };
 
@@ -116,6 +120,13 @@ class FileSystem {
 
   // Full mark-and-sweep recovery (§5.5); safe on a quiescent mount.
   RecoveryReport recover();
+
+  // Report of the most recent recover() on this instance (all zeros if none
+  // ran) — lets tests and the crash harness observe what an auto-recovering
+  // mount() did without re-running recovery.
+  [[nodiscard]] const RecoveryReport& last_recovery() const noexcept {
+    return last_recovery_;
+  }
 
   // Capacity summary (statfs).  live_inodes scans the inode pool.
   [[nodiscard]] FsStat fsstat();
@@ -184,6 +195,7 @@ class FileSystem {
   nvmm::Device* shm_;
   std::uint64_t root_off_ = 0;
   bool relaxed_writes_ = false;
+  RecoveryReport last_recovery_{};
 
   std::unique_ptr<alloc::BlockAllocator> blocks_;
   std::unique_ptr<alloc::ObjectAllocator> pools_[kNumPools];

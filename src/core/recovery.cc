@@ -14,6 +14,8 @@
 //      mark bitmap, and the volatile shared-DRAM lock table is reset.
 #include <time.h>
 
+#include <cstring>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -57,10 +59,14 @@ RecoveryReport FileSystem::recover() {
 
   std::unordered_set<std::uint64_t> live_inodes, live_fentries,
       live_dirblocks, live_extblocks;
+  // Directory references per inode, to repair link counts a crash left
+  // over- or under-counted (e.g. between entry removal and nlink store).
+  std::unordered_map<std::uint64_t, std::uint32_t> ref_count;
 
   // ---- mark phase ----
   std::vector<std::uint64_t> stack{s.root.load().raw()};
   live_inodes.insert(stack[0]);
+  ref_count[stack[0]] = 1;  // the superblock's root reference
   while (!stack.empty()) {
     const std::uint64_t dir_off = stack.back();
     stack.pop_back();
@@ -78,6 +84,7 @@ RecoveryReport FileSystem::recover() {
                             std::uint64_t ino_off) {
       live_fentries.insert(fe_off);
       if (ino_off == 0) return;
+      ++ref_count[ino_off];
       const bool first_visit = live_inodes.insert(ino_off).second;
       if (!first_visit) return;  // hard link already processed
       Inode* ino = inode_at(ino_off);
@@ -90,6 +97,26 @@ RecoveryReport FileSystem::recover() {
           mark_blocks(e.dev_off, e.n_blocks);
           report.data_blocks_in_use += e.n_blocks;
         });
+        // A crash between a truncate's size commit and its tail zeroing can
+        // leave stale bytes beyond EOF in the final kept block; re-zero so
+        // later growth exposes zeros (the runtime guarantee).
+        const std::uint64_t fsize = ino->size.load(std::memory_order_relaxed);
+        const std::uint64_t tail = fsize % alloc::kBlockSize;
+        if (tail != 0) {
+          const std::uint64_t blk = map.find(fsize / alloc::kBlockSize);
+          if (blk != 0) {
+            std::byte* p = reinterpret_cast<std::byte*>(dev_->at(blk)) + tail;
+            const std::uint64_t n = alloc::kBlockSize - tail;
+            bool dirty = false;
+            for (std::uint64_t i = 0; i < n && !dirty; ++i)
+              dirty = p[i] != std::byte{0};
+            if (dirty) {
+              std::memset(p, 0, n);
+              nvmm::persist(p, n);
+              nvmm::fence();
+            }
+          }
+        }
         nvmm::pptr<ExtentBlock> eb = ino->ext_spill.load();
         while (eb) {
           live_extblocks.insert(eb.raw());
@@ -127,6 +154,22 @@ RecoveryReport FileSystem::recover() {
     report.committed_objects += to_commit.size();
   }
 
+  // Reconcile link counts with the surviving namespace: a crash between a
+  // directory-entry change and the matching nlink store leaves the count
+  // off by one, which would leak (overcount) or prematurely free
+  // (undercount) the inode on its eventual last unlink.  Reachable inodes
+  // are all valid after the sweep above.
+  for (const auto& [ino_off, n] : ref_count) {
+    if (pools_[kPoolInode]->flags_of(ino_off) != alloc::kObjValid) continue;
+    Inode* ino = inode_at(ino_off);
+    if (ino->nlink.load(std::memory_order_relaxed) != n) {
+      ino->nlink.store(n, std::memory_order_relaxed);
+      nvmm::persist_obj(ino->nlink);
+      ++report.link_counts_repaired;
+    }
+  }
+  if (report.link_counts_repaired > 0) nvmm::fence();
+
   // ---- rebuild allocator state ----
   // Pool segments stay allocated regardless of object liveness.
   for (const auto& p : pools_)
@@ -139,6 +182,7 @@ RecoveryReport FileSystem::recover() {
   });
 
   report.seconds = now_seconds() - t0;
+  last_recovery_ = report;
   return report;
 }
 

@@ -7,6 +7,18 @@ PersistStats& persist_stats() noexcept {
   return stats;
 }
 
+namespace {
+std::atomic<StoreTracer*> g_tracer{nullptr};
+}  // namespace
+
+StoreTracer* set_store_tracer(StoreTracer* t) noexcept {
+  return g_tracer.exchange(t, std::memory_order_acq_rel);
+}
+
+StoreTracer* store_tracer() noexcept {
+  return g_tracer.load(std::memory_order_acquire);
+}
+
 std::uint64_t persist(const void* p, std::size_t len) noexcept {
   auto& s = persist_stats();
   const auto addr = reinterpret_cast<std::uintptr_t>(p);
@@ -20,6 +32,8 @@ std::uint64_t persist(const void* p, std::size_t len) noexcept {
   // Compiler barrier: model that the flushed stores cannot be reordered
   // past subsequent persistence-ordering points.
   std::atomic_signal_fence(std::memory_order_seq_cst);
+  if (StoreTracer* t = g_tracer.load(std::memory_order_relaxed)) [[unlikely]]
+    t->on_persist(p, len);
   return s.epoch.load(std::memory_order_relaxed);
 }
 
@@ -30,13 +44,18 @@ std::uint64_t fence() noexcept {
   __builtin_ia32_sfence();
 #endif
   std::atomic_thread_fence(std::memory_order_release);
-  return s.epoch.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t e = s.epoch.fetch_add(1, std::memory_order_acq_rel);
+  if (StoreTracer* t = g_tracer.load(std::memory_order_relaxed)) [[unlikely]]
+    t->on_fence(e);
+  return e;
 }
 
 void nt_copy(void* dst, const void* src, std::size_t len) noexcept {
   std::memcpy(dst, src, len);
   persist_stats().nt_bytes.fetch_add(len, std::memory_order_relaxed);
   std::atomic_signal_fence(std::memory_order_seq_cst);
+  if (StoreTracer* t = g_tracer.load(std::memory_order_relaxed)) [[unlikely]]
+    t->on_nt_store(dst, len);
 }
 
 }  // namespace simurgh::nvmm

@@ -43,6 +43,31 @@ struct PersistStats {
 
 PersistStats& persist_stats() noexcept;
 
+// Observer for the persistence primitives (crash-image testing, shadow
+// tracing).  At most one tracer is installed process-wide; the callbacks run
+// on the thread issuing the primitive, *after* the primitive's own effect.
+// Implementations must not call back into persist()/fence() (re-entrancy).
+class StoreTracer {
+ public:
+  // [p, p+len) was written back (the bytes at p are the flushed values).
+  virtual void on_persist(const void* p, std::size_t len) = 0;
+  // [dst, dst+len) was written with non-temporal stores (durable only after
+  // the next fence, same as a flushed-but-unfenced line).
+  virtual void on_nt_store(const void* dst, std::size_t len) = 0;
+  // A store fence retired: every previously flushed/streamed line is now
+  // durable.  `epoch` is the epoch the fence closed.
+  virtual void on_fence(std::uint64_t epoch) = 0;
+
+ protected:
+  ~StoreTracer() = default;
+};
+
+// Installs/clears the process-wide tracer (nullptr to clear).  Returns the
+// previous tracer.  Tracing is strictly opt-in: with no tracer installed the
+// primitives pay exactly one relaxed pointer load.
+StoreTracer* set_store_tracer(StoreTracer* t) noexcept;
+StoreTracer* store_tracer() noexcept;
+
 // Write back the cache lines covering [p, p+len).  Returns the epoch at
 // which the flush was issued.
 std::uint64_t persist(const void* p, std::size_t len) noexcept;

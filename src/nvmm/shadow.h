@@ -1,0 +1,124 @@
+// Shadow-tracing NVMM device: the recording half of crash-image testing.
+//
+// A real power failure leaves NVMM holding exactly the cache lines that made
+// it out of the CPU caches.  The persistence discipline (§4.3) bounds that
+// set:
+//
+//   * a line flushed (clwb / nt store) before a retired sfence is durable,
+//   * a line flushed after the last retired fence *may or may not* have
+//     landed, and flushed-but-unfenced lines land in any order,
+//   * a plain store that was never flushed is lost.
+//
+// ShadowLog reproduces that model for the emulated device.  It registers as
+// the process-wide nvmm::StoreTracer, keeps a shadow copy of the device
+// taken at attach time ("everything before tracing is durable"), and logs
+// each persist()/nt_copy() as a cache-line patch carrying the line's bytes
+// at flush time.  A fence seals the open set of patches into a *window*.
+//
+// A crash image is then: the snapshot, plus every window before some fence
+// boundary applied in full, plus an arbitrary subset of the lines of the
+// window at that boundary — precisely the reachable NVMM states of a crash
+// anywhere inside that window (any subset of a prefix of the window's lines
+// is a subset of the whole window, so enumerating at fence boundaries covers
+// every intermediate crash point).  The harness (tests/crash_harness.h)
+// mounts each image, runs recovery + fsck, and checks the §4.3 atomicity
+// oracle.  CrashMonkey/ACE and Vinter explore the same space for kernel file
+// systems (see PAPERS.md); this is the user-space NVMM equivalent.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "nvmm/device.h"
+#include "nvmm/persist.h"
+
+namespace simurgh::nvmm {
+
+class ShadowLog final : public StoreTracer {
+ public:
+  // One cache line captured at flush time.
+  struct Patch {
+    std::uint64_t off = 0;  // device offset, kCacheLine aligned
+    std::array<std::byte, kCacheLine> bytes{};
+  };
+
+  // All lines flushed between two consecutive retired fences, in first-flush
+  // order (a re-flush of the same line overwrites its bytes in place).
+  struct Window {
+    std::vector<Patch> patches;
+    std::uint64_t fence_epoch = 0;  // epoch of the fence that sealed it
+    [[nodiscard]] std::size_t lines() const noexcept {
+      return patches.size();
+    }
+  };
+
+  struct Stats {
+    std::uint64_t persists = 0;   // traced flush calls that hit the device
+    std::uint64_t nt_stores = 0;  // traced nt_copy calls that hit the device
+    std::uint64_t fences = 0;     // fences retired while tracing
+    std::uint64_t lines_logged = 0;
+    std::size_t max_window_lines = 0;
+  };
+
+  // Snapshots `dev` as the durable baseline.  Does not install the tracer.
+  explicit ShadowLog(Device& dev);
+  ~ShadowLog();
+
+  ShadowLog(const ShadowLog&) = delete;
+  ShadowLog& operator=(const ShadowLog&) = delete;
+
+  // Registers/unregisters this log as the process-wide StoreTracer.
+  void start();
+  void stop();
+
+  // Seals any still-open flush set into a final window, as if a crash hit
+  // right before the fence that would have retired it.  Call after the
+  // traced operation finishes (ops normally end with a fence, leaving this
+  // a no-op).
+  void seal();
+
+  // StoreTracer.
+  void on_persist(const void* p, std::size_t len) override;
+  void on_nt_store(const void* dst, std::size_t len) override;
+  void on_fence(std::uint64_t epoch) override;
+
+  [[nodiscard]] std::size_t n_windows() const noexcept {
+    return windows_.size();
+  }
+  [[nodiscard]] const Window& window(std::size_t i) const {
+    return windows_[i];
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  // Materializes the crash image at fence boundary `f` into `out` (a device
+  // of at least the traced size): snapshot + windows [0, f) in full + the
+  // lines of window `f` whose index has `take[i] == true`.  `f` may equal
+  // n_windows() with an empty `take` to materialize the final durable state.
+  void materialize(std::size_t f, const std::vector<bool>& take,
+                   Device& out) const;
+
+  // Convenience for exhaustive enumeration: bit i of `mask` selects line i
+  // of window `f` (window must have <= 64 lines).
+  void materialize_mask(std::size_t f, std::uint64_t mask, Device& out) const;
+
+ private:
+  void log_range(const void* p, std::size_t len);
+
+  Device* dev_;
+  std::vector<std::byte> snapshot_;
+  std::vector<Window> windows_;
+  // Open flush set: patches since the last fence + per-line index into it.
+  std::vector<Patch> open_;
+  std::unordered_map<std::uint64_t, std::size_t> open_index_;
+  Stats stats_;
+  bool installed_ = false;
+  // The tracer runs on whichever thread issues a persist; the harness is
+  // single-threaded but the lock keeps stray traced persists defined.
+  mutable std::mutex mu_;
+};
+
+}  // namespace simurgh::nvmm

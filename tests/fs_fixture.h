@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "core/check.h"
 #include "core/fs.h"
 
 namespace simurgh::testing {
@@ -21,6 +22,17 @@ class FsTest : public ::testing::Test {
     proc_ = fs_->open_process(1000, 1000);
   }
 
+  // Fixtures that mutate the image through crash scenarios opt in to a final
+  // structural audit: TearDown re-mounts (running the same recovery a real
+  // restart would) and requires fsck to come back clean, so every existing
+  // crash/recovery test doubles as an invariant check.
+  void TearDown() override {
+    if (!fsck_on_teardown_ || fs_ == nullptr) return;
+    remount_after_crash();
+    const core::CheckReport cr = core::check_fs(*fs_);
+    EXPECT_TRUE(cr.ok()) << "post-scenario fsck: " << cr.summary();
+  }
+
   // Simulates a whole-system crash: all volatile state is discarded and the
   // file system is re-mounted over the surviving NVMM image (the shm device
   // is wiped — it is volatile by definition).
@@ -34,6 +46,7 @@ class FsTest : public ::testing::Test {
 
   core::Process& p() { return *proc_; }
 
+  bool fsck_on_teardown_ = false;
   std::unique_ptr<nvmm::Device> nvmm_;
   std::unique_ptr<nvmm::Device> shm_;
   std::unique_ptr<core::FileSystem> fs_;

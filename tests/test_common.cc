@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "common/failpoint.h"
 #include "common/hash.h"
@@ -135,6 +137,43 @@ TEST(FailPoint, SkipCountDelaysFiring) {
 TEST(FailPoint, OtherPointsUnaffected) {
   FailPoint::arm("t.a");
   FailPoint::hit("t.b");  // must not throw
+  FailPoint::disarm();
+}
+
+// Regression: arm() used to zero a process-global hit counter, so a thread
+// arming its own point concurrently with another thread's armed run would
+// reset — and pollute — the other thread's count.  Both the armed state and
+// the counter are thread-local now.
+TEST(FailPoint, HitCountsAreThreadLocal) {
+  constexpr int kHitsEach = 1000;
+  std::atomic<bool> go{false};
+  std::atomic<int> ready{0};
+  auto worker = [&](std::string_view point, std::uint64_t* out) {
+    ready.fetch_add(1);
+    while (!go.load(std::memory_order_acquire)) {}
+    for (int i = 0; i < kHitsEach; ++i) {
+      // Re-arm every iteration: with the old global counter this reset the
+      // other thread's tally mid-count.
+      FailPoint::arm(point, /*skip=*/kHitsEach + 1);
+      FailPoint::hit(point);
+    }
+    *out = FailPoint::hits();
+    FailPoint::disarm();
+  };
+  std::uint64_t hits_a = 0, hits_b = 0;
+  std::thread ta(worker, "t.tl.a", &hits_a);
+  std::thread tb(worker, "t.tl.b", &hits_b);
+  while (ready.load() != 2) {}
+  go.store(true, std::memory_order_release);
+  ta.join();
+  tb.join();
+  // Each thread re-armed before every hit, so its own count is exactly 1;
+  // any cross-thread sharing would show the other thread's hits here.
+  EXPECT_EQ(hits_a, 1u);
+  EXPECT_EQ(hits_b, 1u);
+  // And this thread's own armed state saw none of the workers' hits.
+  FailPoint::arm("t.tl.main", /*skip=*/5);
+  EXPECT_EQ(FailPoint::hits(), 0u);
   FailPoint::disarm();
 }
 

@@ -16,8 +16,12 @@ class FsCrashTest : public FsTest {
   void SetUp() override {
     FsTest::SetUp();
     fs_->set_lease_ns(2'000'000);  // 2 ms: survivors steal quickly
+    fsck_on_teardown_ = true;
   }
-  void TearDown() override { FailPoint::disarm(); }
+  void TearDown() override {
+    FailPoint::disarm();
+    FsTest::TearDown();  // recover + fsck the surviving image
+  }
 
   // Runs `op` expecting the armed fail point to fire.
   template <typename Fn>

@@ -9,7 +9,13 @@ using core::kOpenCreate;
 using core::kOpenRead;
 using core::kOpenWrite;
 
-class FsRecoveryTest : public FsTest {};
+class FsRecoveryTest : public FsTest {
+ protected:
+  void SetUp() override {
+    FsTest::SetUp();
+    fsck_on_teardown_ = true;  // audit every scenario's final image
+  }
+};
 
 TEST_F(FsRecoveryTest, CleanMountSkipsNothingAndCountsObjects) {
   ASSERT_TRUE(p().mkdir("/d1").is_ok());
