@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,8 +65,12 @@ int main() {
     SIMURGH_CHECK(p.close(*fd).is_ok());
   }
 
-  const int iters = 2000;  // x64 paths = 128k timed stats per arm
-  const int reps = 5;      // best-of-5 per arm; interleaved to defeat drift
+  // Smoke mode (CI's bench-smoke label) only proves the binary runs.
+  const char* smoke_env = std::getenv("SIMURGH_BENCH_SMOKE");
+  const bool smoke =
+      smoke_env != nullptr && smoke_env[0] != '\0' && smoke_env[0] != '0';
+  const int iters = smoke ? 20 : 2000;  // x64 paths = 128k stats per arm
+  const int reps = smoke ? 1 : 5;  // best-of-N, interleaved to defeat drift
 
   // --- A/B: warm depth-8 walks, cache off vs on ---
   fs->set_lookup_cache_enabled(true);
@@ -125,7 +130,7 @@ int main() {
     statters.emplace_back([&] {
       auto sp = fs->open_process(1000, 1000);
       std::uint64_t ok = 0;
-      for (int i = 0; i < 50000; ++i) {
+      for (int i = 0; i < (smoke ? 500 : 50000); ++i) {
         // Either name may or may not exist at any instant, but a hit must
         // never be stale: a successful stat always carries a live inode.
         for (const char* leaf : {"/flip_a", "/flip_b"}) {

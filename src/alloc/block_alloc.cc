@@ -3,14 +3,73 @@
 #include <time.h>
 
 #include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "common/failpoint.h"
 
 namespace simurgh::alloc {
 
+// One thread's reservation.  `mu` serializes the owning thread against
+// drain/adoption (the owner holds it for a few instructions per alloc; the
+// uncontended fast path is a futex-free lock/unlock pair, far cheaper than
+// a segment-lock spin under contention).
+struct ThreadReservation {
+  std::mutex mu;
+  std::uint64_t dev_off = 0;  // next block to hand out
+  std::uint64_t n = 0;        // blocks remaining
+};
+
+struct ReserveRegistry {
+  std::mutex mu;  // guards `all`
+  std::vector<std::shared_ptr<ThreadReservation>> all;
+  std::atomic<std::uint64_t> chunk_blocks{0};  // 0 = reservations off
+  // Carved into reservations, not yet handed out — added back into
+  // free_blocks() so exact-accounting invariants hold.
+  std::atomic<std::uint64_t> unused{0};
+};
+
 namespace {
 
 constexpr std::uint64_t kMagic = 0x53494d5f424c4b31ull;  // "SIM_BLK1"
+
+// Lock order (deadlock freedom): registry mu → any reservation's mu →
+// segment locks.  Nobody acquires a mutex to the left while holding one
+// to the right.  The reserve fast path takes only the owning
+// reservation's mu; the refill slow path drops it and re-enters in
+// registry-first order (alloc_reserved), so own-mu and orphan-mu — the
+// same mutex class — are never nested against each other.
+struct TlsSlot {
+  std::shared_ptr<ReserveRegistry> reg;  // keeps the keyed address stable
+  std::shared_ptr<ThreadReservation> res;
+};
+
+std::shared_ptr<ThreadReservation> tls_reservation(
+    const std::shared_ptr<ReserveRegistry>& reg) {
+  thread_local std::unordered_map<ReserveRegistry*, TlsSlot> slots;
+  TlsSlot& slot = slots[reg.get()];
+  if (!slot.res) {
+    slot.reg = reg;
+    slot.res = std::make_shared<ThreadReservation>();
+    std::lock_guard<std::mutex> g(reg->mu);
+    reg->all.push_back(slot.res);
+  }
+  // Garbage-collect slots whose allocator turned reservations off for good
+  // (keeps the map from accumulating one entry per torn-down file system).
+  if (slots.size() > 8) {
+    for (auto it = slots.begin(); it != slots.end();) {
+      bool dead = false;
+      if (it->second.reg.get() != reg.get() &&
+          it->second.reg->chunk_blocks.load(std::memory_order_relaxed) == 0) {
+        std::lock_guard<std::mutex> g(it->second.res->mu);
+        dead = it->second.res->n == 0;
+      }
+      it = dead ? slots.erase(it) : std::next(it);
+    }
+  }
+  return slot.res;
+}
 
 std::uint64_t monotonic_ns() noexcept {
   timespec ts{};
@@ -124,6 +183,23 @@ void BlockAllocator::unlock_segment(SegmentHeader& seg) noexcept {
 Result<std::uint64_t> BlockAllocator::alloc(std::uint64_t n_blocks,
                                             std::uint64_t hint) {
   SIMURGH_CHECK(n_blocks > 0);
+  if (reserve_ && n_blocks <= kReserveServeMax &&
+      reserve_->chunk_blocks.load(std::memory_order_relaxed) >=
+          kReserveServeMax) {
+    auto r = alloc_reserved(n_blocks, hint);
+    if (r.is_ok()) {
+      stats_->allocs.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    }
+    // no_space from a refill can still be served piecemeal below.
+  }
+  auto r = alloc_direct(n_blocks, hint);
+  if (r.is_ok()) stats_->allocs.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Result<std::uint64_t> BlockAllocator::alloc_direct(std::uint64_t n_blocks,
+                                                   std::uint64_t hint) {
   BlockAllocHeader& h = header();
   SegmentHeader* segs = segments();
   const unsigned start =
@@ -144,13 +220,87 @@ Result<std::uint64_t> BlockAllocator::alloc(std::uint64_t n_blocks,
       }
       auto r = alloc_from(seg, n_blocks);
       unlock_segment(seg);
-      if (r.is_ok()) {
-        stats_->allocs.fetch_add(1, std::memory_order_relaxed);
-        return r;
-      }
+      if (r.is_ok()) return r;
     }
   }
   return Errc::no_space;
+}
+
+Result<std::uint64_t> BlockAllocator::alloc_reserved(std::uint64_t n,
+                                                     std::uint64_t hint) {
+  ReserveRegistry& reg = *reserve_;
+  std::shared_ptr<ThreadReservation> res = tls_reservation(reserve_);
+  std::unique_lock<std::mutex> own(res->mu);
+  if (res->n >= n) {
+    stats_->reserve_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Return the tail we cannot serve from (the next chunk is not
+    // contiguous with it), then refill.
+    if (res->n > 0) {
+      reg.unused.fetch_sub(res->n, std::memory_order_relaxed);
+      free(res->dev_off, res->n);
+      res->n = 0;
+      stats_->reserve_drains.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Refill with the own lock dropped so reservation mutexes are never
+    // nested against each other (lock-order comment at the top of the
+    // file).  Only the owner fills a reservation, so after relocking the
+    // count can only still be zero — install unconditionally.
+    own.unlock();
+    std::uint64_t got_off = 0;
+    std::uint64_t got_n = 0;
+    // Adopt a reservation orphaned by an exited thread before carving a
+    // fresh chunk (use_count: registry ref only once the TLS slot died).
+    {
+      std::lock_guard<std::mutex> rg(reg.mu);
+      for (auto it = reg.all.begin(); it != reg.all.end();) {
+        if (it->use_count() != 1) {
+          ++it;
+          continue;
+        }
+        // Keep the orphan alive past the erase below — the registry holds
+        // its last reference, and og must not unlock a freed mutex.
+        std::shared_ptr<ThreadReservation> orphan = *it;
+        std::lock_guard<std::mutex> og(orphan->mu);
+        if (got_n == 0 && orphan->n >= n) {
+          got_off = orphan->dev_off;
+          got_n = orphan->n;
+          orphan->n = 0;  // stays counted in reg.unused — still reserved
+        } else if (orphan->n > 0) {
+          reg.unused.fetch_sub(orphan->n, std::memory_order_relaxed);
+          free(orphan->dev_off, orphan->n);
+          orphan->n = 0;
+          stats_->reserve_drains.fetch_add(1, std::memory_order_relaxed);
+        }
+        it = reg.all.erase(it);  // empty orphan: registry hygiene
+        if (got_n != 0) break;
+      }
+    }
+    if (got_n == 0) {
+      const std::uint64_t chunk = std::max(
+          reg.chunk_blocks.load(std::memory_order_relaxed), n);
+      auto c = alloc_direct(chunk, hint);
+      if (!c.is_ok()) {
+        // Near-full device: fall back to exactly what was asked for —
+        // nothing left over to reserve.
+        return alloc_direct(n, hint);
+      }
+      got_off = c.value();
+      got_n = chunk;
+      reg.unused.fetch_add(chunk, std::memory_order_relaxed);
+      stats_->reserve_refills.fetch_add(1, std::memory_order_relaxed);
+    }
+    own.lock();
+    res->dev_off = got_off;
+    res->n = got_n;
+  }
+  // Hand out ascending so a thread's consecutive small allocations are
+  // address-contiguous and merge into one extent (inode.h append).
+  const std::uint64_t off = res->dev_off;
+  res->dev_off += n * kBlockSize;
+  res->n -= n;
+  reg.unused.fetch_sub(n, std::memory_order_relaxed);
+  return off;
 }
 
 Result<std::uint64_t> BlockAllocator::alloc_from(SegmentHeader& seg,
@@ -246,13 +396,83 @@ void BlockAllocator::free_into(SegmentHeader& seg, std::uint64_t block_off,
   nvmm::fence();
 }
 
+void BlockAllocator::set_reserve_chunk(std::uint64_t blocks) {
+  if (!reserve_) {
+    if (blocks == 0) return;
+    reserve_ = std::make_shared<ReserveRegistry>();
+  }
+  reserve_->chunk_blocks.store(blocks, std::memory_order_relaxed);
+  if (blocks == 0) drain_reservations();
+}
+
+std::uint64_t BlockAllocator::reserve_chunk() const noexcept {
+  return reserve_ ? reserve_->chunk_blocks.load(std::memory_order_relaxed)
+                  : 0;
+}
+
+void BlockAllocator::drain_reservations() {
+  if (!reserve_) return;
+  ReserveRegistry& reg = *reserve_;
+  // Snapshot under the registry lock, release, then lock each reservation
+  // (see the lock-order comment at the top of the file).
+  std::vector<std::shared_ptr<ThreadReservation>> snap;
+  {
+    std::lock_guard<std::mutex> g(reg.mu);
+    snap = reg.all;
+  }
+  for (auto& res : snap) {
+    std::lock_guard<std::mutex> g(res->mu);
+    if (res->n == 0) continue;
+    reg.unused.fetch_sub(res->n, std::memory_order_relaxed);
+    free(res->dev_off, res->n);
+    res->n = 0;
+    stats_->reserve_drains.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BlockAllocator::invalidate_reservations() noexcept {
+  if (!reserve_) return;
+  ReserveRegistry& reg = *reserve_;
+  std::vector<std::shared_ptr<ThreadReservation>> snap;
+  {
+    std::lock_guard<std::mutex> g(reg.mu);
+    snap = reg.all;
+  }
+  for (auto& res : snap) {
+    std::lock_guard<std::mutex> g(res->mu);
+    reg.unused.fetch_sub(res->n, std::memory_order_relaxed);
+    res->n = 0;
+  }
+}
+
+std::uint64_t BlockAllocator::reserved_unused_blocks() const noexcept {
+  return reserve_ ? reserve_->unused.load(std::memory_order_relaxed) : 0;
+}
+
+void BlockAllocator::for_each_reservation(
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  if (!reserve_) return;
+  ReserveRegistry& reg = *reserve_;
+  std::vector<std::shared_ptr<ThreadReservation>> snap;
+  {
+    std::lock_guard<std::mutex> g(reg.mu);
+    snap = reg.all;
+  }
+  for (const auto& res : snap) {
+    std::lock_guard<std::mutex> g(res->mu);
+    if (res->n > 0) fn(res->dev_off, res->n);
+  }
+}
+
 std::uint64_t BlockAllocator::free_blocks() const noexcept {
   const BlockAllocHeader& h = header();
   const SegmentHeader* segs = segments();
   std::uint64_t total = 0;
   for (unsigned s = 0; s < h.n_segments; ++s)
     total += segs[s].free_blocks.load(std::memory_order_relaxed);
-  return total;
+  // Reserved-but-unused blocks are still free space — they are just parked
+  // in a thread's DRAM allotment rather than on a segment list.
+  return total + reserved_unused_blocks();
 }
 
 unsigned BlockAllocator::n_segments() const noexcept {

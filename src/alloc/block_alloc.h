@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <cstdint>
 
@@ -65,7 +66,18 @@ struct BlockAllocStats {
   std::atomic<std::uint64_t> frees{0};
   std::atomic<std::uint64_t> segment_hops{0};  // busy-segment skips
   std::atomic<std::uint64_t> lock_steals{0};   // expired leases taken over
+  std::atomic<std::uint64_t> reserve_hits{0};     // served without any lock
+  std::atomic<std::uint64_t> reserve_refills{0};  // chunk carves
+  std::atomic<std::uint64_t> reserve_drains{0};   // remainders returned
 };
+
+// Per-allocator DRAM reservation state (definition in block_alloc.cc).
+// Reservations are *volatile*: a chunk is carved out of a segment's
+// persistent free list by one ordinary allocation, then handed out to its
+// owning thread lock-free from DRAM.  A crash strands nothing durable —
+// the carved-but-unwritten blocks are referenced by no inode, so recovery's
+// rebuild_free_lists sweep returns them to the free lists.
+struct ReserveRegistry;
 
 class BlockAllocator {
  public:
@@ -99,6 +111,34 @@ class BlockAllocator {
   void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
 
   BlockAllocStats& stats() noexcept { return *stats_; }
+
+  // ---- thread-local block reservations (data-path fast lane) ----
+  //
+  // When enabled, small allocations (≤ kReserveServeMax blocks) are served
+  // from a per-thread chunk of `blocks` carved under ONE segment-lock
+  // acquisition and handed out in ascending address order (so consecutive
+  // appends of one thread form one extent per chunk).  Larger requests and
+  // frees keep the direct path.  Off by default (blocks = 0) so raw
+  // allocator users — and their exact free-space accounting — see the
+  // historical behavior; the file system opts in at mount.
+  static constexpr std::uint64_t kDefaultReserveChunk = 64;  // 256 KB
+  static constexpr std::uint64_t kReserveServeMax = 8;
+  void set_reserve_chunk(std::uint64_t blocks);
+  [[nodiscard]] std::uint64_t reserve_chunk() const noexcept;
+
+  // Clean shutdown: returns every reservation's unused remainder to the
+  // free lists (including remainders orphaned by exited threads).
+  void drain_reservations();
+  // Recovery: forget all reservations WITHOUT touching the device — the
+  // caller is about to rebuild_free_lists, which reclaims the blocks.
+  void invalidate_reservations() noexcept;
+  // Blocks carved into reservations but not yet handed out; counted as free
+  // by free_blocks() so accounting stays exact.
+  [[nodiscard]] std::uint64_t reserved_unused_blocks() const noexcept;
+  // Walks every reservation's unused remainder: fn(dev_off, n_blocks).
+  // Each reservation is briefly locked; for quiescent inspection (fsck).
+  void for_each_reservation(
+      const std::function<void(std::uint64_t, std::uint64_t)>& fn) const;
 
   // Recovery: rebuild every segment's free list from a caller-provided
   // "block in use" predicate (mark phase done by the FS sweep).
@@ -150,15 +190,29 @@ class BlockAllocator {
   Result<std::uint64_t> alloc_from(SegmentHeader& seg, std::uint64_t n);
   void free_into(SegmentHeader& seg, std::uint64_t block_off, std::uint64_t n);
 
+  // The pre-reservation allocation path (two-pass segment walk).
+  Result<std::uint64_t> alloc_direct(std::uint64_t n_blocks,
+                                     std::uint64_t hint);
+  Result<std::uint64_t> alloc_reserved(std::uint64_t n_blocks,
+                                       std::uint64_t hint);
+
   nvmm::Device* dev_;
   std::uint64_t header_off_;
   std::uint64_t lease_ns_ = 100'000'000;  // 100 ms
   // Heap-held so the allocator stays movable (atomics pin the struct).
   std::unique_ptr<BlockAllocStats> stats_;
+  // Shared with thread-local slots so an exiting thread never touches a
+  // destroyed registry (it just drops its reference; the remainder is
+  // adopted or drained later).
+  std::shared_ptr<ReserveRegistry> reserve_;
 };
 
 template <typename InUseFn>
 void BlockAllocator::rebuild_free_lists(InUseFn&& in_use) {
+  // Reservations reference blocks that are about to re-enter the free
+  // lists (no inode references them, so in_use() says free); forget them
+  // first so nothing double-hands them out afterwards.
+  invalidate_reservations();
   BlockAllocHeader& h = header();
   SegmentHeader* segs = segments();
   const std::uint64_t per_seg =

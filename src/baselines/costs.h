@@ -40,6 +40,10 @@ struct Costs {
   std::uint32_t sim_line_hold = 300;  // busy-line critical section
   std::uint32_t sim_append = 1100;    // extent append + block allocation
   std::uint32_t sim_append_small = 200;  // tail append within the block
+  // Allocation served from the thread's block reservation: a DRAM pointer
+  // bump, no segment lock.  The carve itself (segment_critical) is charged
+  // only every reserve_chunk-th allocating append.
+  std::uint32_t sim_reserve_serve = 25;
   std::uint32_t sim_write = 700;
   std::uint32_t sim_read = 350;
   std::uint32_t sim_fallocate = 1300; // extent bookkeeping outside the lock

@@ -342,7 +342,21 @@ Status SimurghBackend::append(sim::SimThread& t, const std::string& path,
   const bool allocates = st0.size % 4096 + len > 4096 || st0.size % 4096 == 0;
   if (allocates) {
     t.cpu(kCosts.sim_append);
-    segment_critical(t, path, 120);  // block allocation
+    // Thread-local reservations: only every reserve_chunk-th allocating
+    // append pays the segment-lock carve; the others are served from the
+    // thread's chunk with a DRAM pointer bump.
+    if (opts_.reserve_chunk > 1) {
+      std::uint64_t& left = reserve_left_[&t];
+      if (left == 0) {
+        segment_critical(t, path, 120);  // chunk carve
+        left = opts_.reserve_chunk;
+      } else {
+        t.cpu(kCosts.sim_reserve_serve);
+      }
+      --left;
+    } else {
+      segment_critical(t, path, 120);  // block allocation
+    }
   } else {
     t.cpu(kCosts.sim_append_small);
   }

@@ -38,6 +38,11 @@ struct SimurghModelOptions {
   // the hash blocks — so the cost anchors keep reproducing Figs. 6/7.
   // The ablation flips it on to show what the cache buys on warm walks.
   bool path_cache = false;
+  // Thread-local block reservations (block_alloc.h): an allocating append
+  // takes the segment lock only on every reserve_chunk-th allocation (the
+  // chunk carve); the rest are DRAM pointer bumps.  1 = carve per append
+  // (the pre-reservation strawman).
+  std::uint64_t reserve_chunk = 64;
   std::size_t device_size = 4ull << 30;
 };
 
@@ -119,6 +124,9 @@ class SimurghBackend : public FsBackend {
   std::unique_ptr<core::Process> proc_;
   std::unique_ptr<core::Process> root_proc_;  // chown needs euid 0
   std::unordered_map<std::string, int> fds_;
+  // Allocations left in each sim thread's modeled reservation; a refill
+  // (the segment-lock carve) is charged when a thread's count hits zero.
+  std::unordered_map<const sim::SimThread*, std::uint64_t> reserve_left_;
   // Paths whose final binding the shared lookup cache holds; the virtual
   // clock charges sim_cache_hit instead of sim_component for them.  The
   // real cache in fs_ runs too — this set only mirrors it for costing.

@@ -5,7 +5,9 @@
 // the mapped region.  A per-file reader/writer lock in shared DRAM gives
 // writes exclusivity while reads run concurrently; relaxed mode (Fig. 7k)
 // drops the write lock and leaves coordination to the application.
+#include <cstddef>
 #include <cstring>
+#include <optional>
 
 #include "common/failpoint.h"
 #include "core/fs.h"
@@ -14,6 +16,7 @@ namespace simurgh::core {
 
 namespace {
 constexpr std::uint64_t kBS = alloc::kBlockSize;
+constexpr std::uint64_t kNoZero = ~std::uint64_t{0};
 
 // Atomic max for the size field.
 void size_max(std::atomic<std::uint64_t>& size, std::uint64_t want) {
@@ -22,29 +25,53 @@ void size_max(std::atomic<std::uint64_t>& size, std::uint64_t want) {
          !size.compare_exchange_weak(cur, want, std::memory_order_acq_rel)) {
   }
 }
+
+// Persist width of a write's metadata commit: size + atime + mtime are
+// adjacent in Inode and, with the pool's 256-byte stride, share one cache
+// line — flushing sizeof(Inode) would cost four lines for the same commit.
+constexpr std::size_t kSizeStampBytes =
+    sizeof(std::uint64_t) * 3;  // size, atime_ns, mtime_ns
+static_assert(offsetof(Inode, atime_ns) == offsetof(Inode, size) + 8);
+static_assert(offsetof(Inode, mtime_ns) == offsetof(Inode, size) + 16);
+static_assert(offsetof(Inode, size) / 64 ==
+              (offsetof(Inode, size) + kSizeStampBytes - 1) / 64);
 }  // namespace
 
-Status Process::ensure_allocated(Inode& ino, std::uint64_t ino_off,
-                                 std::uint64_t first_block,
-                                 std::uint64_t n_blocks, bool zero_fill) {
-  ExtentMap map(fs_.dev(), fs_.pool(kPoolExtent), ino, ino_off);
+Result<bool> Process::ensure_allocated(ExtentResolver& res, Inode& ino,
+                                       std::uint64_t ino_off,
+                                       std::uint64_t first_block,
+                                       std::uint64_t n_blocks,
+                                       std::uint64_t zero_a,
+                                       std::uint64_t zero_b) {
+  std::optional<ExtentEpochGuard> guard;
   std::uint64_t b = first_block;
   const std::uint64_t end = first_block + n_blocks;
   while (b < end) {
-    if (map.find(b) != 0) {
-      ++b;
+    const ExtentResolver::Run run = res.run_at(b, end - b);
+    if (run.dev_off != 0) {
+      b += run.n_blocks;
       continue;
     }
-    // Extend the missing run as far as it goes, allocate it contiguously.
-    std::uint64_t run = 1;
-    while (b + run < end && map.find(b + run) == 0) ++run;
+    // Allocate the whole missing run contiguously.
     SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t dev_off,
-                             fs_.blocks().alloc(run, ino_off));
-    if (zero_fill) std::memset(fs_.dev().at(dev_off), 0, run * kBS);
-    if (Status st = map.append(b, dev_off, run); !st.is_ok()) return st;
-    b += run;
+                             fs_.blocks().alloc(run.n_blocks, ino_off));
+    // A fresh block the write only partially covers must read back zeros
+    // in its unwritten bytes; interior blocks are fully overwritten.
+    for (const std::uint64_t zb : {zero_a, zero_b}) {
+      if (zb >= b && zb < b + run.n_blocks)
+        std::memset(fs_.dev().at(dev_off + (zb - b) * kBS), 0, kBS);
+    }
+    if (!guard) {
+      // First mutation: mark the map epoch odd and stop trusting the
+      // snapshot we found the hole through (it predates our own append).
+      guard.emplace(ino);
+      res.invalidate_snapshot();
+    }
+    if (Status st = res.map().append(b, dev_off, run.n_blocks); !st.is_ok())
+      return st.code();
+    b += run.n_blocks;
   }
-  return Status::ok();
+  return guard.has_value();
 }
 
 Result<std::size_t> Process::do_read(Inode& ino, std::uint64_t ino_off,
@@ -54,19 +81,23 @@ Result<std::size_t> Process::do_read(Inode& ino, std::uint64_t ino_off,
   const std::uint64_t size = ino.size.load(std::memory_order_acquire);
   if (off >= size) return std::size_t{0};
   n = static_cast<std::size_t>(std::min<std::uint64_t>(n, size - off));
-  ExtentMap map(fs_.dev(), fs_.pool(kPoolExtent), ino, ino_off);
+  ExtentResolver res(fs_.extent_cache_if_enabled(), fs_.dev(),
+                     fs_.pool(kPoolExtent), ino, ino_off);
+  const std::uint64_t last = (off + n + kBS - 1) / kBS;
   std::size_t done = 0;
   auto* out = static_cast<std::byte*>(buf);
   while (done < n) {
     const std::uint64_t pos = off + done;
     const std::uint64_t in_block = pos % kBS;
-    const std::size_t chunk =
-        std::min<std::size_t>(n - done, static_cast<std::size_t>(kBS - in_block));
-    const std::uint64_t dev_off = map.find(pos / kBS);
-    if (dev_off == 0) {
+    const std::uint64_t fb = pos / kBS;
+    const ExtentResolver::Run run = res.run_at(fb, last - fb);
+    // One copy (or zero-fill) per extent-sized run, not per block.
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n - done, run.n_blocks * kBS - in_block));
+    if (run.dev_off == 0) {
       std::memset(out + done, 0, chunk);  // hole
     } else {
-      std::memcpy(out + done, fs_.dev().at(dev_off) + in_block, chunk);
+      std::memcpy(out + done, fs_.dev().at(run.dev_off) + in_block, chunk);
     }
     done += chunk;
   }
@@ -78,41 +109,64 @@ Result<std::size_t> Process::do_read(Inode& ino, std::uint64_t ino_off,
 
 Result<std::size_t> Process::do_write(Inode& ino, std::uint64_t ino_off,
                                       const void* buf, std::size_t n,
-                                      std::uint64_t off) {
+                                      std::uint64_t off, bool append,
+                                      std::uint64_t* pos_out) {
   std::unique_ptr<ExclusiveFileLock> lock;
   if (!fs_.relaxed_writes())
     lock = std::make_unique<ExclusiveFileLock>(
         fs_.file_locks(), fs_.file_locks().slot_for(ino_off));
+  if (append) {
+    // O_APPEND: the position is resolved *after* taking the write lock, so
+    // concurrent appenders see each other's size update and never overlap.
+    // Relaxed mode (no lock, Fig. 7k) reserves a disjoint range by bumping
+    // the size atomically up front — appends interleave without clobbering;
+    // the size-before-data crash-atomicity this gives up is part of what
+    // relaxed mode already waives.
+    off = lock ? ino.size.load(std::memory_order_acquire)
+               : ino.size.fetch_add(n, std::memory_order_acq_rel);
+  }
+  if (pos_out != nullptr) *pos_out = off;
+  if (n == 0) return std::size_t{0};
 
   const std::uint64_t first = off / kBS;
   const std::uint64_t last = (off + n + kBS - 1) / kBS;
-  // Partially covered edge blocks of a growing file must be zero-filled so
-  // unwritten bytes read back as zeros.
-  const bool partial_edges = off % kBS != 0 || (off + n) % kBS != 0;
-  if (Status st =
-          ensure_allocated(ino, ino_off, first, last - first, partial_edges);
-      !st.is_ok())
-    return st.code();
-  ExtentMap map(fs_.dev(), fs_.pool(kPoolExtent), ino, ino_off);
+  const std::uint64_t zero_a = off % kBS != 0 ? first : kNoZero;
+  const std::uint64_t zero_b =
+      (off + n) % kBS != 0 ? (off + n) / kBS : kNoZero;
+  ExtentResolver res(fs_.extent_cache_if_enabled(), fs_.dev(),
+                     fs_.pool(kPoolExtent), ino, ino_off,
+                     /*build_views=*/false);
+  SIMURGH_ASSIGN_OR_RETURN(
+      const bool mutated,
+      ensure_allocated(res, ino, ino_off, first, last - first, zero_a,
+                       zero_b));
+  // Our own appends invalidated the snapshot mid-allocation; re-probe at
+  // the new (even) epoch so the copy loop below — and the next writer —
+  // run off a fresh cached view.
+  if (mutated) res.invalidate_snapshot();
   std::size_t done = 0;
   const auto* src = static_cast<const std::byte*>(buf);
   while (done < n) {
     const std::uint64_t pos = off + done;
     const std::uint64_t in_block = pos % kBS;
-    const std::size_t chunk =
-        std::min<std::size_t>(n - done, static_cast<std::size_t>(kBS - in_block));
-    const std::uint64_t dev_off = map.find(pos / kBS);
-    SIMURGH_CHECK(dev_off != 0);
-    nvmm::nt_copy(fs_.dev().at(dev_off) + in_block, src + done, chunk);
+    const std::uint64_t fb = pos / kBS;
+    const ExtentResolver::Run run = res.run_at(fb, last - fb);
+    SIMURGH_CHECK(run.dev_off != 0);
+    // One streaming copy per extent run: adjacent blocks of one extent are
+    // device-contiguous, so a multi-block write needs one nt_copy per
+    // extent instead of one per 4 KB block.
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n - done, run.n_blocks * kBS - in_block));
+    nvmm::nt_copy(fs_.dev().at(run.dev_off) + in_block, src + done, chunk);
     done += chunk;
   }
   // Order: data durable before the size/mtime update (paper: sfence between
-  // data persist and metadata update).
+  // data persist and metadata update) — ONE fence for the whole write.
   nvmm::fence();
   SIMURGH_FAILPOINT("fs.write.data_persisted");
   size_max(ino.size, off + n);
   ino.mtime_ns.store(wall_ns(), std::memory_order_relaxed);
-  nvmm::persist(&ino, sizeof(Inode));
+  nvmm::persist(&ino.size, kSizeStampBytes);
   nvmm::fence();
   return done;
 }
@@ -134,10 +188,12 @@ Result<std::size_t> Process::write(int fd, const void* buf, std::size_t n) {
   if ((f->flags & kOpenWrite) == 0) return Errc::bad_fd;
   const std::uint64_t ino_off = f->inode_off.load(std::memory_order_acquire);
   Inode* ino = fs_.inode_at(ino_off);
-  std::uint64_t pos = (f->flags & kOpenAppend) != 0
-                          ? ino->size.load(std::memory_order_acquire)
-                          : f->pos.load(std::memory_order_relaxed);
-  auto r = do_write(*ino, ino_off, buf, n, pos);
+  // O_APPEND positions are resolved inside do_write, under the file lock —
+  // reading the size here would race a concurrent appender's size update
+  // and overwrite its data.
+  const bool append = (f->flags & kOpenAppend) != 0;
+  std::uint64_t pos = append ? 0 : f->pos.load(std::memory_order_relaxed);
+  auto r = do_write(*ino, ino_off, buf, n, pos, append, &pos);
   if (r.is_ok()) f->pos.store(pos + *r, std::memory_order_relaxed);
   return r;
 }
@@ -205,7 +261,7 @@ Status Process::truncate_inode(std::uint64_t ino_off, std::uint64_t size) {
   // finishes it (extent marking + tail re-zero).
   ino->size.store(size, std::memory_order_release);
   ino->mtime_ns.store(wall_ns(), std::memory_order_relaxed);
-  nvmm::persist(ino, sizeof(Inode));
+  nvmm::persist(&ino->size, kSizeStampBytes);
   nvmm::fence();
   SIMURGH_FAILPOINT("fs.truncate.size_persisted");
   if (size < old) {
@@ -220,9 +276,14 @@ Status Process::truncate_inode(std::uint64_t ino_off, std::uint64_t size) {
         nvmm::persist(fs_.dev().at(dev_off) + size % kBS, kBS - size % kBS);
       }
     }
-    map.drop_from(keep_blocks, [&](std::uint64_t dev_off, std::uint64_t n) {
-      fs_.blocks().free(dev_off, n);
-    });
+    {
+      ExtentEpochGuard guard(*ino);
+      map.drop_from(keep_blocks,
+                    [&](std::uint64_t dev_off, std::uint64_t n) {
+                      fs_.blocks().free(dev_off, n);
+                    });
+    }
+    if (ExtentCache* c = fs_.extent_cache_if_enabled()) c->invalidate(ino_off);
   }
   return Status::ok();
 }
@@ -256,11 +317,15 @@ Status Process::fallocate(int fd, std::uint64_t off, std::uint64_t len) {
   const std::uint64_t last = (off + len + kBS - 1) / kBS;
   // The evaluation configures file systems to *not* zero preallocated
   // blocks (§5.2 fallocate); contents are undefined until written.
-  if (Status st = ensure_allocated(*ino, ino_off, first, last - first, false);
-      !st.is_ok())
-    return st;
+  ExtentResolver res(fs_.extent_cache_if_enabled(), fs_.dev(),
+                     fs_.pool(kPoolExtent), *ino, ino_off,
+                     /*build_views=*/false);
+  if (auto r = ensure_allocated(res, *ino, ino_off, first, last - first,
+                                kNoZero, kNoZero);
+      !r.is_ok())
+    return r.status();
   size_max(ino->size, off + len);
-  nvmm::persist(ino, sizeof(Inode));
+  nvmm::persist(&ino->size, kSizeStampBytes);
   nvmm::fence();
   return Status::ok();
 }

@@ -54,6 +54,30 @@ void FileSystem::make_walker() {
   walker_ = std::make_unique<PathWalker>(
       *dev_, *dirops_, root_off_, enabled ? lookup_cache_.get() : nullptr,
       enabled ? path_cache_.get() : nullptr);
+
+  // Data-path fast lane: the DRAM extent cache (SIMURGH_EXTENT_CACHE=0|off
+  // disables, SIMURGH_EXTENT_CACHE_SLOTS sizes) ...
+  extent_cache_on_ = true;
+  if (const char* s = std::getenv("SIMURGH_EXTENT_CACHE")) {
+    const std::string_view v(s);
+    if (v == "0" || v == "off" || v == "false") extent_cache_on_ = false;
+  }
+  std::size_t ext_slots = ExtentCache::kDefaultSlots;
+  if (const char* s = std::getenv("SIMURGH_EXTENT_CACHE_SLOTS")) {
+    const long n = std::strtol(s, nullptr, 10);
+    if (n > 0) ext_slots = static_cast<std::size_t>(n);
+  }
+  extent_cache_ = std::make_unique<ExtentCache>(ext_slots);
+
+  // ... and thread-local block reservations (SIMURGH_BLOCK_RESERVE=<blocks>,
+  // 0 disables).  Raw BlockAllocator users keep the direct path; only a
+  // mounted file system opts in.
+  std::uint64_t reserve = alloc::BlockAllocator::kDefaultReserveChunk;
+  if (const char* s = std::getenv("SIMURGH_BLOCK_RESERVE")) {
+    const long n = std::strtol(s, nullptr, 10);
+    reserve = n <= 0 ? 0 : static_cast<std::uint64_t>(n);
+  }
+  blocks_->set_reserve_chunk(reserve);
 }
 
 std::unique_ptr<FileSystem> FileSystem::format(nvmm::Device& nvmm,
@@ -155,6 +179,10 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
 }
 
 void FileSystem::unmount() {
+  // Return every thread's unused reservation remainder to the free lists
+  // before declaring the shutdown clean (a clean mount skips the
+  // rebuild_free_lists sweep that would otherwise reclaim them).
+  blocks_->drain_reservations();
   sb().clean_shutdown.store(1, std::memory_order_release);
   nvmm::persist_now(sb().clean_shutdown);
 }
@@ -184,6 +212,10 @@ FsStat FileSystem::fsstat() {
   st.lookup_misses = ls.misses + ps.misses;
   st.lookup_conflicts = ls.conflicts + ps.conflicts;
   st.lookup_fills = ls.fills + ps.fills;
+  const ExtentCacheStats es = extent_cache_->stats();
+  st.extent_hits = es.hits;
+  st.extent_misses = es.misses;
+  st.extent_fills = es.fills;
   return st;
 }
 
@@ -293,6 +325,12 @@ Result<std::uint64_t> Process::create_file(const ResolveResult& where,
       ino->extents[0] = Extent{0, *blk, n_blocks};
     }
     ino->size.store(symlink_target.size(), std::memory_order_relaxed);
+  } else if (type == kModeFile) {
+    // Stamp the extent-map epoch: even, nonzero, mount-unique (ABA closure
+    // for the DRAM extent cache — see layout.h file_epoch_gen).
+    ino->ext_epoch.store(
+        fs_.sb().file_epoch_gen.fetch_add(2, std::memory_order_acq_rel) + 2,
+        std::memory_order_release);
   }
   nvmm::persist(ino, sizeof(Inode));
   nvmm::fence();
@@ -347,11 +385,28 @@ Status Process::drop_inode(std::uint64_t inode_off) {
       b = next;
     }
   } else {
-    ExtentMap map(fs_.dev(), fs_.pool(kPoolExtent), *ino, inode_off);
-    map.drop_from(0, [&](std::uint64_t dev_off, std::uint64_t n) {
-      fs_.blocks().free(dev_off, n);
-    });
-    map.free_spill_chain();
+    {
+      ExtentEpochGuard guard(*ino);
+      ExtentMap map(fs_.dev(), fs_.pool(kPoolExtent), *ino, inode_off);
+      map.drop_from(0, [&](std::uint64_t dev_off, std::uint64_t n) {
+        fs_.blocks().free(dev_off, n);
+      });
+      map.free_spill_chain();
+    }
+    // Push the mount-wide generation past this file's final epoch so the
+    // recycled inode offset can never replay an epoch some extent-cache
+    // view was filled against (mirror of retire_dir_epoch).
+    const std::uint64_t final_epoch =
+        ino->ext_epoch.load(std::memory_order_acquire);
+    auto& gen = fs_.sb().file_epoch_gen;
+    std::uint64_t g = gen.load(std::memory_order_relaxed);
+    while (g < final_epoch &&
+           !gen.compare_exchange_weak(g, final_epoch,
+                                      std::memory_order_acq_rel)) {
+    }
+    ino->ext_epoch.store(0, std::memory_order_release);
+    if (ExtentCache* c = fs_.extent_cache_if_enabled())
+      c->invalidate(inode_off);
   }
   SIMURGH_FAILPOINT("fs.drop_inode.storage_freed");
   fs_.pool(kPoolInode).free(inode_off);

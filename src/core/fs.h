@@ -24,6 +24,7 @@
 #include "alloc/block_alloc.h"
 #include "alloc/obj_alloc.h"
 #include "core/dir_block.h"
+#include "core/extent_cache.h"
 #include "core/layout.h"
 #include "core/lookup_cache.h"
 #include "core/openfile.h"
@@ -78,6 +79,10 @@ struct FsStat {
   std::uint64_t lookup_misses = 0;
   std::uint64_t lookup_conflicts = 0;
   std::uint64_t lookup_fills = 0;
+  // DRAM extent-cache counters (this mount's view; see ExtentCache).
+  std::uint64_t extent_hits = 0;
+  std::uint64_t extent_misses = 0;
+  std::uint64_t extent_fills = 0;
 };
 
 struct RecoveryReport {
@@ -156,6 +161,21 @@ class FileSystem {
   }
   [[nodiscard]] PathCache& path_cache() noexcept { return *path_cache_; }
 
+  // Extent-cache A/B switch (benches, tests).  Construction honours
+  // SIMURGH_EXTENT_CACHE=0|off and SIMURGH_EXTENT_CACHE_SLOTS=<n>.
+  void set_extent_cache_enabled(bool enabled) noexcept {
+    extent_cache_on_ = enabled;
+  }
+  [[nodiscard]] bool extent_cache_enabled() const noexcept {
+    return extent_cache_on_;
+  }
+  [[nodiscard]] ExtentCache& extent_cache() noexcept {
+    return *extent_cache_;
+  }
+  [[nodiscard]] ExtentCache* extent_cache_if_enabled() noexcept {
+    return extent_cache_on_ ? extent_cache_.get() : nullptr;
+  }
+
   // ---- component access (tests, benches, recovery) ----
   // The superblock lives at device offset 0, which pptr reserves as null,
   // so it is addressed through base() directly.
@@ -203,6 +223,8 @@ class FileSystem {
   std::unique_ptr<FileLockTable> locks_;
   std::unique_ptr<LookupCache> lookup_cache_;
   std::unique_ptr<PathCache> path_cache_;
+  std::unique_ptr<ExtentCache> extent_cache_;
+  bool extent_cache_on_ = true;
   std::unique_ptr<PathWalker> walker_;
   void make_walker();
 
@@ -268,12 +290,22 @@ class Process {
   Status drop_inode(std::uint64_t inode_off);
   Result<std::size_t> do_read(Inode& ino, std::uint64_t ino_off, void* buf,
                               std::size_t n, std::uint64_t off);
+  // `append` resolves the write position under the file lock (or, in
+  // relaxed mode, by an atomic size reservation) and reports it through
+  // `pos_out` so the caller can advance its fd cursor.
   Result<std::size_t> do_write(Inode& ino, std::uint64_t ino_off,
                                const void* buf, std::size_t n,
-                               std::uint64_t off);
-  Status ensure_allocated(Inode& ino, std::uint64_t ino_off,
-                          std::uint64_t first_block, std::uint64_t n_blocks,
-                          bool zero_fill);
+                               std::uint64_t off, bool append = false,
+                               std::uint64_t* pos_out = nullptr);
+  // Fills every hole in [first_block, +n_blocks); freshly allocated blocks
+  // numbered zero_a / zero_b (partial write edges; ~0 = none) are zeroed.
+  // Returns whether the extent map was mutated (the caller's resolver
+  // snapshot is then stale).
+  Result<bool> ensure_allocated(ExtentResolver& res, Inode& ino,
+                                std::uint64_t ino_off,
+                                std::uint64_t first_block,
+                                std::uint64_t n_blocks, std::uint64_t zero_a,
+                                std::uint64_t zero_b);
   Status truncate_inode(std::uint64_t ino_off, std::uint64_t size);
   Stat stat_of(std::uint64_t ino_off) const;
 

@@ -46,6 +46,14 @@ struct Inode {
   nvmm::atomic_pptr<struct DirBlock> dir;
   // Files: extent spill chain (after the inline array fills).
   nvmm::atomic_pptr<struct ExtentBlock> ext_spill;
+  // Extent-map mutation epoch for the DRAM extent cache (extent_cache.h):
+  // odd while a mutator is inside the map, bumped to the next even value
+  // when it leaves (ExtentEpochGuard).  Volatile semantics like
+  // DirBlock::epoch — the value survives in NVMM but is never *relied on*
+  // across a crash (recovery clears the DRAM caches).  New files stamp it
+  // from Superblock::file_epoch_gen so a recycled inode offset can never
+  // replay an epoch some cache entry was filled against.
+  std::atomic<std::uint64_t> ext_epoch{0};
   union {
     Extent extents[kInlineExtents];  // regular files
     char symlink[kInlineSymlinkMax + 1];  // short symlink targets
@@ -66,6 +74,26 @@ struct Inode {
   }
 };
 static_assert(sizeof(Inode) <= kInodePayload);
+
+// Brackets an extent-map mutation: pre-bump makes the epoch odd (readers
+// stop trusting cached views), post-bump publishes the next even value.
+// The caller holds the file's exclusive write lock (or has otherwise
+// serialized mutators); the guard only makes the mutation *visible* to the
+// lock-free cache probes in extent_cache.h.
+class ExtentEpochGuard {
+ public:
+  explicit ExtentEpochGuard(Inode& ino) noexcept : ino_(ino) {
+    ino_.ext_epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~ExtentEpochGuard() {
+    ino_.ext_epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ExtentEpochGuard(const ExtentEpochGuard&) = delete;
+  ExtentEpochGuard& operator=(const ExtentEpochGuard&) = delete;
+
+ private:
+  Inode& ino_;
+};
 
 struct ExtentBlock {
   nvmm::pptr<ExtentBlock> next;
@@ -106,7 +134,11 @@ class ExtentMap {
     nvmm::pptr<ExtentBlock> b = ino_.ext_spill.load();
     while (b) {
       const ExtentBlock* eb = b.in(dev_);
-      for (std::uint64_t i = 0; i < eb->n; ++i) fn(eb->extents[i]);
+      // Slots clipped away by drop_from stay in place with n_blocks == 0;
+      // skip them like find() does, or truncate+rewrite cycles would leak
+      // zero-length extents into every walker (and the DRAM extent views).
+      for (std::uint64_t i = 0; i < eb->n; ++i)
+        if (eb->extents[i].n_blocks != 0) fn(eb->extents[i]);
       b = eb->next;
     }
   }

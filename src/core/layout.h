@@ -68,6 +68,12 @@ struct Superblock {
   // (DirOps::retire_dir_epoch), so a recycled offset can never replay an
   // epoch value some DRAM cache entry was filled against (lookup_cache.h).
   std::atomic<std::uint64_t> dir_epoch_gen{0};
+  // Same construction for *file* extent-map epochs (Inode::ext_epoch,
+  // extent_cache.h): new regular files stamp their epoch from here
+  // (Process::create_file) and dropping a file's last link advances the
+  // counter past the dead file's final epoch (Process::drop_inode), closing
+  // the recycled-inode-offset ABA for the DRAM extent cache.
+  std::atomic<std::uint64_t> file_epoch_gen{0};
 };
 static_assert(sizeof(Superblock) <= 4096);
 

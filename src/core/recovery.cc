@@ -46,6 +46,14 @@ RecoveryReport FileSystem::recover() {
   // the recycled blocks start afterwards.
   lookup_cache_->clear();
   path_cache_->clear();
+  // Same reasoning for file extent maps: the sweep may reclaim/recycle
+  // inodes without going through drop_inode's epoch retirement.
+  extent_cache_->clear();
+  // Thread-local block reservations reference carved-out blocks that no
+  // inode uses; forget them so the rebuild below returns those blocks to
+  // the free lists exactly once (rebuild_free_lists also does this
+  // defensively, but the intent belongs here with the other caches).
+  blocks_->invalidate_reservations();
 
   const Superblock& s = sb();
   const std::uint64_t n_blocks = blocks_->n_blocks_total();

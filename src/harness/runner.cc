@@ -4,15 +4,26 @@
 
 namespace simurgh::bench {
 
+bool bench_smoke() {
+  const char* s = std::getenv("SIMURGH_BENCH_SMOKE");
+  return s != nullptr && s[0] != '\0' && s[0] != '0';
+}
+
 double bench_scale() {
   if (const char* s = std::getenv("SIMURGH_BENCH_SCALE")) {
     const double v = std::atof(s);
     if (v > 0) return v;
   }
+  // Smoke runs (CI's bench-smoke label) only prove the binary still works;
+  // shrink every workload to a sliver.
+  if (bench_smoke()) return 0.02;
   return 1.0;
 }
 
-std::vector<int> sweep_threads() { return {1, 2, 4, 6, 8, 10}; }
+std::vector<int> sweep_threads() {
+  if (bench_smoke()) return {1, 2};
+  return {1, 2, 4, 6, 8, 10};
+}
 
 std::vector<SweepSeries> sweep_fxmark(FxOp op, FxConfig base,
                                       const std::vector<Backend>& backends,

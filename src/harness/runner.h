@@ -23,11 +23,16 @@ struct SweepSeries {
   std::vector<SweepPoint> points;
 };
 
+// True when SIMURGH_BENCH_SMOKE is set (CI's bench-smoke label): benches
+// shrink to a sliver and only prove they still run end to end.
+bool bench_smoke();
+
 // Scale knob: SIMURGH_BENCH_SCALE (default 1.0) multiplies op counts and
 // file-set sizes; use >1 for longer, more stable runs.
 double bench_scale();
 
-// Thread counts of the paper's sweeps (1..10 on the 10-core Xeon).
+// Thread counts of the paper's sweeps (1..10 on the 10-core Xeon);
+// {1, 2} in smoke mode.
 std::vector<int> sweep_threads();
 
 // Runs one FxMark panel across backends and thread counts.

@@ -121,4 +121,62 @@ class ShadowLog final : public StoreTracer {
   mutable std::mutex mu_;
 };
 
+// Persist-shape meter: counts flushed cache lines and fences without
+// snapshotting anything.  Tests pin an operation's persist cost with it —
+// e.g. "an overwrite commits exactly one metadata line" — so a regression
+// that widens a persist (or adds a fence) fails a unit test instead of
+// only moving a benchmark.  Install/uninstall is RAII; the previous tracer
+// (possibly a ShadowLog) is restored on destruction.
+class FlushCounter final : public StoreTracer {
+ public:
+  FlushCounter() : prev_(set_store_tracer(this)) {}
+  ~FlushCounter() { set_store_tracer(prev_); }
+
+  FlushCounter(const FlushCounter&) = delete;
+  FlushCounter& operator=(const FlushCounter&) = delete;
+
+  void on_persist(const void* p, std::size_t len) override {
+    ++persist_calls_;
+    persist_lines_ += lines_of(p, len);
+  }
+  void on_nt_store(const void* dst, std::size_t len) override {
+    ++nt_stores_;
+    nt_lines_ += lines_of(dst, len);
+  }
+  void on_fence(std::uint64_t) override { ++fences_; }
+
+  // Lines touched by persist() calls (clwb-style flushes).
+  [[nodiscard]] std::uint64_t persist_lines() const noexcept {
+    return persist_lines_;
+  }
+  [[nodiscard]] std::uint64_t persist_calls() const noexcept {
+    return persist_calls_;
+  }
+  // Lines written through nt_copy (data movement, not metadata commits).
+  [[nodiscard]] std::uint64_t nt_lines() const noexcept { return nt_lines_; }
+  [[nodiscard]] std::uint64_t nt_stores() const noexcept {
+    return nt_stores_;
+  }
+  [[nodiscard]] std::uint64_t fences() const noexcept { return fences_; }
+
+  void reset() noexcept {
+    persist_calls_ = persist_lines_ = nt_stores_ = nt_lines_ = fences_ = 0;
+  }
+
+ private:
+  static std::uint64_t lines_of(const void* p, std::size_t len) noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t first = a / kCacheLine;
+    const std::uintptr_t last = (a + (len == 0 ? 0 : len - 1)) / kCacheLine;
+    return last - first + 1;
+  }
+
+  StoreTracer* prev_;
+  std::uint64_t persist_calls_ = 0;
+  std::uint64_t persist_lines_ = 0;
+  std::uint64_t nt_stores_ = 0;
+  std::uint64_t nt_lines_ = 0;
+  std::uint64_t fences_ = 0;
+};
+
 }  // namespace simurgh::nvmm

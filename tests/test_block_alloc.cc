@@ -185,5 +185,134 @@ TEST_F(BlockAllocTest, RebuildFreeListsFromMark) {
   EXPECT_TRUE(found);
 }
 
+// ---- thread-local reservations (data-path fast lane) ----
+
+TEST_F(BlockAllocTest, ReservationsKeepFreeAccountingExact) {
+  const std::uint64_t total = alloc_.free_blocks();
+  alloc_.set_reserve_chunk(BlockAllocator::kDefaultReserveChunk);
+  // First small alloc carves a whole chunk but only 1 block leaves the
+  // free count: the carved-but-unused remainder still counts as free.
+  auto a = alloc_.alloc(1, 0);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(alloc_.free_blocks(), total - 1);
+  EXPECT_EQ(alloc_.reserved_unused_blocks(),
+            BlockAllocator::kDefaultReserveChunk - 1);
+  auto b = alloc_.alloc(2, 0);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(alloc_.free_blocks(), total - 3);
+  alloc_.free(*a, 1);
+  alloc_.free(*b, 2);
+  EXPECT_EQ(alloc_.free_blocks(), total);
+  // Draining folds the remainder back into the persistent lists.
+  alloc_.drain_reservations();
+  EXPECT_EQ(alloc_.reserved_unused_blocks(), 0u);
+  EXPECT_EQ(alloc_.free_blocks(), total);
+}
+
+TEST_F(BlockAllocTest, ReservationServesAscendingContiguousBlocks) {
+  alloc_.set_reserve_chunk(BlockAllocator::kDefaultReserveChunk);
+  // Consecutive 1-block allocs from one thread must be device-contiguous
+  // and ascending — that is the whole point (appends merge into one
+  // extent) and the opposite of the descending tail-carve of the direct
+  // path.
+  auto first = alloc_.alloc(1, 0);
+  ASSERT_TRUE(first.is_ok());
+  std::uint64_t prev = *first;
+  for (std::uint64_t i = 1; i < BlockAllocator::kDefaultReserveChunk; ++i) {
+    auto r = alloc_.alloc(1, 0);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(*r, prev + kBlockSize) << "allocation " << i;
+    prev = *r;
+  }
+  EXPECT_GE(alloc_.stats().reserve_hits.load(),
+            BlockAllocator::kDefaultReserveChunk - 1);
+}
+
+TEST_F(BlockAllocTest, LargeRequestsBypassTheReservation) {
+  alloc_.set_reserve_chunk(BlockAllocator::kDefaultReserveChunk);
+  const std::uint64_t total = alloc_.free_blocks();
+  auto r = alloc_.alloc(BlockAllocator::kReserveServeMax + 1, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(alloc_.reserved_unused_blocks(), 0u);  // no chunk was carved
+  EXPECT_EQ(alloc_.free_blocks(),
+            total - (BlockAllocator::kReserveServeMax + 1));
+}
+
+TEST_F(BlockAllocTest, InvalidateAndRebuildReclaimsReservedBlocks) {
+  alloc_.set_reserve_chunk(BlockAllocator::kDefaultReserveChunk);
+  auto a = alloc_.alloc(1, 0);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_GT(alloc_.reserved_unused_blocks(), 0u);
+  // Crash: the DRAM reservation vanishes; recovery's sweep sees only the
+  // one block actually referenced and rebuilds the lists around it.
+  alloc_.rebuild_free_lists(
+      [&](std::uint64_t off) { return off == *a; });
+  EXPECT_EQ(alloc_.reserved_unused_blocks(), 0u);
+  EXPECT_EQ(alloc_.free_blocks(), alloc_.n_blocks_total() - 1);
+}
+
+TEST_F(BlockAllocTest, ExitedThreadsReservationIsAdoptedOrDrained) {
+  alloc_.set_reserve_chunk(BlockAllocator::kDefaultReserveChunk);
+  const std::uint64_t total = alloc_.free_blocks();
+  std::thread t([&] {
+    auto r = alloc_.alloc(1, 0);
+    ASSERT_TRUE(r.is_ok());
+    alloc_.free(*r, 1);
+  });
+  t.join();
+  // The exited thread's remainder is still tracked (counted free), and a
+  // drain returns it to the lists for good.
+  EXPECT_EQ(alloc_.free_blocks(), total);
+  EXPECT_GT(alloc_.reserved_unused_blocks(), 0u);
+  alloc_.drain_reservations();
+  EXPECT_EQ(alloc_.reserved_unused_blocks(), 0u);
+  EXPECT_EQ(alloc_.free_blocks(), total);
+  EXPECT_GE(alloc_.stats().reserve_drains.load(), 1u);
+}
+
+TEST_F(BlockAllocTest, ConcurrentReservedAllocsNeverOverlap) {
+  alloc_.set_reserve_chunk(BlockAllocator::kDefaultReserveChunk);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 300;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      got[t].reserve(kPerThread);
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t n = 1 + rng.next() % 4;
+        auto r = alloc_.alloc(n, t);
+        ASSERT_TRUE(r.is_ok());
+        for (std::uint64_t b = 0; b < n; ++b)
+          got[t].push_back(*r + b * kBlockSize);
+      }
+    });
+  for (auto& th : ts) th.join();
+  std::set<std::uint64_t> all;
+  for (const auto& v : got)
+    for (std::uint64_t off : v)
+      EXPECT_TRUE(all.insert(off).second) << "double-handed block " << off;
+  // Every handed-out block plus the reserved remainders must reconcile
+  // with the free count — nothing leaked, nothing double-counted.
+  EXPECT_EQ(alloc_.free_blocks(), alloc_.n_blocks_total() - all.size());
+  alloc_.drain_reservations();
+  EXPECT_EQ(alloc_.free_blocks(), alloc_.n_blocks_total() - all.size());
+}
+
+TEST_F(BlockAllocTest, DisablingReservationsDrainsThem) {
+  alloc_.set_reserve_chunk(BlockAllocator::kDefaultReserveChunk);
+  auto r = alloc_.alloc(1, 0);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_GT(alloc_.reserved_unused_blocks(), 0u);
+  alloc_.set_reserve_chunk(0);
+  EXPECT_EQ(alloc_.reserved_unused_blocks(), 0u);
+  // Back to the historical direct path.
+  const std::uint64_t before = alloc_.free_blocks();
+  auto d = alloc_.alloc(1, 0);
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(alloc_.free_blocks(), before - 1);
+}
+
 }  // namespace
 }  // namespace simurgh::alloc

@@ -149,6 +149,59 @@ TEST(CrashImages, AppendIsCrashAtomic) {
   EXPECT_GT(h.stats().sampled_windows, 0u);
 }
 
+TEST(CrashImages, MultiBlockAppendIsCrashAtomic) {
+  // The coalesced write path: five fresh blocks stream as ONE nt-store run
+  // with a single data fence before the size/mtime commit.  Every crash
+  // image must still land on exactly pre or post — the narrower commit
+  // (one metadata line instead of the whole inode) must not have opened a
+  // torn-size window.
+  CrashHarness h;
+  h.setup([](core::Process& p) {
+    ASSERT_TRUE(p.mkdir("/d").is_ok());
+    write_file(p, "/d/f", std::string(1000, 'a'));
+  });
+  h.run_op([](core::Process& p) {
+    auto fd = p.open("/d/f", kOpenWrite | core::kOpenAppend);
+    ASSERT_TRUE(fd.is_ok());
+    const std::string more(20000, 'b');
+    ASSERT_TRUE(p.write(*fd, more.data(), more.size()).is_ok());
+    ASSERT_TRUE(p.close(*fd).is_ok());
+  });
+  h.explore("append 20000 bytes (multi-block, coalesced persists)");
+  expect_both_outcomes(h, "append-multiblock");
+  EXPECT_GT(h.stats().sampled_windows, 0u);
+}
+
+TEST(CrashImages, StrandedReservationLeaksNoBlocks) {
+  // The first allocating append carves a whole reservation chunk out of
+  // the persistent free list under one segment lock; only one block of it
+  // is referenced by the inode.  A crash anywhere after the carve strands
+  // the remainder — referenced by nothing, owned by no free list.  Every
+  // materialized image runs recovery (rebuild_free_lists) and then fsck,
+  // whose block-coverage pass reports any unowned block as a leak; a clean
+  // explore() is the proof that stranded reservations are reclaimed.
+  CrashHarness h;
+  h.setup([](core::Process& p) {
+    ASSERT_TRUE(p.mkdir("/d").is_ok());
+    auto fd = p.open("/d/fresh", kOpenCreate | kOpenWrite);
+    ASSERT_TRUE(fd.is_ok());
+    ASSERT_TRUE(p.close(*fd).is_ok());
+  });
+  h.run_op([](core::Process& p) {
+    auto fd = p.open("/d/fresh", kOpenWrite | core::kOpenAppend);
+    ASSERT_TRUE(fd.is_ok());
+    const std::string one(4096, 'r');
+    ASSERT_TRUE(p.write(*fd, one.data(), one.size()).is_ok());
+    ASSERT_TRUE(p.close(*fd).is_ok());
+  });
+  // The traced op must actually have refilled a reservation, or this test
+  // proves nothing.
+  EXPECT_GE(h.fs().blocks().stats().reserve_refills.load(), 1u)
+      << "append did not exercise the reservation path";
+  h.explore("first append carves a reservation chunk");
+  expect_both_outcomes(h, "stranded-reservation");
+}
+
 TEST(CrashImages, TruncateDownIsCrashAtomic) {
   CrashHarness h;
   h.setup([](core::Process& p) {

@@ -1,6 +1,7 @@
 // Real-thread concurrency: the decentralized protocols under genuine races.
 // (The benchmark harness models scalability in virtual time; these tests
 // prove the actual lock-free/busy-wait implementations are correct.)
+#include <array>
 #include <atomic>
 #include <barrier>
 #include <mutex>
@@ -262,6 +263,54 @@ TEST_F(FsTest, ParallelAppendsToPrivateFiles) {
   for (auto& th : ts) th.join();
   for (int t = 0; t < kThreads; ++t)
     EXPECT_EQ(p().stat("/priv" + std::to_string(t))->size, 100u * 1024);
+}
+
+TEST_F(FsTest, ConcurrentAppendersToSharedFileNeverOverlap) {
+  // Regression: the O_APPEND position used to be read from the inode size
+  // *before* the write lock was taken, so two appenders could resolve the
+  // same offset and one write would vanish under the other.  The position
+  // is now resolved inside do_write, under the lock.
+  {
+    auto fd = p().open("/applog", kOpenCreate | kOpenWrite);
+    ASSERT_TRUE(fd.is_ok());
+    ASSERT_TRUE(p().close(*fd).is_ok());
+  }
+  constexpr int kAppenders = 4;
+  constexpr int kOps = 64;
+  constexpr std::size_t kChunk = 4096;
+  std::barrier gate(kAppenders);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kAppenders; ++t) {
+    ts.emplace_back([&, t] {
+      auto proc = fs_->open_process(1000, 1000);
+      auto fd = proc->open("/applog", kOpenWrite | core::kOpenAppend);
+      ASSERT_TRUE(fd.is_ok());
+      std::vector<char> blk(kChunk, static_cast<char>('A' + t));
+      gate.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i)
+        ASSERT_EQ(*proc->write(*fd, blk.data(), blk.size()), kChunk);
+    });
+  }
+  for (auto& th : ts) th.join();
+  // No append may land on another's offset: the file is exactly the sum of
+  // all writes, and every writer's bytes are all present.
+  const std::uint64_t want = kAppenders * kOps * kChunk;
+  ASSERT_EQ(p().stat("/applog")->size, want);
+  auto fd = p().open("/applog", core::kOpenRead);
+  ASSERT_TRUE(fd.is_ok());
+  std::vector<char> all(want);
+  ASSERT_EQ(*p().pread(*fd, all.data(), all.size(), 0), all.size());
+  std::array<std::uint64_t, kAppenders> per_writer{};
+  for (std::size_t i = 0; i < all.size(); i += kChunk) {
+    // Each 4 KB record is uniformly one writer's byte (no torn records).
+    const int w = all[i] - 'A';
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, kAppenders);
+    for (std::size_t j = 1; j < kChunk; ++j) ASSERT_EQ(all[i + j], all[i]);
+    ++per_writer[w];
+  }
+  for (int t = 0; t < kAppenders; ++t)
+    EXPECT_EQ(per_writer[t], static_cast<std::uint64_t>(kOps));
 }
 
 // ---- lookup-cache coherence under churn ----

@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "fs_fixture.h"
 #include "nvmm/persist.h"
+#include "nvmm/shadow.h"
 
 namespace simurgh::testing {
 namespace {
@@ -147,6 +148,45 @@ TEST_F(FsDataTest, RelaxedModeStillReadsBack) {
   ASSERT_TRUE(p().pread(fd, buf, 7, 0).is_ok());
   EXPECT_EQ(std::string(buf, 7), "no-lock");
   fs_->set_relaxed_writes(false);
+}
+
+TEST_F(FsDataTest, OverwriteCommitsExactlyOneMetadataLine) {
+  const int fd = make_file("/persistshape");
+  std::vector<char> blk(4096, 'x');
+  // First write allocates; the measured overwrite is pure data + commit.
+  ASSERT_TRUE(p().pwrite(fd, blk.data(), blk.size(), 0).is_ok());
+  nvmm::FlushCounter fc;
+  ASSERT_TRUE(p().pwrite(fd, blk.data(), blk.size(), 0).is_ok());
+  // The commit flushes only the inode's size/mtime stamp — one cache line,
+  // one persist call — not the whole Inode (which spans four lines).  Two
+  // fences: data-before-metadata, then the commit itself.
+  EXPECT_EQ(fc.persist_calls(), 1u);
+  EXPECT_EQ(fc.persist_lines(), 1u);
+  EXPECT_EQ(fc.nt_lines(), 4096u / nvmm::kCacheLine);
+  EXPECT_EQ(fc.fences(), 2u);
+}
+
+TEST_F(FsDataTest, MultiBlockWriteStreamsOnce) {
+  const int fd = make_file("/coalesce");
+  std::vector<char> buf(8 * 4096, 'm');
+  {
+    nvmm::FlushCounter fc;
+    ASSERT_TRUE(p().pwrite(fd, buf.data(), buf.size(), 0).is_ok());
+    // Eight fresh blocks come from one reservation carve, so they are
+    // device-contiguous and the copy loop issues ONE streaming store for
+    // the whole write instead of one per 4 KB block.
+    EXPECT_EQ(fc.nt_stores(), 1u);
+    EXPECT_EQ(fc.nt_lines(), buf.size() / nvmm::kCacheLine);
+  }
+  {
+    // Same shape on the overwrite: the extent is contiguous, one stream,
+    // one metadata line, two fences — for a 32 KB write.
+    nvmm::FlushCounter fc;
+    ASSERT_TRUE(p().pwrite(fd, buf.data(), buf.size(), 0).is_ok());
+    EXPECT_EQ(fc.nt_stores(), 1u);
+    EXPECT_EQ(fc.persist_lines(), 1u);
+    EXPECT_EQ(fc.fences(), 2u);
+  }
 }
 
 TEST_F(FsDataTest, OverwriteDoesNotGrowFile) {
