@@ -1,0 +1,121 @@
+// Multi-mount scaling microbenchmark: aggregate ops/s of a mixed
+// metadata+data workload with 1, 2 and 4 FileSystem instances attached to
+// one nvmm+shm device pair (the paper's N coordinator-free processes, §4).
+// Every mount runs one driver thread in its own directory, so the numbers
+// isolate the cost of the *shared* coordination state — mount registry
+// heartbeats, shm block reservations, the shared free-object stacks and the
+// superblock cache-generation poll.  Writes BENCH_multimount.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fs.h"
+
+using namespace simurgh;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One driver: create+write+stat+unlink churn under `dir`.  Returns the
+// number of file-system operations performed.
+std::uint64_t drive(core::FileSystem& fs, const std::string& dir, int iters) {
+  auto p = fs.open_process(1000, 1000);
+  SIMURGH_CHECK(p->mkdir(dir).is_ok());
+  char buf[4096];
+  std::memset(buf, 'm', sizeof buf);
+  std::uint64_t ops = 1;
+  for (int i = 0; i < iters; ++i) {
+    const std::string f = dir + "/f" + std::to_string(i % 64);
+    auto fd = p->open(f, core::kOpenCreate | core::kOpenWrite);
+    SIMURGH_CHECK(fd.is_ok());
+    SIMURGH_CHECK(p->write(*fd, buf, sizeof buf).is_ok());
+    SIMURGH_CHECK(p->close(*fd).is_ok());
+    SIMURGH_CHECK(p->stat(f).is_ok());
+    ops += 4;
+    if (i % 4 == 3) {
+      SIMURGH_CHECK(p->unlink(f).is_ok());
+      ++ops;
+    }
+  }
+  return ops;
+}
+
+struct Point {
+  unsigned mounts;
+  double ops_per_sec;
+};
+
+Point run_scale(unsigned n_mounts, int iters) {
+  nvmm::Device dev(512ull << 20);
+  nvmm::Device shm(16ull << 20);
+  std::vector<std::unique_ptr<core::FileSystem>> mounts;
+  mounts.push_back(core::FileSystem::format(dev, shm));
+  for (unsigned m = 1; m < n_mounts; ++m)
+    mounts.push_back(core::FileSystem::mount(dev, shm));
+
+  std::vector<std::uint64_t> ops(n_mounts, 0);
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (unsigned m = 0; m < n_mounts; ++m)
+    threads.emplace_back([&, m] {
+      ops[m] = drive(*mounts[m], "/m" + std::to_string(m), iters);
+    });
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                t0)
+          .count();
+  std::uint64_t total = 0;
+  for (std::uint64_t o : ops) total += o;
+  for (auto& fs : mounts) fs->unmount();
+  return {n_mounts, static_cast<double>(total) / secs};
+}
+
+}  // namespace
+
+int main() {
+  const char* smoke_env = std::getenv("SIMURGH_BENCH_SMOKE");
+  const bool smoke =
+      smoke_env != nullptr && smoke_env[0] != '\0' && smoke_env[0] != '0';
+  const int iters = smoke ? 200 : 40000;
+
+  std::vector<Point> points;
+  for (unsigned n : {1u, 2u, 4u}) points.push_back(run_scale(n, iters));
+
+  for (const Point& pt : points)
+    std::printf("%u mount%s: %.0f ops/s aggregate (%.0f per mount)\n",
+                pt.mounts, pt.mounts == 1 ? " " : "s", pt.ops_per_sec,
+                pt.ops_per_sec / pt.mounts);
+  const double scaling = points.back().ops_per_sec / points.front().ops_per_sec;
+  std::printf("1 -> 4 mount aggregate scaling: %.2fx\n", scaling);
+
+  std::FILE* out = std::fopen("BENCH_multimount.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"multimount\",\n"
+                 "  \"workload\": \"create+write4k+stat+unlink churn, one "
+                 "thread per mount\",\n"
+                 "  \"iters_per_mount\": %d,\n"
+                 "  \"points\": [\n",
+                 iters);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      std::fprintf(out,
+                   "    {\"mounts\": %u, \"ops_per_sec\": %.0f}%s\n",
+                   points[i].mounts, points[i].ops_per_sec,
+                   i + 1 < points.size() ? "," : "");
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"aggregate_scaling_1_to_4\": %.3f\n"
+                 "}\n",
+                 scaling);
+    std::fclose(out);
+  }
+  return 0;
+}

@@ -186,7 +186,8 @@ Result<std::uint64_t> BlockAllocator::alloc(std::uint64_t n_blocks,
   if (reserve_ && n_blocks <= kReserveServeMax &&
       reserve_->chunk_blocks.load(std::memory_order_relaxed) >=
           kReserveServeMax) {
-    auto r = alloc_reserved(n_blocks, hint);
+    auto r = shared_ != nullptr ? alloc_reserved_shm(n_blocks, hint)
+                                : alloc_reserved(n_blocks, hint);
     if (r.is_ok()) {
       stats_->allocs.fetch_add(1, std::memory_order_relaxed);
       return r;
@@ -303,6 +304,185 @@ Result<std::uint64_t> BlockAllocator::alloc_reserved(std::uint64_t n,
   return off;
 }
 
+void BlockAllocator::attach_shared_state(ShmAllocShared* shared,
+                                         std::uint64_t mount_token) noexcept {
+  shared_ = shared;
+  mount_token_ = mount_token;
+}
+
+ShmReservation* BlockAllocator::shm_thread_slot() {
+  // The binding (shared region → slot index) is thread-local DRAM; the slot
+  // itself is shm.  A survivor that declared this mount dead may have freed
+  // the slot behind our back, so every use revalidates {mount, thread}
+  // under the slot lock and rebinds on mismatch (alloc_reserved_shm).
+  struct Binding {
+    ShmAllocShared* shared;
+    unsigned idx;
+  };
+  thread_local std::vector<Binding> bindings;
+  const std::uint64_t self = self_token();
+  for (auto it = bindings.begin(); it != bindings.end(); ++it) {
+    if (it->shared != shared_) continue;
+    ShmReservation& slot = shared_->reservations[it->idx];
+    const std::uint64_t owner = slot.mount.load(std::memory_order_acquire);
+    if (slot.thread.load(std::memory_order_relaxed) == self) {
+      if (owner == mount_token_) return &slot;
+      // This thread's slot under a *sibling* mount of the same shm region
+      // (one process, several FileSystem instances): keep that binding.
+      if (owner != 0) continue;
+    }
+    bindings.erase(it);  // slot was lease-reclaimed; claim a fresh one
+    break;
+  }
+  for (unsigned i = 0; i < kShmReserveSlots; ++i) {
+    ShmReservation& slot = shared_->reservations[i];
+    const std::uint64_t owner = slot.mount.load(std::memory_order_relaxed);
+    // Re-adopt a slot this thread already owns for this mount (the binding
+    // was dropped, e.g. the thread alternated between two mounts of the
+    // same shm region in one process) before burning a fresh one.
+    const bool ours = owner == mount_token_ &&
+                      slot.thread.load(std::memory_order_relaxed) == self;
+    if (owner != 0 && !ours) continue;
+    lock_reservation(slot, self, lease_ns_);
+    const std::uint64_t owner2 = slot.mount.load(std::memory_order_relaxed);
+    const bool ours2 = owner2 == mount_token_ &&
+                       slot.thread.load(std::memory_order_relaxed) == self;
+    if (owner2 == 0 || ours2) {
+      if (owner2 == 0) {
+        slot.thread.store(self, std::memory_order_relaxed);
+        slot.dev_off.store(0, std::memory_order_relaxed);
+        slot.n.store(0, std::memory_order_relaxed);
+        slot.mount.store(mount_token_, std::memory_order_release);
+      }
+      unlock_reservation(slot, self);
+      if (bindings.size() > 8) bindings.clear();  // stale-region hygiene
+      bindings.push_back({shared_, i});
+      return &slot;
+    }
+    unlock_reservation(slot, self);
+  }
+  return nullptr;  // table full: caller serves directly
+}
+
+Result<std::uint64_t> BlockAllocator::alloc_reserved_shm(std::uint64_t n,
+                                                         std::uint64_t hint) {
+  const std::uint64_t self = self_token();
+  ShmReservation* res = shm_thread_slot();
+  if (res == nullptr) return alloc_direct(n, hint);
+  lock_reservation(*res, self, lease_ns_);
+  if (res->mount.load(std::memory_order_relaxed) != mount_token_ ||
+      res->thread.load(std::memory_order_relaxed) != self) {
+    // Lease-reclaimed between shm_thread_slot's check and our lock.  Serve
+    // this call directly; the next call's revalidation rebinds.
+    unlock_reservation(*res, self);
+    return alloc_direct(n, hint);
+  }
+  if (res->n.load(std::memory_order_relaxed) >= n) {
+    const std::uint64_t off = res->dev_off.load(std::memory_order_relaxed);
+    res->dev_off.store(off + n * kBlockSize, std::memory_order_relaxed);
+    res->n.fetch_sub(n, std::memory_order_relaxed);
+    unlock_reservation(*res, self);
+    stats_->reserve_hits.fetch_add(1, std::memory_order_relaxed);
+    return off;
+  }
+  // Return the tail we cannot serve from (the next chunk is not contiguous
+  // with it), then refill.  free() nests segment locks inside the slot
+  // lock; nothing takes a slot lock while holding a segment lock.
+  const std::uint64_t tail_n = res->n.load(std::memory_order_relaxed);
+  if (tail_n > 0) {
+    const std::uint64_t tail_off =
+        res->dev_off.load(std::memory_order_relaxed);
+    res->n.store(0, std::memory_order_relaxed);
+    free(tail_off, tail_n);
+    stats_->reserve_drains.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Refill with the slot lock dropped: carving the chunk spins on segment
+  // locks, and a short slot lease must not expire around that wait.
+  unlock_reservation(*res, self);
+  const std::uint64_t chunk =
+      std::max(reserve_->chunk_blocks.load(std::memory_order_relaxed), n);
+  auto c = alloc_direct(chunk, hint);
+  if (!c.is_ok()) {
+    // Near-full device: fall back to exactly what was asked for.
+    return alloc_direct(n, hint);
+  }
+  lock_reservation(*res, self, lease_ns_);
+  if (res->mount.load(std::memory_order_relaxed) == mount_token_ &&
+      res->thread.load(std::memory_order_relaxed) == self &&
+      res->n.load(std::memory_order_relaxed) == 0) {
+    res->dev_off.store(c.value() + n * kBlockSize, std::memory_order_relaxed);
+    res->n.store(chunk - n, std::memory_order_relaxed);
+    unlock_reservation(*res, self);
+    stats_->reserve_refills.fetch_add(1, std::memory_order_relaxed);
+    return c.value();
+  }
+  // Lost the slot mid-refill (lease reclaim): keep the first n blocks for
+  // the caller, give the remainder straight back.
+  unlock_reservation(*res, self);
+  if (chunk > n) free(c.value() + n * kBlockSize, chunk - n);
+  return c.value();
+}
+
+std::uint64_t BlockAllocator::reclaim_shm_slots(std::uint64_t tok,
+                                                bool match_all) {
+  std::uint64_t blocks = 0;
+  const std::uint64_t self = self_token();
+  for (unsigned i = 0; i < kShmReserveSlots; ++i) {
+    ShmReservation& slot = shared_->reservations[i];
+    const std::uint64_t owner = slot.mount.load(std::memory_order_acquire);
+    if (owner == 0 || (!match_all && owner != tok)) continue;
+    lock_reservation(slot, self, lease_ns_);
+    const std::uint64_t owner2 = slot.mount.load(std::memory_order_relaxed);
+    if (owner2 == 0 || (!match_all && owner2 != tok)) {
+      unlock_reservation(slot, self);
+      continue;
+    }
+    const std::uint64_t off = slot.dev_off.load(std::memory_order_relaxed);
+    const std::uint64_t len = slot.n.load(std::memory_order_relaxed);
+    slot.n.store(0, std::memory_order_relaxed);
+    slot.dev_off.store(0, std::memory_order_relaxed);
+    slot.thread.store(0, std::memory_order_relaxed);
+    slot.mount.store(0, std::memory_order_release);
+    unlock_reservation(slot, self);
+    if (len > 0) {
+      free(off, len);
+      blocks += len;
+      stats_->reserve_drains.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return blocks;
+}
+
+std::uint64_t BlockAllocator::reclaim_mount_reservations(
+    std::uint64_t dead_mount_token) {
+  if (shared_ == nullptr || dead_mount_token == 0) return 0;
+  return reclaim_shm_slots(dead_mount_token, /*match_all=*/false);
+}
+
+unsigned BlockAllocator::reap_expired_segment_locks() {
+  BlockAllocHeader& h = header();
+  SegmentHeader* segs = segments();
+  unsigned cleared = 0;
+  const std::uint64_t now = monotonic_ns();
+  for (unsigned s = 0; s < h.n_segments; ++s) {
+    SegmentLock& l = segs[s].lock;
+    std::uint64_t owner = l.owner.load(std::memory_order_relaxed);
+    if (owner == 0) continue;
+    const std::uint64_t stamp =
+        l.last_accessed_ns.load(std::memory_order_relaxed);
+    if (now - stamp <= lease_ns_) continue;
+    // Clearing straight to 0 is steal + immediate release: the holder died
+    // inside a critical section that alloc_from/free_into keep crash-
+    // consistent (recovery's rebuild sweeps any half-carved range).
+    if (l.owner.compare_exchange_strong(owner, 0,
+                                        std::memory_order_acq_rel)) {
+      ++cleared;
+      stats_->lock_steals.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return cleared;
+}
+
 Result<std::uint64_t> BlockAllocator::alloc_from(SegmentHeader& seg,
                                                  std::uint64_t n) {
   // First-fit over the address-ordered free-range list.
@@ -410,7 +590,12 @@ std::uint64_t BlockAllocator::reserve_chunk() const noexcept {
                   : 0;
 }
 
-void BlockAllocator::drain_reservations() {
+void BlockAllocator::drain_reservations(bool drain_all) {
+  if (shared_ != nullptr) {
+    // Own slots always; every claimed slot when last-out sweeps stragglers.
+    reclaim_shm_slots(mount_token_, drain_all);
+    return;
+  }
   if (!reserve_) return;
   ReserveRegistry& reg = *reserve_;
   // Snapshot under the registry lock, release, then lock each reservation
@@ -431,6 +616,21 @@ void BlockAllocator::drain_reservations() {
 }
 
 void BlockAllocator::invalidate_reservations() noexcept {
+  if (shared_ != nullptr) {
+    // Forget the ranges but keep slot claims: live peer threads rebind via
+    // revalidation; the caller is about to rebuild the free lists.
+    const std::uint64_t self = self_token();
+    for (unsigned i = 0; i < kShmReserveSlots; ++i) {
+      ShmReservation& slot = shared_->reservations[i];
+      lock_reservation(slot, self, lease_ns_);
+      const std::uint64_t len = slot.n.load(std::memory_order_relaxed);
+      if (len > 0) {
+        slot.n.store(0, std::memory_order_relaxed);
+      }
+      unlock_reservation(slot, self);
+    }
+    return;
+  }
   if (!reserve_) return;
   ReserveRegistry& reg = *reserve_;
   std::vector<std::shared_ptr<ThreadReservation>> snap;
@@ -446,11 +646,30 @@ void BlockAllocator::invalidate_reservations() noexcept {
 }
 
 std::uint64_t BlockAllocator::reserved_unused_blocks() const noexcept {
+  if (shared_ != nullptr) {
+    // Derived from the slots instead of a shared hot-path counter; exact
+    // whenever no reservation is mid-refill (every accounting caller).
+    std::uint64_t total = 0;
+    for (const ShmReservation& slot : shared_->reservations)
+      total += slot.n.load(std::memory_order_acquire);
+    return total;
+  }
   return reserve_ ? reserve_->unused.load(std::memory_order_relaxed) : 0;
 }
 
 void BlockAllocator::for_each_reservation(
     const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  if (shared_ != nullptr) {
+    const std::uint64_t self = self_token();
+    for (unsigned i = 0; i < kShmReserveSlots; ++i) {
+      ShmReservation& slot = shared_->reservations[i];
+      lock_reservation(slot, self, lease_ns_);
+      const std::uint64_t len = slot.n.load(std::memory_order_relaxed);
+      if (len > 0) fn(slot.dev_off.load(std::memory_order_relaxed), len);
+      unlock_reservation(slot, self);
+    }
+    return;
+  }
   if (!reserve_) return;
   ReserveRegistry& reg = *reserve_;
   std::vector<std::shared_ptr<ThreadReservation>> snap;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <cstdint>
 
+#include "alloc/shm_state.h"
 #include "common/status.h"
 #include "nvmm/device.h"
 #include "nvmm/persist.h"
@@ -121,14 +122,43 @@ class BlockAllocator {
   // frees keep the direct path.  Off by default (blocks = 0) so raw
   // allocator users — and their exact free-space accounting — see the
   // historical behavior; the file system opts in at mount.
+  //
+  // Residency: a raw allocator keeps the reservation registry in private
+  // DRAM (single-mount use).  A mounted file system calls
+  // attach_shared_state() first, which moves every reservation into fixed
+  // shm slots stamped with the mount's token — so N concurrent mounts
+  // share the accounting, and a survivor can return a dead mount's carved
+  // remainders to the free lists via reclaim_mount_reservations() without
+  // a remount (the decentralized crash rule, §4.2).
   static constexpr std::uint64_t kDefaultReserveChunk = 64;  // 256 KB
   static constexpr std::uint64_t kReserveServeMax = 8;
   void set_reserve_chunk(std::uint64_t blocks);
   [[nodiscard]] std::uint64_t reserve_chunk() const noexcept;
 
+  // Switches reservation residency to the shared-DRAM slots (`shared` lives
+  // in the shm device's header) and tags every future carve with
+  // `mount_token`.  Call before the first alloc().
+  void attach_shared_state(ShmAllocShared* shared,
+                           std::uint64_t mount_token) noexcept;
+  [[nodiscard]] std::uint64_t mount_token() const noexcept {
+    return mount_token_;
+  }
+
+  // Survivor-side reclaim: frees every shm reservation slot owned by
+  // `dead_mount_token` (its process is gone; lease-expired).  Returns the
+  // number of blocks returned to the free lists.
+  std::uint64_t reclaim_mount_reservations(std::uint64_t dead_mount_token);
+
+  // Survivor-side reclaim: clears segment locks whose holder's lease
+  // expired (eager form of the steal in lock_segment).  Returns the number
+  // of locks cleared.
+  unsigned reap_expired_segment_locks();
+
   // Clean shutdown: returns every reservation's unused remainder to the
-  // free lists (including remainders orphaned by exited threads).
-  void drain_reservations();
+  // free lists (including remainders orphaned by exited threads).  In
+  // shared-state mode this drains only THIS mount's slots — peers' chunks
+  // are still live; last-out can sweep stragglers with drain_all=true.
+  void drain_reservations(bool drain_all = false);
   // Recovery: forget all reservations WITHOUT touching the device — the
   // caller is about to rebuild_free_lists, which reclaims the blocks.
   void invalidate_reservations() noexcept;
@@ -195,6 +225,14 @@ class BlockAllocator {
                                      std::uint64_t hint);
   Result<std::uint64_t> alloc_reserved(std::uint64_t n_blocks,
                                        std::uint64_t hint);
+  Result<std::uint64_t> alloc_reserved_shm(std::uint64_t n_blocks,
+                                           std::uint64_t hint);
+  // Claims (or revalidates) this thread's shm reservation slot; nullptr if
+  // all slots are taken (caller falls back to the direct path).
+  ShmReservation* shm_thread_slot();
+  // Frees every shm slot matching `tok` (0 = every claimed slot); returns
+  // blocks returned to the free lists.
+  std::uint64_t reclaim_shm_slots(std::uint64_t tok, bool match_all);
 
   nvmm::Device* dev_;
   std::uint64_t header_off_;
@@ -203,8 +241,11 @@ class BlockAllocator {
   std::unique_ptr<BlockAllocStats> stats_;
   // Shared with thread-local slots so an exiting thread never touches a
   // destroyed registry (it just drops its reference; the remainder is
-  // adopted or drained later).
+  // adopted or drained later).  In shared-state mode the registry only
+  // carries configuration (chunk size); the slots live in *shared_.
   std::shared_ptr<ReserveRegistry> reserve_;
+  ShmAllocShared* shared_ = nullptr;
+  std::uint64_t mount_token_ = 0;
 };
 
 template <typename InUseFn>

@@ -7,6 +7,41 @@
 
 namespace simurgh::alloc {
 
+namespace {
+
+// Thread-local hint magazine over a shared free-object stack: one stack
+// lock acquisition moves a whole batch, and a free recycles through the
+// local magazine without touching shm at all (still LIFO end to end).
+// Magazine hints are invisible to other mounts and die with the thread —
+// both harmless: the on-media CAS is the claim authority, and a refill
+// scan re-finds any lost offset.  Keyed by the stack pointer, so threads
+// driving several mounts of one shm region share a magazine per pool.
+constexpr unsigned kMagazineBatch = 16;
+constexpr std::size_t kMagazineMax = 2 * kMagazineBatch;
+
+struct Magazine {
+  const ObjCacheStack* stack;
+  std::uint64_t epoch;
+  std::vector<std::uint64_t> hints;  // back = most recently freed
+};
+
+Magazine& magazine_for(const ObjCacheStack* s) {
+  thread_local std::vector<Magazine> mags;
+  const std::uint64_t epoch = s->epoch.load(std::memory_order_acquire);
+  for (auto& m : mags) {
+    if (m.stack != s) continue;
+    if (m.epoch != epoch) {  // stack was reset (or the address recycled)
+      m.hints.clear();
+      m.epoch = epoch;
+    }
+    return m;
+  }
+  mags.push_back(Magazine{s, epoch, {}});
+  return mags.back();
+}
+
+}  // namespace
+
 ObjectAllocator ObjectAllocator::format(nvmm::Device& dev,
                                         BlockAllocator& blocks,
                                         std::uint64_t pool_header_off,
@@ -65,7 +100,67 @@ void ObjectAllocator::refill_cache() {
   });
 }
 
+bool ObjectAllocator::refill_shared() {
+  // Push candidates (flags == 00) without claiming them; duplicates across
+  // refilling mounts are harmless — the popper must win the flag CAS.  A
+  // full stack ends the scan early: whatever did not fit is found again by
+  // the next refill.
+  const std::uint64_t self = shm_self_token();
+  std::uint64_t batch[64];
+  unsigned pending = 0;
+  bool any = false;
+  bool full = false;
+  scan([&](std::uint64_t payload_off, std::uint32_t flags) {
+    if (full || flags != 0) return;
+    batch[pending++] = payload_off;
+    if (pending < std::size(batch)) return;
+    const unsigned put = stack_->push_batch(batch, pending, self, lease_ns_);
+    any |= put > 0;
+    full = put < pending;
+    pending = 0;
+  });
+  if (!full && pending > 0)
+    any |= stack_->push_batch(batch, pending, self, lease_ns_) > 0;
+  return any;
+}
+
+Result<std::uint64_t> ObjectAllocator::alloc_shared() {
+  // Serve from the thread-local magazine, batch-refilled off the shared
+  // stack, racing peers for the on-media claim.  Every grow() adds fresh
+  // free objects, so each trip around the loop makes global progress until
+  // the device is full.
+  const std::uint64_t self = shm_self_token();
+  Magazine& mag = magazine_for(stack_);
+  for (;;) {
+    while (!mag.hints.empty()) {
+      const std::uint64_t off = mag.hints.back();
+      mag.hints.pop_back();
+      ObjectHeader& hdr = header_of(off);
+      std::uint32_t expected = 0;
+      if (hdr.flags.compare_exchange_strong(expected, kObjValid | kObjDirty,
+                                            std::memory_order_acq_rel)) {
+        nvmm::persist_now(hdr.flags);
+        SIMURGH_FAILPOINT("objalloc.claimed");
+        return off;
+      }
+    }
+    std::uint64_t batch[kMagazineBatch];
+    const unsigned got =
+        stack_->pop_batch(batch, kMagazineBatch, self, lease_ns_);
+    if (got > 0) {
+      // batch[0] is the most recently freed; append in reverse so the
+      // magazine's back keeps the LIFO order.
+      for (unsigned i = got; i > 0; --i) mag.hints.push_back(batch[i - 1]);
+      continue;
+    }
+    if (refill_shared()) continue;
+    if (Status st = grow(); !st.is_ok()) return st.code();
+    refill_shared();
+  }
+}
+
 Result<std::uint64_t> ObjectAllocator::alloc() {
+  if (stack_ != nullptr) return alloc_shared();
   std::lock_guard lock(*cache_mu_);
   for (;;) {
     while (!cache_.empty()) {
@@ -123,6 +218,19 @@ void ObjectAllocator::finish_pending_free(std::uint64_t payload_off) {
   ObjectHeader& hdr = header_of(payload_off);
   hdr.flags.store(0, std::memory_order_release);
   nvmm::persist_now(hdr.flags);
+  if (stack_ != nullptr) {
+    // Recycle through the local magazine; spill the oldest half to the
+    // shared stack once it overfills (dropped-when-full is fine there —
+    // a refill scan finds the object again).
+    Magazine& mag = magazine_for(stack_);
+    mag.hints.push_back(payload_off);
+    if (mag.hints.size() > kMagazineMax) {
+      stack_->push_batch(mag.hints.data(), kMagazineBatch, shm_self_token(),
+                         lease_ns_);
+      mag.hints.erase(mag.hints.begin(), mag.hints.begin() + kMagazineBatch);
+    }
+    return;
+  }
   std::lock_guard lock(*cache_mu_);
   cache_.push_back(payload_off);
 }
@@ -151,6 +259,11 @@ bool ObjectAllocator::owns_block(std::uint64_t block_off) const {
 }
 
 void ObjectAllocator::drop_volatile_cache() {
+  if (stack_ != nullptr) {
+    magazine_for(stack_).hints.clear();  // this thread's magazine only;
+    stack_->reset();  // peers' stale magazines lose the claim CAS anyway
+    return;
+  }
   std::lock_guard lock(*cache_mu_);
   cache_.clear();
 }

@@ -16,8 +16,17 @@
 // then clears dirty — so a crash at any point leaves a state the recovery
 // scan maps to exactly one decision (the paper's two-bit protocol).
 //
-// A volatile sharded free-list caches offsets of free objects so the hot
-// path is O(1); shards only fall back to scanning pool segments on refill.
+// A volatile free-list caches offsets of free objects so the hot path is
+// O(1), falling back to scanning pool segments on refill.  The cache is a
+// *hint* store — the on-media flag CAS is the only claim authority — so its
+// residency is a deployment choice: a raw single-process allocator keeps a
+// mutex-guarded DRAM vector; a mounted file system calls
+// attach_shared_cache() to use a LIFO stack in the shm device instead,
+// shared by every mount (alloc/shm_state.h).  Without that, mount A's
+// private cache happily serves offsets mount B already claimed and every
+// alloc burns a failed persist-fenced CAS — or worse, both serve the same
+// offset and one spins through a full rescan.  Both residencies are LIFO,
+// so a just-freed object is the next one handed out in either mode.
 #pragma once
 
 #include <atomic>
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "alloc/block_alloc.h"
+#include "alloc/shm_state.h"
 #include "common/status.h"
 
 namespace simurgh::alloc {
@@ -119,8 +129,18 @@ class ObjectAllocator {
     }
   }
 
-  // Drops the volatile free cache (simulated process restart).
+  // Drops the volatile free cache (simulated process restart).  With a
+  // shared stack attached this resets the stack — quiescent callers only
+  // (recovery, while peers wait on the mount registry's recovering token).
   void drop_volatile_cache();
+
+  // Switches the free cache to a shm-resident stack shared by all mounts.
+  // Call before the first alloc(); `stack` must outlive the allocator.
+  void attach_shared_cache(ObjCacheStack* stack) noexcept { stack_ = stack; }
+
+  // Lease for the shared stack's spinlock steals; mirrors the block
+  // allocator's lease (FileSystem::set_lease_ns fans out to both).
+  void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
 
  private:
   ObjectAllocator(nvmm::Device& dev, BlockAllocator& blocks,
@@ -141,15 +161,19 @@ class ObjectAllocator {
 
   Status grow();
   void refill_cache();
+  Result<std::uint64_t> alloc_shared();
+  bool refill_shared();
 
   nvmm::Device* dev_;
   BlockAllocator* blocks_;
   std::uint64_t pool_off_;
 
   // Volatile free cache (per-mount, rebuilt on attach/refill).  Heap-held
-  // so the allocator stays movable.
+  // so the allocator stays movable.  Unused once stack_ is attached.
   std::unique_ptr<std::mutex> cache_mu_ = std::make_unique<std::mutex>();
   std::vector<std::uint64_t> cache_;
+  ObjCacheStack* stack_ = nullptr;
+  std::uint64_t lease_ns_ = 100'000'000;  // 100 ms
 };
 
 }  // namespace simurgh::alloc

@@ -1,0 +1,223 @@
+// Allocator coordination state resident in the volatile shared-DRAM device.
+//
+// The paper's deployment model is N independent processes mounting one NVMM
+// region with no server (§4).  Any mutable allocator state that more than
+// one mount can reach therefore must live where every mount — and every
+// *survivor* of a crashed mount — can see it.  Two pieces qualify:
+//
+//   * Block reservations (block_alloc.h "thread-local block reservations"):
+//     a chunk carved out of a segment's persistent free list and handed out
+//     lock-free.  If the carving mount dies, the unused remainder is
+//     referenced by no inode and sits on no free list; survivors must be
+//     able to find it and give it back without a full remount.  Each
+//     reservation is a fixed shm slot stamped with the owning mount's
+//     token, guarded by a lease-stamped slot spinlock (the same
+//     decentralized crash rule as allocator segment locks).
+//
+//   * The object allocator's free-object cache (obj_alloc.h): offsets of
+//     free pool objects.  The on-media two-bit CAS claim remains the only
+//     authority — a cached offset is a *hint* — so sharing one bounded
+//     stack between all mounts is safe by construction and removes the
+//     per-mount mutex from the hot path.  The stack is deliberately LIFO,
+//     matching the single-process allocator: a just-freed object is the
+//     next one handed out, which keeps recycling prompt and the object's
+//     cache lines hot.  A full stack drops the push (the scan refill finds
+//     the object again later); an empty one sends the caller to the refill
+//     scan.
+//
+// Everything here is volatile: a fresh boot reformats the shm device and
+// recovery re-derives all of it from NVMM.
+#pragma once
+
+#include <time.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace simurgh::alloc {
+
+inline std::uint64_t shm_clock_ns() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Nonzero owner token, distinct per thread (across processes with
+// overwhelming probability — collisions only weaken lock-steal diagnostics,
+// never correctness, since every cached datum behind these locks is a hint).
+inline std::uint64_t shm_self_token() noexcept {
+  thread_local const std::uint64_t token = shm_clock_ns() | 1;
+  return token;
+}
+
+// Spin-acquires a lease-stamped shm spinlock.  The critical sections behind
+// these locks are a handful of loads/stores, so a holder whose lease
+// expired can only be a process that died inside one — steal, exactly like
+// allocator segment locks.
+inline void shm_spin_lock(std::atomic<std::uint64_t>& lock,
+                          std::atomic<std::uint64_t>& stamp_ns,
+                          std::uint64_t self, std::uint64_t lease_ns) noexcept {
+  for (;;) {
+    std::uint64_t expected = 0;
+    if (lock.compare_exchange_weak(expected, self,
+                                   std::memory_order_acquire)) {
+      stamp_ns.store(shm_clock_ns(), std::memory_order_relaxed);
+      return;
+    }
+    const std::uint64_t stamp = stamp_ns.load(std::memory_order_relaxed);
+    if (expected != 0 && shm_clock_ns() - stamp > lease_ns) {
+      if (lock.compare_exchange_strong(expected, self,
+                                       std::memory_order_acquire)) {
+        stamp_ns.store(shm_clock_ns(), std::memory_order_relaxed);
+        return;
+      }
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+// Releases only if still the owner: a stalled (not dead) holder whose lock
+// was lease-stolen must not unlock the stealer.
+inline void shm_spin_unlock(std::atomic<std::uint64_t>& lock,
+                            std::uint64_t self) noexcept {
+  std::uint64_t expected = self;
+  lock.compare_exchange_strong(expected, 0, std::memory_order_release);
+}
+
+// One thread's block reservation, visible to every mount.  `mount` is the
+// owning FileSystem's attachment token (0 = slot free); a survivor that
+// declares that mount dead reclaims the slot under the slot lock.
+struct ShmReservation {
+  std::atomic<std::uint64_t> lock{0};           // spinlock owner token
+  std::atomic<std::uint64_t> lock_stamp_ns{0};  // lease stamp for steals
+  std::atomic<std::uint64_t> mount{0};          // owning mount token
+  std::atomic<std::uint64_t> thread{0};         // owning thread token
+  std::atomic<std::uint64_t> dev_off{0};        // next block to hand out
+  std::atomic<std::uint64_t> n{0};              // blocks remaining
+};
+
+constexpr unsigned kShmReserveSlots = 256;
+
+inline void lock_reservation(ShmReservation& r, std::uint64_t self,
+                             std::uint64_t lease_ns) noexcept {
+  shm_spin_lock(r.lock, r.lock_stamp_ns, self, lease_ns);
+}
+
+inline void unlock_reservation(ShmReservation& r, std::uint64_t self) noexcept {
+  shm_spin_unlock(r.lock, self);
+}
+
+// Bounded LIFO stack of free-object offsets, one per pool, guarded by a
+// lease-stamped spinlock.  Entries are hints: the popper must still win the
+// on-media flag CAS, so the worst a lease steal from a *stalled* (not dead)
+// holder can do is duplicate or drop a hint — pop() additionally discards
+// a zero read so a torn `n` can never surface offset 0 as an object.
+constexpr std::uint32_t kObjCacheSlots = 4096;  // per pool
+
+struct ObjCacheStack {
+  std::atomic<std::uint64_t> lock{0};
+  std::atomic<std::uint64_t> lock_stamp_ns{0};
+  // Identity stamp, renewed on every reset.  Thread-local magazines
+  // (obj_alloc.cc) remember it and self-invalidate when it moves — both
+  // after recovery and when a torn-down file system's heap address is
+  // reused by a fresh one, where stale DRAM hints would otherwise point
+  // into an unrelated device image.
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<std::uint32_t> n{0};
+  std::atomic<std::uint64_t> slots[kObjCacheSlots];
+
+  // Quiescent re-initialisation (shm format, recovery).
+  void reset() noexcept {
+    lock.store(0, std::memory_order_relaxed);
+    lock_stamp_ns.store(0, std::memory_order_relaxed);
+    n.store(0, std::memory_order_relaxed);
+    for (auto& s : slots) s.store(0, std::memory_order_relaxed);
+    epoch.store(shm_clock_ns(), std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  bool push(std::uint64_t off_v, std::uint64_t self,
+            std::uint64_t lease_ns) noexcept {
+    shm_spin_lock(lock, lock_stamp_ns, self, lease_ns);
+    const std::uint32_t i = n.load(std::memory_order_relaxed);
+    const bool ok = i < kObjCacheSlots;
+    if (ok) {
+      slots[i].store(off_v, std::memory_order_relaxed);
+      n.store(i + 1, std::memory_order_relaxed);
+    }
+    shm_spin_unlock(lock, self);
+    return ok;  // full: dropped, a refill scan finds the object again
+  }
+
+  bool pop(std::uint64_t& off_v, std::uint64_t self,
+           std::uint64_t lease_ns) noexcept {
+    shm_spin_lock(lock, lock_stamp_ns, self, lease_ns);
+    const std::uint32_t i = n.load(std::memory_order_relaxed);
+    bool ok = i > 0;
+    if (ok) {
+      off_v = slots[i - 1].load(std::memory_order_relaxed);
+      n.store(i - 1, std::memory_order_relaxed);
+      ok = off_v != 0;
+    }
+    shm_spin_unlock(lock, self);
+    return ok;
+  }
+
+  // Batched transfers amortise the lock: one acquisition moves up to `max`
+  // hints to/from a caller-local magazine (obj_alloc.cc).  Order is kept
+  // LIFO end-to-end — out[0] is the most recently freed object.
+  unsigned pop_batch(std::uint64_t* out, unsigned max, std::uint64_t self,
+                     std::uint64_t lease_ns) noexcept {
+    shm_spin_lock(lock, lock_stamp_ns, self, lease_ns);
+    std::uint32_t i = n.load(std::memory_order_relaxed);
+    unsigned got = 0;
+    while (i > 0 && got < max) {
+      const std::uint64_t v = slots[--i].load(std::memory_order_relaxed);
+      if (v != 0) out[got++] = v;
+    }
+    n.store(i, std::memory_order_relaxed);
+    shm_spin_unlock(lock, self);
+    return got;
+  }
+
+  unsigned push_batch(const std::uint64_t* in, unsigned count,
+                      std::uint64_t self, std::uint64_t lease_ns) noexcept {
+    shm_spin_lock(lock, lock_stamp_ns, self, lease_ns);
+    std::uint32_t i = n.load(std::memory_order_relaxed);
+    unsigned put = 0;
+    while (put < count && i < kObjCacheSlots)
+      slots[i++].store(in[put++], std::memory_order_relaxed);
+    n.store(i, std::memory_order_relaxed);
+    shm_spin_unlock(lock, self);
+    return put;  // the rest is dropped: a refill scan finds it again
+  }
+};
+
+constexpr unsigned kShmNumPools = 4;  // mirrors core::kNumPools
+
+// The allocator block of the shm header (core/layout.h embeds one).
+// Blocks carved into reservations but not yet handed out stay visible via
+// the slots' `n` fields (summed by reserved_unused_blocks()), so
+// free_blocks() accounting stays exact across mounts with no shared
+// hot-path counter.
+struct ShmAllocShared {
+  ShmReservation reservations[kShmReserveSlots];
+  ObjCacheStack obj_stacks[kShmNumPools];
+
+  void reset() noexcept {
+    for (auto& r : reservations) {
+      r.lock.store(0, std::memory_order_relaxed);
+      r.lock_stamp_ns.store(0, std::memory_order_relaxed);
+      r.mount.store(0, std::memory_order_relaxed);
+      r.thread.store(0, std::memory_order_relaxed);
+      r.dev_off.store(0, std::memory_order_relaxed);
+      r.n.store(0, std::memory_order_relaxed);
+    }
+    for (auto& s : obj_stacks) s.reset();
+  }
+};
+
+}  // namespace simurgh::alloc

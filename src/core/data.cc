@@ -172,6 +172,7 @@ Result<std::size_t> Process::do_write(Inode& ino, std::uint64_t ino_off,
 }
 
 Result<std::size_t> Process::read(int fd, void* buf, std::size_t n) {
+  fs_.poll_coordination();
   OpenFile* f = fds_.get(fd);
   if (f == nullptr) return Errc::bad_fd;
   if ((f->flags & kOpenRead) == 0) return Errc::bad_fd;
@@ -183,6 +184,7 @@ Result<std::size_t> Process::read(int fd, void* buf, std::size_t n) {
 }
 
 Result<std::size_t> Process::write(int fd, const void* buf, std::size_t n) {
+  fs_.poll_coordination();
   OpenFile* f = fds_.get(fd);
   if (f == nullptr) return Errc::bad_fd;
   if ((f->flags & kOpenWrite) == 0) return Errc::bad_fd;
@@ -200,6 +202,7 @@ Result<std::size_t> Process::write(int fd, const void* buf, std::size_t n) {
 
 Result<std::size_t> Process::pread(int fd, void* buf, std::size_t n,
                                    std::uint64_t off) {
+  fs_.poll_coordination();
   OpenFile* f = fds_.get(fd);
   if (f == nullptr) return Errc::bad_fd;
   if ((f->flags & kOpenRead) == 0) return Errc::bad_fd;
@@ -209,6 +212,7 @@ Result<std::size_t> Process::pread(int fd, void* buf, std::size_t n,
 
 Result<std::size_t> Process::pwrite(int fd, const void* buf, std::size_t n,
                                     std::uint64_t off) {
+  fs_.poll_coordination();
   OpenFile* f = fds_.get(fd);
   if (f == nullptr) return Errc::bad_fd;
   if ((f->flags & kOpenWrite) == 0) return Errc::bad_fd;
@@ -289,6 +293,7 @@ Status Process::truncate_inode(std::uint64_t ino_off, std::uint64_t size) {
 }
 
 Status Process::ftruncate(int fd, std::uint64_t size) {
+  fs_.poll_coordination();
   OpenFile* f = fds_.get(fd);
   if (f == nullptr) return Status(Errc::bad_fd);
   if ((f->flags & kOpenWrite) == 0) return Status(Errc::bad_fd);
@@ -296,6 +301,7 @@ Status Process::ftruncate(int fd, std::uint64_t size) {
 }
 
 Status Process::truncate(std::string_view path, std::uint64_t size) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   Inode* ino = fs_.inode_at(rr.inode_off);
   if (!ino->is_file()) return Status(Errc::is_dir);
@@ -304,6 +310,7 @@ Status Process::truncate(std::string_view path, std::uint64_t size) {
 }
 
 Status Process::fallocate(int fd, std::uint64_t off, std::uint64_t len) {
+  fs_.poll_coordination();
   OpenFile* f = fds_.get(fd);
   if (f == nullptr) return Status(Errc::bad_fd);
   if ((f->flags & kOpenWrite) == 0) return Status(Errc::bad_fd);

@@ -116,6 +116,13 @@ std::unique_ptr<FileSystem> FileSystem::format(nvmm::Device& nvmm,
                           fs->pools_[kPoolDirBlock].get()});
   fs->locks_ = std::make_unique<FileLockTable>(
       FileLockTable::format(shm, 0, opts.lock_table_slots));
+  fs->registry_ = std::make_unique<MountRegistry>(shm, 0);
+  fs->attachment_ = fs->registry_->attach_mount();
+  fs->registry_->finish_recovery(fs->attachment_);  // fresh image
+  auto& shared = reinterpret_cast<ShmHeader*>(shm.base())->alloc_shared;
+  fs->blocks_->attach_shared_state(&shared, fs->attachment_.token);
+  for (unsigned i = 0; i < kNumPools; ++i)
+    fs->pools_[i]->attach_shared_cache(&shared.obj_stacks[i]);
 
   // Root directory.
   auto ino_off = fs->pools_[kPoolInode]->alloc();
@@ -150,9 +157,6 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
   Superblock& sb = fs->sb();
   SIMURGH_CHECK(sb.magic == kSuperblockMagic);
   SIMURGH_CHECK(sb.version == kLayoutVersion);
-  const bool clean =
-      sb.clean_shutdown.exchange(0, std::memory_order_acq_rel) == 1;
-  nvmm::persist_now(sb.clean_shutdown);
 
   fs->blocks_ = std::make_unique<alloc::BlockAllocator>(
       alloc::BlockAllocator::attach(nvmm, kBlockAllocOff));
@@ -171,26 +175,102 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
   else
     fs->locks_ =
         std::make_unique<FileLockTable>(FileLockTable::attach(shm, 0));
+  fs->registry_ = std::make_unique<MountRegistry>(shm, 0);
+  fs->attachment_ = fs->registry_->attach_mount();
+  auto& shared = reinterpret_cast<ShmHeader*>(shm.base())->alloc_shared;
+  fs->blocks_->attach_shared_state(&shared, fs->attachment_.token);
+  for (unsigned i = 0; i < kNumPools; ++i)
+    fs->pools_[i]->attach_shared_cache(&shared.obj_stacks[i]);
   fs->root_off_ = sb.root.load().raw();
   fs->make_walker();
   fs->register_protected_functions();
-  if (!clean) fs->recover();
+  // Recovery decision (registry protocol): the era's first attacher owns
+  // it — it holds the recovering token from attach_mount() until the
+  // decision lands, so later attachers cannot race a half-recovered image.
+  // Everyone else waits; a waiter inherits the job if the first-in dies
+  // mid-recovery.
+  if (fs->attachment_.first_in) {
+    const bool clean =
+        sb.clean_shutdown.exchange(0, std::memory_order_acq_rel) == 1;
+    nvmm::persist_now(sb.clean_shutdown);
+    if (!clean) fs->recover();
+    fs->registry_->finish_recovery(fs->attachment_);
+  } else if (fs->registry_->wait_recovery_done(fs->attachment_)) {
+    fs->recover();
+    fs->registry_->finish_recovery(fs->attachment_);
+  }
+  fs->cache_gen_seen_.store(sb.cache_gen.load(std::memory_order_acquire),
+                            std::memory_order_relaxed);
   return fs;
 }
 
 void FileSystem::unmount() {
-  // Return every thread's unused reservation remainder to the free lists
-  // before declaring the shutdown clean (a clean mount skips the
-  // rebuild_free_lists sweep that would otherwise reclaim them).
+  if (unmounted_) return;
+  // Return this mount's unused reservation remainders to the free lists
+  // before detaching (a clean mount skips the rebuild_free_lists sweep
+  // that would otherwise reclaim them).
   blocks_->drain_reservations();
-  sb().clean_shutdown.store(1, std::memory_order_release);
-  nvmm::persist_now(sb().clean_shutdown);
+  registry_->detach_mount(attachment_, [&] {
+    // Last one out of the era — and nobody died dirty in it — declares
+    // the shutdown clean.  Straggler slots (peer threads that exited
+    // without draining) are swept here; with dirty deaths the blocks stay
+    // stranded for the next recovery's rebuild instead.
+    blocks_->drain_reservations(/*drain_all=*/true);
+    sb().clean_shutdown.store(1, std::memory_order_release);
+    nvmm::persist_now(sb().clean_shutdown);
+  });
+  unmounted_ = true;
+}
+
+void FileSystem::poll_coordination_slow(std::uint64_t tick,
+                                        std::uint64_t gen) {
+  // Heartbeat amortised off the hot path: it reads the clock, and the lease
+  // (100 ms default) dwarfs any 64-op gap.  A mount a peer falsely
+  // lease-reaped anyway (stalled, not dead) simply rejoins — its durable
+  // writes were always safe, the two-bit protocol and busy-lock steals
+  // cover them.
+  if ((tick & 63u) == 0) {
+    if (!registry_->heartbeat(attachment_)) registry_->reattach(attachment_);
+  }
+  std::uint64_t seen = cache_gen_seen_.load(std::memory_order_relaxed);
+  if (gen != seen && cache_gen_seen_.compare_exchange_strong(
+                         seen, gen, std::memory_order_acq_rel)) {
+    lookup_cache_->clear();
+    path_cache_->clear();
+    extent_cache_->clear();
+  }
+  // Amortised dead-peer scan; tests reclaim eagerly via reap_dead_mounts().
+  if ((tick & 511u) == 511u) reap_dead_mounts();
+}
+
+ReapReport FileSystem::reap_dead_mounts() {
+  ReapReport r;
+  r.mounts = registry_->reap_dead(attachment_, [&](std::uint64_t tok) {
+    r.reserved_blocks += blocks_->reclaim_mount_reservations(tok);
+  });
+  if (r.mounts == 0) return r;
+  r.file_locks = locks_->sweep_expired();
+  r.segment_locks = blocks_->reap_expired_segment_locks();
+  mount_reclaims_.fetch_add(r.mounts, std::memory_order_relaxed);
+  // The dead peer may have died mid-mutation with locks now released;
+  // every mount's DRAM view (ours included) must revalidate against NVMM.
+  Superblock& s = sb();
+  const std::uint64_t gen =
+      s.cache_gen.fetch_add(1, std::memory_order_acq_rel) + 1;
+  nvmm::persist_now(s.cache_gen);
+  cache_gen_seen_.store(gen, std::memory_order_relaxed);
+  lookup_cache_->clear();
+  path_cache_->clear();
+  extent_cache_->clear();
+  return r;
 }
 
 void FileSystem::set_lease_ns(std::uint64_t ns) {
   blocks_->set_lease_ns(ns);
   dirops_->set_lease_ns(ns);
   locks_->set_lease_ns(ns);
+  for (auto& p : pools_) p->set_lease_ns(ns);
+  if (registry_) registry_->set_lease_ns(ns);
 }
 
 std::unique_ptr<Process> FileSystem::open_process(std::uint32_t uid,
@@ -216,6 +296,11 @@ FsStat FileSystem::fsstat() {
   st.extent_hits = es.hits;
   st.extent_misses = es.misses;
   st.extent_fills = es.fills;
+  const FileLockStats& fl = locks_->stats();
+  st.lock_fallback_hits = fl.fallback_hits.load(std::memory_order_relaxed);
+  st.lock_lease_steals = fl.lease_steals.load(std::memory_order_relaxed);
+  st.mounts_attached = registry_ ? registry_->attached_mounts() : 0;
+  st.mount_reclaims = mount_reclaims_.load(std::memory_order_relaxed);
   return st;
 }
 
@@ -415,6 +500,7 @@ Status Process::drop_inode(std::uint64_t inode_off) {
 
 Result<int> Process::open(std::string_view path, int flags,
                           std::uint32_t mode) {
+  fs_.poll_coordination();
   const bool want_write = (flags & kOpenWrite) != 0;
   std::uint64_t ino_off = 0;
   if ((flags & kOpenCreate) != 0) {
@@ -455,6 +541,7 @@ Result<int> Process::open(std::string_view path, int flags,
 Status Process::close(int fd) { return fds_.close(fd); }
 
 Status Process::mkdir(std::string_view path, std::uint32_t mode) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr,
                            fs_.walker().resolve_parent(cred_, path));
   if (rr.inode_off != 0) return Status(Errc::exists);
@@ -462,6 +549,7 @@ Status Process::mkdir(std::string_view path, std::uint32_t mode) {
 }
 
 Status Process::rmdir(std::string_view path) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr,
                            fs_.walker().resolve_parent(cred_, path));
   if (rr.inode_off == 0) return Status(Errc::not_found);
@@ -477,6 +565,7 @@ Status Process::rmdir(std::string_view path) {
 }
 
 Status Process::unlink(std::string_view path) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr,
                            fs_.walker().resolve_parent(cred_, path));
   if (rr.inode_off == 0) return Status(Errc::not_found);
@@ -491,6 +580,7 @@ Status Process::unlink(std::string_view path) {
 }
 
 Status Process::rename(std::string_view from, std::string_view to) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult src,
                            fs_.walker().resolve_parent(cred_, from));
   if (src.inode_off == 0) return Status(Errc::not_found);
@@ -524,11 +614,13 @@ Status Process::rename(std::string_view from, std::string_view to) {
 }
 
 Result<Stat> Process::stat(std::string_view path) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   return stat_of(rr.inode_off);
 }
 
 Result<Stat> Process::lstat(std::string_view path) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(
       ResolveResult rr,
       fs_.walker().resolve(cred_, path, /*follow_symlink=*/false));
@@ -536,12 +628,14 @@ Result<Stat> Process::lstat(std::string_view path) {
 }
 
 Result<Stat> Process::fstat(int fd) {
+  fs_.poll_coordination();
   OpenFile* f = fds_.get(fd);
   if (f == nullptr) return Errc::bad_fd;
   return stat_of(f->inode_off.load(std::memory_order_acquire));
 }
 
 Status Process::link(std::string_view existing, std::string_view newpath) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult src,
                            fs_.walker().resolve(cred_, existing));
   Inode* ino = fs_.inode_at(src.inode_off);
@@ -574,6 +668,7 @@ Status Process::link(std::string_view existing, std::string_view newpath) {
 }
 
 Status Process::symlink(std::string_view target, std::string_view linkpath) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr,
                            fs_.walker().resolve_parent(cred_, linkpath));
   if (rr.inode_off != 0) return Status(Errc::exists);
@@ -581,6 +676,7 @@ Status Process::symlink(std::string_view target, std::string_view linkpath) {
 }
 
 Result<std::string> Process::readlink(std::string_view path) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(
       ResolveResult rr,
       fs_.walker().resolve(cred_, path, /*follow_symlink=*/false));
@@ -594,6 +690,7 @@ Result<std::string> Process::readlink(std::string_view path) {
 }
 
 Status Process::access(std::string_view path, unsigned may) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   return may_access(*fs_.inode_at(rr.inode_off), cred_, may)
              ? Status::ok()
@@ -601,6 +698,7 @@ Status Process::access(std::string_view path, unsigned may) {
 }
 
 Status Process::chmod(std::string_view path, std::uint32_t mode) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   Inode* ino = fs_.inode_at(rr.inode_off);
   if (cred_.euid != 0 &&
@@ -620,6 +718,7 @@ Status Process::chmod(std::string_view path, std::uint32_t mode) {
 
 Status Process::chown(std::string_view path, std::uint32_t uid,
                       std::uint32_t gid) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   Inode* ino = fs_.inode_at(rr.inode_off);
   if (cred_.euid != 0) return Status(Errc::permission);
@@ -637,6 +736,7 @@ Status Process::chown(std::string_view path, std::uint32_t uid,
 
 Status Process::utimes(std::string_view path, std::uint64_t atime_ns,
                        std::uint64_t mtime_ns) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   Inode* ino = fs_.inode_at(rr.inode_off);
   ino->atime_ns.store(atime_ns, std::memory_order_relaxed);
@@ -647,6 +747,7 @@ Status Process::utimes(std::string_view path, std::uint64_t atime_ns,
 }
 
 Result<std::vector<DirEntry>> Process::readdir(std::string_view path) {
+  fs_.poll_coordination();
   SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
   Inode* ino = fs_.inode_at(rr.inode_off);
   if (!ino->is_dir()) return Errc::not_dir;

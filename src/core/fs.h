@@ -83,6 +83,21 @@ struct FsStat {
   std::uint64_t extent_hits = 0;
   std::uint64_t extent_misses = 0;
   std::uint64_t extent_fills = 0;
+  // FileLockTable pressure (this mount's view; see FileLockStats).
+  std::uint64_t lock_fallback_hits = 0;
+  std::uint64_t lock_lease_steals = 0;
+  // Mount registry (shared view): live attachments now, and how many dead
+  // peers THIS mount has lease-reclaimed.
+  std::uint64_t mounts_attached = 0;
+  std::uint64_t mount_reclaims = 0;
+};
+
+// What a survivor's dead-peer reclaim recovered (reap_dead_mounts()).
+struct ReapReport {
+  unsigned mounts = 0;                 // expired peer slots cleared
+  std::uint64_t reserved_blocks = 0;   // stranded reservation blocks freed
+  unsigned file_locks = 0;             // expired file locks released
+  unsigned segment_locks = 0;          // expired segment locks released
 };
 
 struct RecoveryReport {
@@ -125,6 +140,35 @@ class FileSystem {
 
   // Full mark-and-sweep recovery (§5.5); safe on a quiescent mount.
   RecoveryReport recover();
+
+  // ---- multi-mount coordination (§4 "fully decentralized") ----
+  // Called at the top of every Process operation: refreshes this mount's
+  // registry heartbeat, drops the DRAM caches when the superblock's
+  // cache_gen moved (a peer ran recovery or a lease reclaim), and
+  // periodically scans for expired peers.  The body is inline so the common
+  // case — nothing to do — costs a handful of plain loads on the hot path;
+  // the tick increment is racy by design (it only paces heartbeats and reap
+  // scans, so lost or doubled ticks are harmless).
+  void poll_coordination() {
+    if (registry_ == nullptr || unmounted_) return;
+    const std::uint64_t tick = poll_tick_.load(std::memory_order_relaxed);
+    poll_tick_.store(tick + 1, std::memory_order_relaxed);
+    const std::uint64_t gen = sb().cache_gen.load(std::memory_order_acquire);
+    if ((tick & 63u) == 0 ||
+        gen != cache_gen_seen_.load(std::memory_order_relaxed))
+      poll_coordination_slow(tick, gen);
+  }
+  // Reclaims every peer whose heartbeat lease expired: its stranded block
+  // reservations, expired file locks and segment leases return to service
+  // without a remount.  Any victim bumps the superblock cache_gen so all
+  // mounts (this one included) drop stale DRAM views.
+  ReapReport reap_dead_mounts();
+  [[nodiscard]] MountRegistry& mount_registry() noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] std::uint64_t mount_token() const noexcept {
+    return attachment_.token;
+  }
 
   // Report of the most recent recover() on this instance (all zeros if none
   // ran) — lets tests and the crash harness observe what an auto-recovering
@@ -210,12 +254,21 @@ class FileSystem {
   FileSystem(nvmm::Device& nvmm, nvmm::Device& shm);
   void attach_components(bool formatted, const FormatOptions& opts);
   void register_protected_functions();
+  void poll_coordination_slow(std::uint64_t tick, std::uint64_t gen);
 
   nvmm::Device* dev_;
   nvmm::Device* shm_;
   std::uint64_t root_off_ = 0;
   bool relaxed_writes_ = false;
+  bool unmounted_ = false;
   RecoveryReport last_recovery_{};
+
+  std::unique_ptr<MountRegistry> registry_;
+  MountRegistry::Attachment attachment_;
+  // Last superblock cache_gen this mount synchronised its DRAM caches to.
+  std::atomic<std::uint64_t> cache_gen_seen_{0};
+  std::atomic<std::uint64_t> poll_tick_{0};
+  std::atomic<std::uint64_t> mount_reclaims_{0};
 
   std::unique_ptr<alloc::BlockAllocator> blocks_;
   std::unique_ptr<alloc::ObjectAllocator> pools_[kNumPools];

@@ -9,7 +9,10 @@
 //                    blocks) and file data blocks.
 //
 // Shared-DRAM device (volatile, shared by all client processes):
-//   [0]              ShmHeader
+//   [0]              ShmHeader — magic/geometry, the mount registry
+//                    (lease-stamped attachment slots), and the shared
+//                    allocator runtime state (block reservations, free-
+//                    object rings; alloc/shm_state.h).
 //   [...]            Per-file reader/writer lock table (open addressing,
 //                    keyed by inode offset).
 //
@@ -22,6 +25,7 @@
 
 #include "alloc/block_alloc.h"
 #include "alloc/obj_alloc.h"
+#include "alloc/shm_state.h"
 #include "nvmm/pptr.h"
 
 namespace simurgh::core {
@@ -74,6 +78,13 @@ struct Superblock {
   // counter past the dead file's final epoch (Process::drop_inode), closing
   // the recycled-inode-offset ABA for the DRAM extent cache.
   std::atomic<std::uint64_t> file_epoch_gen{0};
+  // Cross-mount cache-invalidation generation.  recover() and a survivor's
+  // dead-mount reclaim bump it (those paths recycle objects without going
+  // through the per-directory / per-file epoch retirement); every mount
+  // polls it on entry to an operation and drops its private DRAM caches
+  // (LookupCache, PathCache, ExtentCache) when it moved.  NVMM-resident so
+  // peer mounts — separate processes — observe the bump.
+  std::atomic<std::uint64_t> cache_gen{0};
 };
 static_assert(sizeof(Superblock) <= 4096);
 
@@ -89,9 +100,40 @@ struct FileLock {
   std::atomic<std::uint64_t> stamp_ns{0};
 };
 
+// One attached FileSystem instance ("mount").  A slot is claimed at attach
+// under the registry lock, heartbeat-stamped on every operation, and
+// released at clean unmount.  A slot whose heartbeat exceeded the mount
+// lease is a dead mount: any survivor may reclaim its cross-process state
+// (file locks, segment locks, block reservations) and clear the slot.
+struct MountSlot {
+  std::atomic<std::uint64_t> token{0};  // 0 = free
+  std::atomic<std::uint64_t> heartbeat_ns{0};
+  std::atomic<std::uint64_t> attach_gen{0};
+};
+
+constexpr unsigned kMaxMountSlots = 64;
+
 struct ShmHeader {
   std::uint64_t magic = 0;
   std::uint64_t n_locks = 0;  // power of two
+  // ---- mount registry ----
+  // Spin lock (lease-stamped) serialising attach/detach/reap and the
+  // clean-flag transitions they gate.
+  std::atomic<std::uint64_t> registry_lock{0};
+  std::atomic<std::uint64_t> registry_lock_stamp_ns{0};
+  // Token of a first-in mount currently running full recovery; later
+  // attachers wait until it clears (or its lease expires).
+  std::atomic<std::uint64_t> recovering{0};
+  // Mounts that died uncleanly since the registry was formatted.  A dead
+  // mount's lease reclaim returns its locks and reservations, but its
+  // in-flight (valid+dirty) metadata objects still need the next full
+  // recovery — so last-out only marks the superblock clean when this is 0.
+  std::atomic<std::uint64_t> dirty_deaths{0};
+  std::atomic<std::uint64_t> attach_counter{0};
+  MountSlot mounts[kMaxMountSlots];
+  // Cross-mount allocator state: shared block reservations + the shared
+  // free-object rings (see alloc/shm_state.h).
+  alloc::ShmAllocShared alloc_shared;
   // FileLock[n_locks] follows.
 };
 

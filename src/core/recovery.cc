@@ -36,6 +36,9 @@ RecoveryReport FileSystem::recover() {
   RecoveryReport report;
   const double t0 = now_seconds();
 
+  // Long recoveries must not look like a dead mount to reaping peers.
+  if (registry_) registry_->heartbeat(attachment_);
+
   // Survivor state of crashed processes is gone; volatile caches must not
   // hand out objects the sweep will reason about.
   locks_->reset_all();
@@ -188,6 +191,19 @@ RecoveryReport FileSystem::recover() {
     const std::uint64_t idx = (dev_off - data_off) / alloc::kBlockSize;
     return idx < n_blocks && block_used[idx];
   });
+
+  // Peer mounts must drop their DRAM caches too: the sweep above recycles
+  // objects without the per-directory / per-file epoch retirement those
+  // caches validate against.  The superblock generation is the only
+  // channel every mount sees (poll_coordination).
+  {
+    Superblock& sbm = sb();
+    const std::uint64_t gen =
+        sbm.cache_gen.fetch_add(1, std::memory_order_acq_rel) + 1;
+    nvmm::persist_now(sbm.cache_gen);
+    cache_gen_seen_.store(gen, std::memory_order_relaxed);
+  }
+  if (registry_) registry_->heartbeat(attachment_);
 
   report.seconds = now_seconds() - t0;
   last_recovery_ = report;

@@ -15,10 +15,19 @@
 
 #include <cstdint>
 #include <exception>
+#include <functional>
+#include <memory>
 
 #include "core/layout.h"
 
 namespace simurgh::core {
+
+// Per-process DRAM counters (lost increments acceptable, like
+// BlockAllocStats).
+struct FileLockStats {
+  std::atomic<std::uint64_t> fallback_hits{0};  // full table → shared slot 0
+  std::atomic<std::uint64_t> lease_steals{0};   // expired holders displaced
+};
 
 class FileLockTable {
  public:
@@ -39,6 +48,13 @@ class FileLockTable {
   // Clears every lock (full-system recovery: all holders are gone).
   void reset_all();
 
+  // Survivor-side reclaim: releases every held lock whose stamp exceeded
+  // the lease (its holder died mid-section; the two-bit object protocol
+  // keeps whatever it was doing recoverable).  Returns locks released.
+  unsigned sweep_expired();
+
+  FileLockStats& stats() noexcept { return *stats_; }
+
  private:
   FileLockTable(nvmm::Device& shm, std::uint64_t off)
       : shm_(&shm), off_(off) {}
@@ -52,6 +68,77 @@ class FileLockTable {
     return reinterpret_cast<FileLock*>(shm_->base() + off_ +
                                        sizeof(ShmHeader));
   }
+
+  nvmm::Device* shm_;
+  std::uint64_t off_;
+  std::uint64_t lease_ns_ = 100'000'000;
+  // Heap-held so the table stays movable.
+  std::unique_ptr<FileLockStats> stats_ = std::make_unique<FileLockStats>();
+};
+
+// Mount registry over the same ShmHeader (§4 "fully decentralized"):
+// every FileSystem instance attached to a device pair claims one
+// lease-stamped slot.  The first attacher in an era (no peer slot with a
+// live heartbeat) owns the recovery decision; the last one out — and only
+// with no dirty deaths in between — marks the superblock clean.  Survivors
+// reap expired peers and reclaim their cross-process state without a
+// remount.  All transitions are serialised by a lease-stamped registry
+// spinlock so attach, detach and reap never interleave.
+class MountRegistry {
+ public:
+  MountRegistry(nvmm::Device& shm, std::uint64_t off)
+      : shm_(&shm), off_(off) {}
+
+  struct Attachment {
+    std::uint64_t token = 0;  // nonzero, unique per attach
+    unsigned slot = 0;
+    bool first_in = false;
+  };
+
+  // Claims a slot.  When no peer slot carries a live heartbeat, every dead
+  // foreign slot is cleared, dirty_deaths is reset (a new era begins) and
+  // the recovering token is set — the caller MUST call finish_recovery()
+  // once its recovery decision (run it or skip it) completes.
+  Attachment attach_mount();
+
+  // Releases the slot; runs `last_out` under the registry lock when no
+  // other slot remains claimed and no mount died dirty this era.
+  void detach_mount(const Attachment& a,
+                    const std::function<void()>& last_out);
+
+  // Refreshes the heartbeat; returns false if the slot no longer carries
+  // our token (a peer lease-reaped us) — call reattach() then.
+  bool heartbeat(const Attachment& a);
+  // Re-claims a slot after a false reap, keeping the token.
+  void reattach(Attachment& a);
+
+  // Reaps every foreign slot whose heartbeat lease expired: fn(dead_token)
+  // runs under the registry lock per victim, then the slot is cleared and
+  // dirty_deaths incremented.  Returns the number of victims.
+  unsigned reap_dead(const Attachment& a,
+                     const std::function<void(std::uint64_t)>& fn);
+
+  void finish_recovery(const Attachment& a);
+  // Blocks until no recovery is in flight.  Returns true if the recovering
+  // mount died and WE now hold the recovering token — the caller must run
+  // recover() itself, then finish_recovery().
+  bool wait_recovery_done(const Attachment& a);
+
+  [[nodiscard]] unsigned attached_mounts() const;
+  [[nodiscard]] std::uint64_t dirty_deaths() const;
+  void note_dirty_death(const Attachment& a);  // storm tests: mark our own
+
+  void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
+  [[nodiscard]] std::uint64_t lease_ns() const noexcept { return lease_ns_; }
+
+ private:
+  [[nodiscard]] ShmHeader& header() const noexcept {
+    return *reinterpret_cast<ShmHeader*>(shm_->base() + off_);
+  }
+  void lock_registry(std::uint64_t self) const;
+  void unlock_registry() const;
+  [[nodiscard]] bool slot_live(const MountSlot& s,
+                               std::uint64_t now) const noexcept;
 
   nvmm::Device* shm_;
   std::uint64_t off_;

@@ -20,12 +20,28 @@ constexpr std::uint32_t kWriterBit = 0x8000'0000u;
 FileLockTable FileLockTable::format(nvmm::Device& shm, std::uint64_t off,
                                     std::uint64_t n_locks) {
   SIMURGH_CHECK((n_locks & (n_locks - 1)) == 0);  // power of two
+  SIMURGH_CHECK(shm.size() >= off + sizeof(ShmHeader) +
+                                  n_locks * sizeof(FileLock));
   FileLockTable t(shm, off);
   ShmHeader& h = t.header();
-  h.magic = kShmMagic;
   h.n_locks = n_locks;
+  h.registry_lock.store(0, std::memory_order_relaxed);
+  h.registry_lock_stamp_ns.store(0, std::memory_order_relaxed);
+  h.recovering.store(0, std::memory_order_relaxed);
+  h.dirty_deaths.store(0, std::memory_order_relaxed);
+  h.attach_counter.store(0, std::memory_order_relaxed);
+  for (auto& m : h.mounts) {
+    m.token.store(0, std::memory_order_relaxed);
+    m.heartbeat_ns.store(0, std::memory_order_relaxed);
+    m.attach_gen.store(0, std::memory_order_relaxed);
+  }
+  h.alloc_shared.reset();
   FileLock* ls = t.locks();
   for (std::uint64_t i = 0; i < n_locks; ++i) new (&ls[i]) FileLock();
+  // Magic last: a concurrently attaching process treats the region as
+  // formatted only once everything above is in place.
+  std::atomic_thread_fence(std::memory_order_release);
+  h.magic = kShmMagic;
   return t;
 }
 
@@ -54,6 +70,7 @@ FileLock& FileLockTable::slot_for(std::uint64_t inode_off) {
   }
   // Table full: degrade to a single shared fallback slot (slot 0 keyed 0 is
   // never handed out above, so reuse it).  Correct, just slower.
+  stats_->fallback_hits.fetch_add(1, std::memory_order_relaxed);
   return ls[0];
 }
 
@@ -75,6 +92,7 @@ void FileLockTable::lock_shared(FileLock& l) {
       if (l.word.compare_exchange_strong(expected, 1,
                                          std::memory_order_acq_rel)) {
         l.stamp_ns.store(monotonic_ns(), std::memory_order_relaxed);
+        stats_->lease_steals.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -102,6 +120,7 @@ void FileLockTable::lock_exclusive(FileLock& l) {
       if (cur != 0 && l.word.compare_exchange_strong(
                           cur, kWriterBit, std::memory_order_acq_rel)) {
         l.stamp_ns.store(monotonic_ns(), std::memory_order_relaxed);
+        stats_->lease_steals.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -122,6 +141,224 @@ void FileLockTable::reset_all() {
     ls[i].word.store(0, std::memory_order_relaxed);
     ls[i].stamp_ns.store(0, std::memory_order_relaxed);
   }
+}
+
+unsigned FileLockTable::sweep_expired() {
+  const std::uint64_t n = header().n_locks;
+  FileLock* ls = locks();
+  const std::uint64_t now = monotonic_ns();
+  unsigned released = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t w = ls[i].word.load(std::memory_order_relaxed);
+    if (w == 0) continue;
+    const std::uint64_t stamp =
+        ls[i].stamp_ns.load(std::memory_order_relaxed);
+    if (now - stamp <= lease_ns_) continue;
+    if (ls[i].word.compare_exchange_strong(w, 0,
+                                           std::memory_order_acq_rel)) {
+      ++released;
+      stats_->lease_steals.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return released;
+}
+
+// ---- MountRegistry ----
+
+void MountRegistry::lock_registry(std::uint64_t self) const {
+  ShmHeader& h = header();
+  for (;;) {
+    std::uint64_t expected = 0;
+    if (h.registry_lock.compare_exchange_weak(expected, self,
+                                              std::memory_order_acquire)) {
+      h.registry_lock_stamp_ns.store(monotonic_ns(),
+                                     std::memory_order_relaxed);
+      return;
+    }
+    const std::uint64_t stamp =
+        h.registry_lock_stamp_ns.load(std::memory_order_relaxed);
+    if (expected != 0 && monotonic_ns() - stamp > lease_ns_) {
+      if (h.registry_lock.compare_exchange_strong(
+              expected, self, std::memory_order_acquire)) {
+        h.registry_lock_stamp_ns.store(monotonic_ns(),
+                                       std::memory_order_relaxed);
+        return;
+      }
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+void MountRegistry::unlock_registry() const {
+  header().registry_lock.store(0, std::memory_order_release);
+}
+
+bool MountRegistry::slot_live(const MountSlot& s,
+                              std::uint64_t now) const noexcept {
+  if (s.token.load(std::memory_order_acquire) == 0) return false;
+  const std::uint64_t hb = s.heartbeat_ns.load(std::memory_order_relaxed);
+  return now - hb <= lease_ns_;
+}
+
+MountRegistry::Attachment MountRegistry::attach_mount() {
+  ShmHeader& h = header();
+  // Tokens need only be unique and nonzero; the shared counter gives that
+  // deterministically across processes.
+  const std::uint64_t token =
+      2 * h.attach_counter.fetch_add(1, std::memory_order_relaxed) + 3;
+  Attachment a;
+  a.token = token;
+  lock_registry(token);
+  const std::uint64_t now = monotonic_ns();
+  bool any_live = false;
+  for (const MountSlot& s : h.mounts)
+    if (slot_live(s, now)) any_live = true;
+  a.first_in = !any_live;
+  if (a.first_in) {
+    // A new era: whatever slots remain belong to dead mounts of the old
+    // one.  Their durable damage is the clean flag's problem (it is 0 if
+    // anyone died mounted); their shm state is rebuilt below/by recovery.
+    for (MountSlot& s : h.mounts) {
+      s.token.store(0, std::memory_order_relaxed);
+      s.heartbeat_ns.store(0, std::memory_order_relaxed);
+    }
+    h.dirty_deaths.store(0, std::memory_order_relaxed);
+    // Hold the recovery token until the caller decides (run or skip);
+    // later attachers wait on it, so the decision is race-free.
+    h.recovering.store(token, std::memory_order_release);
+  }
+  unsigned idx = kMaxMountSlots;
+  for (unsigned i = 0; i < kMaxMountSlots; ++i) {
+    if (h.mounts[i].token.load(std::memory_order_relaxed) == 0) {
+      idx = i;
+      break;
+    }
+  }
+  SIMURGH_CHECK(idx < kMaxMountSlots);  // > 64 concurrent mounts: unsupported
+  h.mounts[idx].attach_gen.store(token, std::memory_order_relaxed);
+  h.mounts[idx].heartbeat_ns.store(now, std::memory_order_relaxed);
+  h.mounts[idx].token.store(token, std::memory_order_release);
+  a.slot = idx;
+  unlock_registry();
+  return a;
+}
+
+void MountRegistry::detach_mount(const Attachment& a,
+                                 const std::function<void()>& last_out) {
+  ShmHeader& h = header();
+  lock_registry(a.token);
+  MountSlot& s = h.mounts[a.slot];
+  if (s.token.load(std::memory_order_relaxed) == a.token) {
+    s.token.store(0, std::memory_order_relaxed);
+    s.heartbeat_ns.store(0, std::memory_order_relaxed);
+  }
+  bool any = false;
+  for (const MountSlot& m : h.mounts)
+    if (m.token.load(std::memory_order_relaxed) != 0) any = true;
+  if (!any && h.dirty_deaths.load(std::memory_order_relaxed) == 0 &&
+      last_out) {
+    last_out();
+  }
+  unlock_registry();
+}
+
+bool MountRegistry::heartbeat(const Attachment& a) {
+  MountSlot& s = header().mounts[a.slot];
+  if (s.token.load(std::memory_order_acquire) != a.token) return false;
+  s.heartbeat_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  return true;
+}
+
+void MountRegistry::reattach(Attachment& a) {
+  ShmHeader& h = header();
+  lock_registry(a.token);
+  unsigned idx = kMaxMountSlots;
+  for (unsigned i = 0; i < kMaxMountSlots; ++i) {
+    if (h.mounts[i].token.load(std::memory_order_relaxed) == 0) {
+      idx = i;
+      break;
+    }
+  }
+  SIMURGH_CHECK(idx < kMaxMountSlots);
+  h.mounts[idx].attach_gen.store(a.token, std::memory_order_relaxed);
+  h.mounts[idx].heartbeat_ns.store(monotonic_ns(),
+                                   std::memory_order_relaxed);
+  h.mounts[idx].token.store(a.token, std::memory_order_release);
+  a.slot = idx;
+  unlock_registry();
+}
+
+unsigned MountRegistry::reap_dead(
+    const Attachment& a, const std::function<void(std::uint64_t)>& fn) {
+  ShmHeader& h = header();
+  lock_registry(a.token);
+  const std::uint64_t now = monotonic_ns();
+  unsigned reaped = 0;
+  for (MountSlot& s : h.mounts) {
+    const std::uint64_t tok = s.token.load(std::memory_order_acquire);
+    if (tok == 0 || tok == a.token) continue;
+    if (now - s.heartbeat_ns.load(std::memory_order_relaxed) <= lease_ns_)
+      continue;
+    if (fn) fn(tok);
+    s.token.store(0, std::memory_order_relaxed);
+    s.heartbeat_ns.store(0, std::memory_order_relaxed);
+    h.dirty_deaths.fetch_add(1, std::memory_order_relaxed);
+    ++reaped;
+  }
+  unlock_registry();
+  return reaped;
+}
+
+void MountRegistry::finish_recovery(const Attachment& a) {
+  std::uint64_t expected = a.token;
+  header().recovering.compare_exchange_strong(expected, 0,
+                                              std::memory_order_acq_rel);
+}
+
+bool MountRegistry::wait_recovery_done(const Attachment& a) {
+  ShmHeader& h = header();
+  for (;;) {
+    const std::uint64_t r = h.recovering.load(std::memory_order_acquire);
+    if (r == 0) return false;
+    if (r == a.token) return true;
+    // Is the recovering mount still alive?
+    const std::uint64_t now = monotonic_ns();
+    bool live = false;
+    for (const MountSlot& s : h.mounts) {
+      if (s.token.load(std::memory_order_acquire) == r &&
+          now - s.heartbeat_ns.load(std::memory_order_relaxed) <= lease_ns_)
+        live = true;
+    }
+    if (!live) {
+      // Died mid-recovery: take the token over and redo it (the mark-and-
+      // sweep is idempotent over a quiescent image).
+      std::uint64_t expected = r;
+      if (h.recovering.compare_exchange_strong(expected, a.token,
+                                               std::memory_order_acq_rel))
+        return true;
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+unsigned MountRegistry::attached_mounts() const {
+  unsigned n = 0;
+  for (const MountSlot& s : header().mounts)
+    if (s.token.load(std::memory_order_acquire) != 0) ++n;
+  return n;
+}
+
+std::uint64_t MountRegistry::dirty_deaths() const {
+  return header().dirty_deaths.load(std::memory_order_acquire);
+}
+
+void MountRegistry::note_dirty_death(const Attachment& a) {
+  header().dirty_deaths.fetch_add(1, std::memory_order_relaxed);
+  (void)a;
 }
 
 }  // namespace simurgh::core
