@@ -90,8 +90,12 @@ int main() {
   // pass/fail ratio is judged per rep — the two arms of one rep run adjacent
   // in time, so background load inflates both and cancels out of the ratio,
   // where a cross-rep min/min can pair a quiet uncached sample with a noisy
-  // cached one and flap around the bar on a busy CI machine.
-  double ns_off = 1e300, ns_on = 1e300, best_ratio = 0;
+  // cached one and flap around the bar on a busy CI machine.  The gate takes
+  // the MEDIAN per-rep ratio: the max would cherry-pick the single most
+  // favorable rep and let a real cache regression pass on one rep whose
+  // uncached arm caught background load.
+  double ns_off = 1e300, ns_on = 1e300;
+  std::vector<double> ratios;
   for (int r = 0; r < reps; ++r) {
     fs->set_lookup_cache_enabled(false);
     const double off = time_stats(p, deep, iters, /*warm=*/true);
@@ -99,8 +103,11 @@ int main() {
     const double on = time_stats(p, deep, iters, /*warm=*/true);
     ns_off = std::min(ns_off, off);
     ns_on = std::min(ns_on, on);
-    best_ratio = std::max(best_ratio, off / on);
+    ratios.push_back(off / on);
   }
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio = ratios[ratios.size() / 2];
+  const double best_ratio = ratios.back();
   // Warm probes land on the whole-path layer first; anything it cannot
   // serve falls through to the per-component cache.  The warm hit rate
   // counts both layers.
@@ -117,7 +124,7 @@ int main() {
   const double fp_hit_rate =
       static_cast<double>(wpc.hits) /
       static_cast<double>(wpc.hits + wpc.misses + wpc.conflicts);
-  const double speedup = best_ratio;
+  const double speedup = median_ratio;
 
   // --- churn: stat threads racing a renamer; conflicts must stay safe ---
   fs->lookup_cache().reset_stats();
@@ -162,8 +169,8 @@ int main() {
   churn.conflicts = clc.conflicts + cpc.conflicts;
 
   std::printf("depth-8 warm stat:  uncached %.0f ns/op, cached %.0f ns/op "
-              "(cold fill pass %.0f) -> %.2fx best-rep\n",
-              ns_off, ns_on, ns_cold, speedup);
+              "(cold fill pass %.0f) -> %.2fx median-rep (best %.2fx)\n",
+              ns_off, ns_on, ns_cold, speedup, best_ratio);
   std::printf("warm hit rate: %.2f%%  (hits %llu, misses %llu, conflicts "
               "%llu, fills %llu; whole-path layer %.2f%%)\n",
               hit_rate * 100.0, (unsigned long long)warm.hits,
@@ -186,6 +193,7 @@ int main() {
         "  \"warm_ns_per_op_uncached\": %.1f,\n"
         "  \"warm_ns_per_op_cached\": %.1f,\n"
         "  \"cold_fill_ns_per_op\": %.1f,\n"
+        "  \"speedup_median_rep\": %.2f,\n"
         "  \"speedup_best_rep\": %.2f,\n"
         "  \"speedup_min_over_min\": %.2f,\n"
         "  \"warm_hit_rate\": %.4f,\n"
@@ -197,7 +205,8 @@ int main() {
         "  \"pass_speedup_2x\": %s,\n"
         "  \"pass_hit_rate_90\": %s\n"
         "}\n",
-        ns_off, ns_on, ns_cold, speedup, ns_off / ns_on, hit_rate, fp_hit_rate,
+        ns_off, ns_on, ns_cold, speedup, best_ratio, ns_off / ns_on, hit_rate,
+        fp_hit_rate,
         (unsigned long long)warm.hits, (unsigned long long)warm.misses,
         (unsigned long long)warm.conflicts,
         (unsigned long long)churn.conflicts,
@@ -205,5 +214,10 @@ int main() {
         hit_rate > 0.9 ? "true" : "false");
     std::fclose(out);
   }
+  // Smoke mode gates only on correctness (hit rate): sanitizer builds run
+  // this label too, and their instrumentation compresses the cached vs
+  // uncached gap right onto the 2x bar — the perf acceptance belongs to the
+  // full run on an uninstrumented build.
+  if (smoke) return hit_rate > 0.9 ? 0 : 1;
   return speedup >= 2.0 && hit_rate > 0.9 ? 0 : 1;
 }

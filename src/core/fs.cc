@@ -3,6 +3,7 @@
 
 #include <time.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
@@ -22,7 +23,38 @@ std::uint64_t wall_ns() noexcept {
 FileSystem::FileSystem(nvmm::Device& nvmm, nvmm::Device& shm)
     : dev_(&nvmm), shm_(&shm) {}
 
-FileSystem::~FileSystem() = default;
+// Destruction without unmount() models a crashed process: the heartbeat
+// thread dies with the instance and peers reap the slot after the lease.
+FileSystem::~FileSystem() { stop_heartbeat_thread(); }
+
+void FileSystem::start_heartbeat_thread() {
+  hb_stop_ = false;
+  hb_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lk(hb_mutex_);
+    for (;;) {
+      // Re-read the lease each round: tests shrink it mid-run and
+      // set_lease_ns() nudges the condition variable so the new cadence
+      // takes effect within one old interval.
+      const std::uint64_t ns = registry_->lease_ns() / 4 + 1;
+      const std::uint64_t gen = hb_wake_gen_;
+      hb_cv_.wait_for(lk, std::chrono::nanoseconds(ns), [&] {
+        return hb_stop_ || hb_wake_gen_ != gen;
+      });
+      if (hb_stop_) return;
+      if (!registry_->heartbeat(attachment_)) registry_->reattach(attachment_);
+    }
+  });
+}
+
+void FileSystem::stop_heartbeat_thread() {
+  if (!hb_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(hb_mutex_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  hb_thread_.join();
+}
 
 namespace {
 std::uint64_t pool_header_off(unsigned i) {
@@ -119,6 +151,7 @@ std::unique_ptr<FileSystem> FileSystem::format(nvmm::Device& nvmm,
   fs->registry_ = std::make_unique<MountRegistry>(shm, 0);
   fs->attachment_ = fs->registry_->attach_mount();
   fs->registry_->finish_recovery(fs->attachment_);  // fresh image
+  fs->start_heartbeat_thread();
   auto& shared = reinterpret_cast<ShmHeader*>(shm.base())->alloc_shared;
   fs->blocks_->attach_shared_state(&shared, fs->attachment_.token);
   for (unsigned i = 0; i < kNumPools; ++i)
@@ -177,6 +210,9 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
         std::make_unique<FileLockTable>(FileLockTable::attach(shm, 0));
   fs->registry_ = std::make_unique<MountRegistry>(shm, 0);
   fs->attachment_ = fs->registry_->attach_mount();
+  // Heartbeats start before the recovery decision: a long recover() below
+  // (or a long wait on a peer's) must not read as a dead mount.
+  fs->start_heartbeat_thread();
   auto& shared = reinterpret_cast<ShmHeader*>(shm.base())->alloc_shared;
   fs->blocks_->attach_shared_state(&shared, fs->attachment_.token);
   for (unsigned i = 0; i < kNumPools; ++i)
@@ -206,26 +242,38 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
 
 void FileSystem::unmount() {
   if (unmounted_) return;
+  // Stop heartbeating first: once the slot is released below, a stale
+  // heartbeat would fail and reattach — resurrecting the mount mid-detach.
+  stop_heartbeat_thread();
   // Return this mount's unused reservation remainders to the free lists
   // before detaching (a clean mount skips the rebuild_free_lists sweep
   // that would otherwise reclaim them).
   blocks_->drain_reservations();
-  registry_->detach_mount(attachment_, [&] {
-    // Last one out of the era — and nobody died dirty in it — declares
-    // the shutdown clean.  Straggler slots (peer threads that exited
-    // without draining) are swept here; with dirty deaths the blocks stay
-    // stranded for the next recovery's rebuild instead.
-    blocks_->drain_reservations(/*drain_all=*/true);
-    sb().clean_shutdown.store(1, std::memory_order_release);
-    nvmm::persist_now(sb().clean_shutdown);
-  });
+  registry_->detach_mount(
+      attachment_,
+      [&] {
+        // Last one out of the era — and nobody died dirty in it.
+        // Straggler slots (peer threads that exited without draining) are
+        // swept here; with dirty deaths the blocks stay stranded for the
+        // next recovery's rebuild instead.
+        blocks_->drain_reservations(/*drain_all=*/true);
+      },
+      [&] {
+        // Declares the shutdown clean — the registry runs this only while
+        // we still own the registry lock after the drain, so a first-in
+        // that stole the lock mid-drain can never be followed by a stale
+        // clean marking.
+        sb().clean_shutdown.store(1, std::memory_order_release);
+        nvmm::persist_now(sb().clean_shutdown);
+      });
   unmounted_ = true;
 }
 
 void FileSystem::poll_coordination_slow(std::uint64_t tick,
                                         std::uint64_t gen) {
-  // Heartbeat amortised off the hot path: it reads the clock, and the lease
-  // (100 ms default) dwarfs any 64-op gap.  A mount a peer falsely
+  // Opportunistic heartbeat, amortised off the hot path.  Liveness is the
+  // background heartbeat thread's job (wall-clock-paced at ~lease/4); this
+  // just keeps a busy mount's stamp extra fresh.  A mount a peer falsely
   // lease-reaped anyway (stalled, not dead) simply rejoins — its durable
   // writes were always safe, the two-bit protocol and busy-lock steals
   // cover them.
@@ -270,7 +318,16 @@ void FileSystem::set_lease_ns(std::uint64_t ns) {
   dirops_->set_lease_ns(ns);
   locks_->set_lease_ns(ns);
   for (auto& p : pools_) p->set_lease_ns(ns);
-  if (registry_) registry_->set_lease_ns(ns);
+  if (registry_) {
+    registry_->set_lease_ns(ns);
+    // Wake the heartbeat thread so the new (possibly much shorter) cadence
+    // applies now, not after one interval at the old lease.
+    {
+      std::lock_guard<std::mutex> lk(hb_mutex_);
+      ++hb_wake_gen_;
+    }
+    hb_cv_.notify_all();
+  }
 }
 
 std::unique_ptr<Process> FileSystem::open_process(std::uint32_t uid,

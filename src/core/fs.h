@@ -16,9 +16,12 @@
 // 46-cycle jmpp delta in the harness instead.
 #pragma once
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "alloc/block_alloc.h"
@@ -142,13 +145,17 @@ class FileSystem {
   RecoveryReport recover();
 
   // ---- multi-mount coordination (§4 "fully decentralized") ----
-  // Called at the top of every Process operation: refreshes this mount's
-  // registry heartbeat, drops the DRAM caches when the superblock's
-  // cache_gen moved (a peer ran recovery or a lease reclaim), and
-  // periodically scans for expired peers.  The body is inline so the common
-  // case — nothing to do — costs a handful of plain loads on the hot path;
-  // the tick increment is racy by design (it only paces heartbeats and reap
-  // scans, so lost or doubled ticks are harmless).
+  // Called at the top of every Process operation: drops the DRAM caches
+  // when the superblock's cache_gen moved (a peer ran recovery or a lease
+  // reclaim), opportunistically refreshes this mount's registry heartbeat,
+  // and periodically scans for expired peers.  Liveness does NOT depend on
+  // this being called: the background heartbeat thread (started at attach)
+  // bounds the heartbeat cadence in wall-clock time, so an idle or slow
+  // mount never reads as dead to its peers.  The body is inline so the
+  // common case — nothing to do — costs a handful of plain loads on the
+  // hot path; the tick increment is racy by design (it only paces the
+  // opportunistic heartbeats and reap scans, so lost or doubled ticks are
+  // harmless).
   void poll_coordination() {
     if (registry_ == nullptr || unmounted_) return;
     const std::uint64_t tick = poll_tick_.load(std::memory_order_relaxed);
@@ -255,6 +262,14 @@ class FileSystem {
   void attach_components(bool formatted, const FormatOptions& opts);
   void register_protected_functions();
   void poll_coordination_slow(std::uint64_t tick, std::uint64_t gen);
+  // Wall-clock heartbeat pacing (~lease/4): op-driven polling alone stops
+  // when the mount goes idle, which must not read as death — peers would
+  // reap the live mount and a fresh attacher would become first-in and run
+  // recovery concurrently with its operations.  The thread's shm side
+  // (heartbeat/reattach) is lock-free, so fork()ed children sharing this
+  // mount's slot can never inherit a locked process-private mutex from it.
+  void start_heartbeat_thread();
+  void stop_heartbeat_thread();
 
   nvmm::Device* dev_;
   nvmm::Device* shm_;
@@ -265,6 +280,11 @@ class FileSystem {
 
   std::unique_ptr<MountRegistry> registry_;
   MountRegistry::Attachment attachment_;
+  std::thread hb_thread_;
+  std::mutex hb_mutex_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;           // guarded by hb_mutex_
+  std::uint64_t hb_wake_gen_ = 0;  // guarded by hb_mutex_; bumped to re-pace
   // Last superblock cache_gen this mount synchronised its DRAM caches to.
   std::atomic<std::uint64_t> cache_gen_seen_{0};
   std::atomic<std::uint64_t> poll_tick_{0};

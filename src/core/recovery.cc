@@ -36,8 +36,22 @@ RecoveryReport FileSystem::recover() {
   RecoveryReport report;
   const double t0 = now_seconds();
 
-  // Long recoveries must not look like a dead mount to reaping peers.
-  if (registry_) registry_->heartbeat(attachment_);
+  // Long recoveries must not look like a dead mount: a peer blocked in
+  // MountRegistry::wait_recovery_done watches our heartbeat, and if it
+  // expires mid-sweep it CAS-steals the recovering token and runs a second
+  // recover() concurrently with this one — two free-list rebuilds on the
+  // same image corrupt allocator state.  The background heartbeat thread
+  // paces this in wall-clock time; the explicit beats threaded through the
+  // scan loops below keep recover() safe on its own as well (tests and the
+  // crash harness drive it directly).
+  std::uint64_t hb_tick = 0;
+  auto beat = [&](std::uint64_t every) {
+    if (registry_ != nullptr && (++hb_tick & (every - 1)) == 0 &&
+        !registry_->heartbeat(attachment_))
+      registry_->reattach(attachment_);
+  };
+  if (registry_ && !registry_->heartbeat(attachment_))
+    registry_->reattach(attachment_);
 
   // Survivor state of crashed processes is gone; volatile caches must not
   // hand out objects the sweep will reason about.
@@ -79,6 +93,7 @@ RecoveryReport FileSystem::recover() {
   live_inodes.insert(stack[0]);
   ref_count[stack[0]] = 1;  // the superblock's root reference
   while (!stack.empty()) {
+    beat(64);  // per directory
     const std::uint64_t dir_off = stack.back();
     stack.pop_back();
     Inode* dir = inode_at(dir_off);
@@ -93,6 +108,7 @@ RecoveryReport FileSystem::recover() {
     }
     dirops_->list(*dir, [&](std::string_view, std::uint64_t fe_off,
                             std::uint64_t ino_off) {
+      beat(4096);  // per directory entry
       live_fentries.insert(fe_off);
       if (ino_off == 0) return;
       ++ref_count[ino_off];
@@ -148,6 +164,7 @@ RecoveryReport FileSystem::recover() {
     alloc::ObjectAllocator& pool = *pools_[pi];
     std::vector<std::uint64_t> to_finish, to_reclaim, to_commit;
     pool.scan([&](std::uint64_t off, std::uint32_t flags) {
+      beat(4096);  // per pool object
       if (flags == alloc::kObjDirty) {
         to_finish.push_back(off);  // interrupted free: complete it
       } else if (flags != 0) {
@@ -171,6 +188,7 @@ RecoveryReport FileSystem::recover() {
   // (undercount) the inode on its eventual last unlink.  Reachable inodes
   // are all valid after the sweep above.
   for (const auto& [ino_off, n] : ref_count) {
+    beat(4096);  // per referenced inode
     if (pools_[kPoolInode]->flags_of(ino_off) != alloc::kObjValid) continue;
     Inode* ino = inode_at(ino_off);
     if (ino->nlink.load(std::memory_order_relaxed) != n) {
@@ -188,6 +206,7 @@ RecoveryReport FileSystem::recover() {
       mark_blocks(seg_off, count);
     });
   blocks_->rebuild_free_lists([&](std::uint64_t dev_off) {
+    beat(16384);  // per data block
     const std::uint64_t idx = (dev_off - data_off) / alloc::kBlockSize;
     return idx < n_blocks && block_used[idx];
   });
@@ -203,7 +222,8 @@ RecoveryReport FileSystem::recover() {
     nvmm::persist_now(sbm.cache_gen);
     cache_gen_seen_.store(gen, std::memory_order_relaxed);
   }
-  if (registry_) registry_->heartbeat(attachment_);
+  if (registry_ && !registry_->heartbeat(attachment_))
+    registry_->reattach(attachment_);
 
   report.seconds = now_seconds() - t0;
   last_recovery_ = report;

@@ -91,8 +91,24 @@ class MountRegistry {
 
   struct Attachment {
     std::uint64_t token = 0;  // nonzero, unique per attach
-    unsigned slot = 0;
+    // The slot index moves when a falsely-reaped mount reattaches; the
+    // background heartbeat thread and op threads both follow it, so it is
+    // atomic (token and first_in never change after attach).
+    std::atomic<unsigned> slot{0};
     bool first_in = false;
+
+    Attachment() = default;
+    Attachment(const Attachment& o) noexcept
+        : token(o.token),
+          slot(o.slot.load(std::memory_order_relaxed)),
+          first_in(o.first_in) {}
+    Attachment& operator=(const Attachment& o) noexcept {
+      token = o.token;
+      slot.store(o.slot.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+      first_in = o.first_in;
+      return *this;
+    }
   };
 
   // Claims a slot.  When no peer slot carries a live heartbeat, every dead
@@ -101,13 +117,20 @@ class MountRegistry {
   // once its recovery decision (run it or skip it) completes.
   Attachment attach_mount();
 
-  // Releases the slot; runs `last_out` under the registry lock when no
-  // other slot remains claimed and no mount died dirty this era.
-  void detach_mount(const Attachment& a,
-                    const std::function<void()>& last_out);
+  // Releases the slot.  When no other slot remains claimed and no mount
+  // died dirty this era, runs `drain` and then — only if this mount still
+  // owns the registry lock afterwards — `mark_clean`.  The split matters: a
+  // drain that outlives the lock lease lets an attaching process steal the
+  // lock, observe clean_shutdown == 0 and become first-in, and a deferred
+  // clean store landing after that would mis-describe the next crash as a
+  // clean image.
+  void detach_mount(const Attachment& a, const std::function<void()>& drain,
+                    const std::function<void()>& mark_clean);
 
   // Refreshes the heartbeat; returns false if the slot no longer carries
-  // our token (a peer lease-reaped us) — call reattach() then.
+  // our token (a peer lease-reaped us) — call reattach() then.  Lock-free
+  // (token-validated CAS), so it is safe from any thread, including across
+  // fork()ed children sharing the mount's slot.
   bool heartbeat(const Attachment& a);
   // Re-claims a slot after a false reap, keeping the token.
   void reattach(Attachment& a);
@@ -128,21 +151,27 @@ class MountRegistry {
   [[nodiscard]] std::uint64_t dirty_deaths() const;
   void note_dirty_death(const Attachment& a);  // storm tests: mark our own
 
-  void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
-  [[nodiscard]] std::uint64_t lease_ns() const noexcept { return lease_ns_; }
+  // Atomic: the lease is read by the background heartbeat thread while
+  // tests shrink it concurrently.
+  void set_lease_ns(std::uint64_t ns) noexcept {
+    lease_ns_.store(ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lease_ns() const noexcept {
+    return lease_ns_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[nodiscard]] ShmHeader& header() const noexcept {
     return *reinterpret_cast<ShmHeader*>(shm_->base() + off_);
   }
   void lock_registry(std::uint64_t self) const;
-  void unlock_registry() const;
+  void unlock_registry(std::uint64_t self) const;
   [[nodiscard]] bool slot_live(const MountSlot& s,
                                std::uint64_t now) const noexcept;
 
   nvmm::Device* shm_;
   std::uint64_t off_;
-  std::uint64_t lease_ns_ = 100'000'000;
+  std::atomic<std::uint64_t> lease_ns_{100'000'000};
 };
 
 // RAII guards.  A CrashedException models the holder dying, so during crash

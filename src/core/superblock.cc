@@ -177,7 +177,7 @@ void MountRegistry::lock_registry(std::uint64_t self) const {
     }
     const std::uint64_t stamp =
         h.registry_lock_stamp_ns.load(std::memory_order_relaxed);
-    if (expected != 0 && monotonic_ns() - stamp > lease_ns_) {
+    if (expected != 0 && monotonic_ns() - stamp > lease_ns()) {
       if (h.registry_lock.compare_exchange_strong(
               expected, self, std::memory_order_acquire)) {
         h.registry_lock_stamp_ns.store(monotonic_ns(),
@@ -191,15 +191,20 @@ void MountRegistry::lock_registry(std::uint64_t self) const {
   }
 }
 
-void MountRegistry::unlock_registry() const {
-  header().registry_lock.store(0, std::memory_order_release);
+void MountRegistry::unlock_registry(std::uint64_t self) const {
+  // CAS, not a blind store: a holder that outlived its lease was stolen
+  // from, and a plain store here would release the thief's critical
+  // section out from under it.
+  std::uint64_t expected = self;
+  header().registry_lock.compare_exchange_strong(expected, 0,
+                                                 std::memory_order_release);
 }
 
 bool MountRegistry::slot_live(const MountSlot& s,
                               std::uint64_t now) const noexcept {
   if (s.token.load(std::memory_order_acquire) == 0) return false;
   const std::uint64_t hb = s.heartbeat_ns.load(std::memory_order_relaxed);
-  return now - hb <= lease_ns_;
+  return now - hb <= lease_ns();
 }
 
 MountRegistry::Attachment MountRegistry::attach_mount() {
@@ -240,16 +245,17 @@ MountRegistry::Attachment MountRegistry::attach_mount() {
   h.mounts[idx].attach_gen.store(token, std::memory_order_relaxed);
   h.mounts[idx].heartbeat_ns.store(now, std::memory_order_relaxed);
   h.mounts[idx].token.store(token, std::memory_order_release);
-  a.slot = idx;
-  unlock_registry();
+  a.slot.store(idx, std::memory_order_relaxed);
+  unlock_registry(token);
   return a;
 }
 
 void MountRegistry::detach_mount(const Attachment& a,
-                                 const std::function<void()>& last_out) {
+                                 const std::function<void()>& drain,
+                                 const std::function<void()>& mark_clean) {
   ShmHeader& h = header();
   lock_registry(a.token);
-  MountSlot& s = h.mounts[a.slot];
+  MountSlot& s = h.mounts[a.slot.load(std::memory_order_relaxed)];
   if (s.token.load(std::memory_order_relaxed) == a.token) {
     s.token.store(0, std::memory_order_relaxed);
     s.heartbeat_ns.store(0, std::memory_order_relaxed);
@@ -257,37 +263,82 @@ void MountRegistry::detach_mount(const Attachment& a,
   bool any = false;
   for (const MountSlot& m : h.mounts)
     if (m.token.load(std::memory_order_relaxed) != 0) any = true;
-  if (!any && h.dirty_deaths.load(std::memory_order_relaxed) == 0 &&
-      last_out) {
-    last_out();
+  if (!any && h.dirty_deaths.load(std::memory_order_relaxed) == 0) {
+    if (drain) drain();
+    // The drain may have outlived the lock lease, letting an attacher steal
+    // the registry lock, see clean_shutdown == 0 and become first-in with
+    // live operations — marking clean after that would make the NEXT crash
+    // read as a clean image and skip recovery.  Refresh the stamp, then
+    // gate the clean store on still owning the lock: the remaining window
+    // is lease-sized from a fresh stamp, not drain-sized.
+    if (h.registry_lock.load(std::memory_order_acquire) == a.token) {
+      h.registry_lock_stamp_ns.store(monotonic_ns(),
+                                     std::memory_order_relaxed);
+      if (h.registry_lock.load(std::memory_order_acquire) == a.token &&
+          mark_clean)
+        mark_clean();
+    }
   }
-  unlock_registry();
+  unlock_registry(a.token);
 }
 
 bool MountRegistry::heartbeat(const Attachment& a) {
-  MountSlot& s = header().mounts[a.slot];
+  MountSlot& s = header().mounts[a.slot.load(std::memory_order_relaxed)];
   if (s.token.load(std::memory_order_acquire) != a.token) return false;
-  s.heartbeat_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  // Token-validated stamp: between the check above and the store below a
+  // peer can reap this slot and a new mount can claim it, so a blind store
+  // would refresh the new owner's lease.  Stamp by CAS, then re-check the
+  // token; on a mismatch undo our stamp (if it is still ours) instead of
+  // extending a foreign lease.
+  std::uint64_t prev = s.heartbeat_ns.load(std::memory_order_relaxed);
+  const std::uint64_t now = monotonic_ns();
+  if (!s.heartbeat_ns.compare_exchange_strong(prev, now,
+                                              std::memory_order_relaxed)) {
+    // Concurrent writer — a reaper zeroing the slot, a claimant stamping
+    // it, or a sibling thread of this mount heartbeating.  The token says
+    // whose slot it is now; a sibling's fresher stamp needs no redo.
+    return s.token.load(std::memory_order_acquire) == a.token;
+  }
+  if (s.token.load(std::memory_order_acquire) != a.token) {
+    std::uint64_t mine = now;
+    s.heartbeat_ns.compare_exchange_strong(mine, prev,
+                                           std::memory_order_relaxed);
+    return false;
+  }
   return true;
 }
 
 void MountRegistry::reattach(Attachment& a) {
   ShmHeader& h = header();
   lock_registry(a.token);
+  // A sibling thread of this mount (op path and heartbeat thread both
+  // chase false reaps) may have reattached already; reuse its slot rather
+  // than claiming a duplicate, which would double-count attached_mounts.
   unsigned idx = kMaxMountSlots;
   for (unsigned i = 0; i < kMaxMountSlots; ++i) {
-    if (h.mounts[i].token.load(std::memory_order_relaxed) == 0) {
+    if (h.mounts[i].token.load(std::memory_order_relaxed) == a.token) {
       idx = i;
       break;
     }
   }
-  SIMURGH_CHECK(idx < kMaxMountSlots);
-  h.mounts[idx].attach_gen.store(a.token, std::memory_order_relaxed);
-  h.mounts[idx].heartbeat_ns.store(monotonic_ns(),
-                                   std::memory_order_relaxed);
-  h.mounts[idx].token.store(a.token, std::memory_order_release);
-  a.slot = idx;
-  unlock_registry();
+  if (idx < kMaxMountSlots) {
+    h.mounts[idx].heartbeat_ns.store(monotonic_ns(),
+                                     std::memory_order_relaxed);
+  } else {
+    for (unsigned i = 0; i < kMaxMountSlots; ++i) {
+      if (h.mounts[i].token.load(std::memory_order_relaxed) == 0) {
+        idx = i;
+        break;
+      }
+    }
+    SIMURGH_CHECK(idx < kMaxMountSlots);
+    h.mounts[idx].attach_gen.store(a.token, std::memory_order_relaxed);
+    h.mounts[idx].heartbeat_ns.store(monotonic_ns(),
+                                     std::memory_order_relaxed);
+    h.mounts[idx].token.store(a.token, std::memory_order_release);
+  }
+  a.slot.store(idx, std::memory_order_relaxed);
+  unlock_registry(a.token);
 }
 
 unsigned MountRegistry::reap_dead(
@@ -299,7 +350,7 @@ unsigned MountRegistry::reap_dead(
   for (MountSlot& s : h.mounts) {
     const std::uint64_t tok = s.token.load(std::memory_order_acquire);
     if (tok == 0 || tok == a.token) continue;
-    if (now - s.heartbeat_ns.load(std::memory_order_relaxed) <= lease_ns_)
+    if (now - s.heartbeat_ns.load(std::memory_order_relaxed) <= lease_ns())
       continue;
     if (fn) fn(tok);
     s.token.store(0, std::memory_order_relaxed);
@@ -307,7 +358,7 @@ unsigned MountRegistry::reap_dead(
     h.dirty_deaths.fetch_add(1, std::memory_order_relaxed);
     ++reaped;
   }
-  unlock_registry();
+  unlock_registry(a.token);
   return reaped;
 }
 
@@ -328,7 +379,7 @@ bool MountRegistry::wait_recovery_done(const Attachment& a) {
     bool live = false;
     for (const MountSlot& s : h.mounts) {
       if (s.token.load(std::memory_order_acquire) == r &&
-          now - s.heartbeat_ns.load(std::memory_order_relaxed) <= lease_ns_)
+          now - s.heartbeat_ns.load(std::memory_order_relaxed) <= lease_ns())
         live = true;
     }
     if (!live) {

@@ -300,8 +300,8 @@ TEST_F(MultiMountTest, KillOneMountStormSurvivorReclaimsAndImageChecksClean) {
   core::FormatOptions opts;
   opts.lock_table_slots = 8;
   init(opts);
-  // Long enough that a live mount's amortised heartbeat (every 64th op,
-  // slower under tsan) never looks dead mid-storm.
+  // Generous lease: the wall-clock heartbeat thread (~lease/4) keeps both
+  // mounts live through the storm even when tsan slows every op.
   fs_a_->set_lease_ns(50'000'000);
   fs_b_->set_lease_ns(50'000'000);
 
