@@ -1,10 +1,26 @@
 // Multi-mount scaling microbenchmark: aggregate ops/s of a mixed
-// metadata+data workload with 1, 2 and 4 FileSystem instances attached to
-// one nvmm+shm device pair (the paper's N coordinator-free processes, §4).
-// Every mount runs one driver thread in its own directory, so the numbers
-// isolate the cost of the *shared* coordination state — mount registry
-// heartbeats, shm block reservations, the shared free-object stacks and the
-// superblock cache-generation poll.  Writes BENCH_multimount.json.
+// metadata+data workload with 1, 2, 4, 8 and 16 FileSystem instances
+// attached to one nvmm+shm device pair (the paper's N coordinator-free
+// processes, §4).  Every mount runs one driver thread in its own
+// directory, so the numbers isolate the cost of the *shared* coordination
+// state — mount registry heartbeats, the striped shm block reservations,
+// the striped free-object stacks and the per-shard cache-generation poll.
+//
+// Like bench_path_lookup, every mount count runs `reps` interleaved
+// repetitions and the scaling gate judges the MEDIAN per-rep ratio: the
+// arms of one rep run adjacent in time, so background load inflates all
+// of them and mostly cancels out of the ratio, while a best-rep pick
+// would cherry-pick the one quiet sample.  Reported throughput per point
+// is the median rep too.
+//
+// The hardware-parallelism ceiling is min(n_mounts, n_cpus): on a 1-CPU
+// host every mount count time-slices one core and the ideal aggregate
+// scaling is 1.0x, so the gate asks only that added mounts do not
+// COLLAPSE aggregate throughput (coordination overhead, not parallel
+// speedup — the latter needs cores).  The JSON records n_cpus so readers
+// can judge the points against the right ceiling.  Writes
+// BENCH_multimount.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,12 +62,22 @@ std::uint64_t drive(core::FileSystem& fs, const std::string& dir, int iters) {
   return ops;
 }
 
-struct Point {
-  unsigned mounts;
-  double ops_per_sec;
+// Shared-state contention telemetry summed over every mount of one run
+// (see FsStat in core/fs.h — all four should stay near zero when the
+// sharding does its job).
+struct Contention {
+  std::uint64_t obj_cas_retries = 0;
+  std::uint64_t obj_stripe_steals = 0;
+  std::uint64_t reserve_slot_probes = 0;
+  std::uint64_t shard_invalidations = 0;
 };
 
-Point run_scale(unsigned n_mounts, int iters) {
+struct Sample {
+  double ops_per_sec = 0.0;
+  Contention contention;
+};
+
+Sample run_scale(unsigned n_mounts, int iters) {
   nvmm::Device dev(512ull << 20);
   nvmm::Device shm(16ull << 20);
   std::vector<std::unique_ptr<core::FileSystem>> mounts;
@@ -71,11 +97,33 @@ Point run_scale(unsigned n_mounts, int iters) {
       std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
                                                                 t0)
           .count();
+
+  Sample s;
   std::uint64_t total = 0;
   for (std::uint64_t o : ops) total += o;
-  for (auto& fs : mounts) fs->unmount();
-  return {n_mounts, static_cast<double>(total) / secs};
+  s.ops_per_sec = static_cast<double>(total) / secs;
+  for (auto& fs : mounts) {
+    const core::FsStat st = fs->fsstat();
+    s.contention.obj_cas_retries += st.obj_cas_retries;
+    s.contention.obj_stripe_steals += st.obj_stripe_steals;
+    s.contention.reserve_slot_probes += st.reserve_slot_probes;
+    s.contention.shard_invalidations += st.shard_invalidations;
+    fs->unmount();
+  }
+  return s;
 }
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct Point {
+  unsigned mounts;
+  double ops_per_sec;      // median rep
+  double best_ops_per_sec;  // best rep, for context only
+  Contention contention;    // from the median rep
+};
 
 }  // namespace
 
@@ -83,17 +131,54 @@ int main() {
   const char* smoke_env = std::getenv("SIMURGH_BENCH_SMOKE");
   const bool smoke =
       smoke_env != nullptr && smoke_env[0] != '\0' && smoke_env[0] != '0';
-  const int iters = smoke ? 200 : 40000;
+  const int iters = smoke ? 50 : 20000;
+  const int reps = smoke ? 1 : 5;
+  const std::vector<unsigned> mount_counts = {1u, 2u, 4u, 8u, 16u};
+  const unsigned n_cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  // samples[point][rep]
+  std::vector<std::vector<Sample>> samples(mount_counts.size());
+  for (int r = 0; r < reps; ++r)
+    for (std::size_t i = 0; i < mount_counts.size(); ++i)
+      samples[i].push_back(run_scale(mount_counts[i], iters));
 
   std::vector<Point> points;
-  for (unsigned n : {1u, 2u, 4u}) points.push_back(run_scale(n, iters));
+  for (std::size_t i = 0; i < mount_counts.size(); ++i) {
+    std::vector<double> rates;
+    for (const Sample& s : samples[i]) rates.push_back(s.ops_per_sec);
+    const double med = median(rates);
+    Point pt{mount_counts[i], med, *std::max_element(rates.begin(),
+                                                     rates.end()), {}};
+    // Telemetry from the rep whose rate is the median (ties: first).
+    for (const Sample& s : samples[i])
+      if (s.ops_per_sec == med) { pt.contention = s.contention; break; }
+    points.push_back(pt);
+  }
+
+  // Per-rep 1->4 ratio; both arms of a rep ran adjacent in time.
+  std::vector<double> ratios_1_to_4;
+  for (int r = 0; r < reps; ++r)
+    ratios_1_to_4.push_back(samples[2][r].ops_per_sec /
+                            samples[0][r].ops_per_sec);
+  const double scaling_1_to_4 = median(ratios_1_to_4);
+  const double scaling_1_to_16 =
+      points.back().ops_per_sec / points.front().ops_per_sec;
 
   for (const Point& pt : points)
-    std::printf("%u mount%s: %.0f ops/s aggregate (%.0f per mount)\n",
+    std::printf("%2u mount%s: %8.0f ops/s aggregate median (best %8.0f, "
+                "%7.0f per mount; cas_retries %llu steals %llu probes %llu "
+                "invals %llu)\n",
                 pt.mounts, pt.mounts == 1 ? " " : "s", pt.ops_per_sec,
-                pt.ops_per_sec / pt.mounts);
-  const double scaling = points.back().ops_per_sec / points.front().ops_per_sec;
-  std::printf("1 -> 4 mount aggregate scaling: %.2fx\n", scaling);
+                pt.best_ops_per_sec, pt.ops_per_sec / pt.mounts,
+                (unsigned long long)pt.contention.obj_cas_retries,
+                (unsigned long long)pt.contention.obj_stripe_steals,
+                (unsigned long long)pt.contention.reserve_slot_probes,
+                (unsigned long long)pt.contention.shard_invalidations);
+  std::printf("1 -> 4 mount aggregate scaling: %.2fx median-rep "
+              "(1 -> 16: %.2fx) on %u cpu%s — parallel ceiling is "
+              "min(mounts, cpus)\n",
+              scaling_1_to_4, scaling_1_to_16, n_cpus,
+              n_cpus == 1 ? "" : "s");
 
   std::FILE* out = std::fopen("BENCH_multimount.json", "w");
   if (out != nullptr) {
@@ -103,19 +188,44 @@ int main() {
                  "  \"workload\": \"create+write4k+stat+unlink churn, one "
                  "thread per mount\",\n"
                  "  \"iters_per_mount\": %d,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"n_cpus\": %u,\n"
                  "  \"points\": [\n",
-                 iters);
+                 iters, reps, n_cpus);
     for (std::size_t i = 0; i < points.size(); ++i)
       std::fprintf(out,
-                   "    {\"mounts\": %u, \"ops_per_sec\": %.0f}%s\n",
+                   "    {\"mounts\": %u, \"ops_per_sec\": %.0f, "
+                   "\"best_ops_per_sec\": %.0f, \"obj_cas_retries\": %llu, "
+                   "\"obj_stripe_steals\": %llu, \"reserve_slot_probes\": "
+                   "%llu, \"shard_invalidations\": %llu}%s\n",
                    points[i].mounts, points[i].ops_per_sec,
+                   points[i].best_ops_per_sec,
+                   (unsigned long long)points[i].contention.obj_cas_retries,
+                   (unsigned long long)points[i].contention.obj_stripe_steals,
+                   (unsigned long long)
+                       points[i].contention.reserve_slot_probes,
+                   (unsigned long long)
+                       points[i].contention.shard_invalidations,
                    i + 1 < points.size() ? "," : "");
     std::fprintf(out,
                  "  ],\n"
-                 "  \"aggregate_scaling_1_to_4\": %.3f\n"
+                 "  \"aggregate_scaling_1_to_4_median_rep\": %.3f,\n"
+                 "  \"aggregate_scaling_1_to_16\": %.3f,\n"
+                 "  \"scaling_ceiling_note\": \"ideal aggregate scaling is "
+                 "min(mounts, n_cpus)/1; on a 1-cpu host all mount counts "
+                 "time-slice one core and ~1.0x is the physical "
+                 "ceiling\",\n"
+                 "  \"pass_no_collapse_1_to_4\": %s\n"
                  "}\n",
-                 scaling);
+                 scaling_1_to_4, scaling_1_to_16,
+                 scaling_1_to_4 >= 0.5 ? "true" : "false");
     std::fclose(out);
   }
-  return 0;
+  // Smoke proves the binary end to end (every op SIMURGH_CHECKed); the
+  // perf gate belongs to the full run on an uninstrumented build.  The
+  // full-mode bar is no-collapse: with fewer cores than mounts the extra
+  // mounts buy no parallelism, so the gate asks the shared coordination
+  // state not to eat more than half the single-mount throughput.
+  if (smoke) return 0;
+  return scaling_1_to_4 >= 0.5 ? 0 : 1;
 }

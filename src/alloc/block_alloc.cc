@@ -152,6 +152,7 @@ bool BlockAllocator::try_lock_segment(SegmentHeader& seg) {
 }
 
 bool BlockAllocator::lock_segment(SegmentHeader& seg) {
+  unsigned spins = 0;
   for (;;) {
     if (try_lock_segment(seg)) return false;
     // Lease check: a holder that has not refreshed last_accessed within the
@@ -170,9 +171,15 @@ bool BlockAllocator::lock_segment(SegmentHeader& seg) {
         return true;
       }
     }
+    // The holder may be a descheduled peer process; after a short pause
+    // burst, give it the CPU instead of burning the rest of the quantum.
+    if (++spins < 64) {
 #if defined(__x86_64__)
-    __builtin_ia32_pause();
+      __builtin_ia32_pause();
 #endif
+    } else {
+      ::sched_yield();
+    }
   }
 }
 
@@ -203,8 +210,12 @@ Result<std::uint64_t> BlockAllocator::alloc_direct(std::uint64_t n_blocks,
                                                    std::uint64_t hint) {
   BlockAllocHeader& h = header();
   SegmentHeader* segs = segments();
-  const unsigned start =
-      static_cast<unsigned>((hint / kBlockSize) % h.n_segments);
+  // Mount affinity: rotate the walk by this mount's segment bias so peers
+  // with similar hints (e.g. both hammering pool growth off low pool-header
+  // offsets) start on different segment locks and free-list heads.  Within
+  // one mount the hint still clusters a file's blocks in one segment.
+  const unsigned start = static_cast<unsigned>(
+      (segment_bias_ + hint / kBlockSize) % h.n_segments);
 
   // First pass: prefer an immediately free segment (the "move to the next
   // segment if busy" rule).  Second pass: wait on each in turn.
@@ -308,6 +319,12 @@ void BlockAllocator::attach_shared_state(ShmAllocShared* shared,
                                          std::uint64_t mount_token) noexcept {
   shared_ = shared;
   mount_token_ = mount_token;
+  // Spread mounts across the segment ring (same mix as the reservation
+  // home ranges so the whole allocator tier agrees on one affinity).
+  const unsigned n = n_segments();
+  segment_bias_ = n > 0 ? static_cast<unsigned>(
+                              (mount_token * 0x9e3779b97f4a7c15ull >> 40) % n)
+                        : 0;
 }
 
 ShmReservation* BlockAllocator::shm_thread_slot() {
@@ -334,8 +351,16 @@ ShmReservation* BlockAllocator::shm_thread_slot() {
     bindings.erase(it);  // slot was lease-reclaimed; claim a fresh one
     break;
   }
-  for (unsigned i = 0; i < kShmReserveSlots; ++i) {
+  // Claim scan: start inside this mount's home range so concurrent mounts
+  // probe (and CAS-collide over) disjoint slot ranges; wrap into foreign
+  // ranges only once the home range is exhausted.
+  const unsigned home_base =
+      shm_reserve_home(mount_token_) * kShmReserveHomeSlots;
+  unsigned probes = 0;
+  for (unsigned j = 0; j < kShmReserveSlots; ++j) {
+    const unsigned i = (home_base + j) % kShmReserveSlots;
     ShmReservation& slot = shared_->reservations[i];
+    ++probes;
     const std::uint64_t owner = slot.mount.load(std::memory_order_relaxed);
     // Re-adopt a slot this thread already owns for this mount (the binding
     // was dropped, e.g. the thread alternated between two mounts of the
@@ -357,10 +382,13 @@ ShmReservation* BlockAllocator::shm_thread_slot() {
       unlock_reservation(slot, self);
       if (bindings.size() > 8) bindings.clear();  // stale-region hygiene
       bindings.push_back({shared_, i});
+      stats_->reserve_slot_probes.fetch_add(probes,
+                                            std::memory_order_relaxed);
       return &slot;
     }
     unlock_reservation(slot, self);
   }
+  stats_->reserve_slot_probes.fetch_add(probes, std::memory_order_relaxed);
   return nullptr;  // table full: caller serves directly
 }
 

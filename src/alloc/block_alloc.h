@@ -37,12 +37,17 @@ struct SegmentLock {
   std::atomic<std::uint64_t> last_accessed_ns{0};
 };
 
-// Persistent per-segment state.
-struct SegmentHeader {
+// Persistent per-segment state.  One segment header IS a free-list head —
+// the striping unit of the block tier — so each gets its own cache line:
+// the lock word is CASed on every direct allocation and free, and without
+// the padding two mounts working disjoint segments still ping-pong the
+// line holding both headers.
+struct alignas(64) SegmentHeader {
   SegmentLock lock;
   nvmm::atomic_pptr<struct FreeRange> free_head;
   std::atomic<std::uint64_t> free_blocks{0};
 };
+static_assert(sizeof(SegmentHeader) == 64);
 
 // Stored in the first block of every free range.
 struct FreeRange {
@@ -57,7 +62,8 @@ struct BlockAllocHeader {
   std::uint64_t n_segments = 0;
   std::uint64_t data_off = 0;   // first block, device offset
   std::uint64_t n_blocks = 0;   // total blocks in the data area
-  // SegmentHeader[n_segments] follows immediately.
+  // SegmentHeader[n_segments] follows at the next 64-byte boundary (the
+  // headers are cache-line aligned; see SegmentHeader).
 };
 
 // Per-process DRAM counters; bumped relaxed (allocators of different
@@ -70,6 +76,10 @@ struct BlockAllocStats {
   std::atomic<std::uint64_t> reserve_hits{0};     // served without any lock
   std::atomic<std::uint64_t> reserve_refills{0};  // chunk carves
   std::atomic<std::uint64_t> reserve_drains{0};   // remainders returned
+  // Shm reservation slots probed while claiming/rebinding a thread slot
+  // (shm_thread_slot).  Scan lengths near kShmReserveHomeSlots mean the
+  // home range is saturated and claims are spilling into foreign ranges.
+  std::atomic<std::uint64_t> reserve_slot_probes{0};
 };
 
 // Per-allocator DRAM reservation state (definition in block_alloc.cc).
@@ -207,8 +217,12 @@ class BlockAllocator {
     return *reinterpret_cast<BlockAllocHeader*>(dev_->at(header_off_));
   }
   [[nodiscard]] SegmentHeader* segments() const noexcept {
-    return reinterpret_cast<SegmentHeader*>(dev_->at(header_off_) +
-                                            sizeof(BlockAllocHeader));
+    // 64-byte aligned so the alignas(64) per-segment headers actually land
+    // on cache-line boundaries in the device mapping (header offsets are
+    // page-aligned by the callers).
+    const std::uint64_t base =
+        (header_off_ + sizeof(BlockAllocHeader) + 63) / 64 * 64;
+    return reinterpret_cast<SegmentHeader*>(dev_->at(base));
   }
   [[nodiscard]] unsigned segment_of(std::uint64_t block_off) const noexcept;
 
@@ -246,6 +260,11 @@ class BlockAllocator {
   std::shared_ptr<ReserveRegistry> reserve_;
   ShmAllocShared* shared_ = nullptr;
   std::uint64_t mount_token_ = 0;
+  // Segment affinity: alloc_direct rotates each mount's segment walk by
+  // this bias so two mounts with similar hints start on different segment
+  // locks (set by attach_shared_state from the mount token; 0 for raw
+  // single-mount allocators, preserving the historical placement).
+  unsigned segment_bias_ = 0;
 };
 
 template <typename InUseFn>

@@ -114,13 +114,15 @@ bool ObjectAllocator::refill_shared() {
     if (full || flags != 0) return;
     batch[pending++] = payload_off;
     if (pending < std::size(batch)) return;
-    const unsigned put = stack_->push_batch(batch, pending, self, lease_ns_);
+    const unsigned put =
+        stack_->push_batch(batch, pending, home_stripe_, self, lease_ns_);
     any |= put > 0;
     full = put < pending;
     pending = 0;
   });
   if (!full && pending > 0)
-    any |= stack_->push_batch(batch, pending, self, lease_ns_) > 0;
+    any |= stack_->push_batch(batch, pending, home_stripe_, self, lease_ns_) >
+           0;
   return any;
 }
 
@@ -143,10 +145,15 @@ Result<std::uint64_t> ObjectAllocator::alloc_shared() {
         SIMURGH_FAILPOINT("objalloc.claimed");
         return off;
       }
+      // A peer mount claimed this hint first (or it was never free).
+      stats_->claim_cas_retries.fetch_add(1, std::memory_order_relaxed);
     }
     std::uint64_t batch[kMagazineBatch];
-    const unsigned got =
-        stack_->pop_batch(batch, kMagazineBatch, self, lease_ns_);
+    std::uint64_t steals = 0;
+    const unsigned got = stack_->pop_batch(batch, kMagazineBatch, home_stripe_,
+                                           self, lease_ns_, &steals);
+    if (steals > 0)
+      stats_->stripe_steals.fetch_add(steals, std::memory_order_relaxed);
     if (got > 0) {
       // batch[0] is the most recently freed; append in reverse so the
       // magazine's back keeps the LIFO order.
@@ -225,8 +232,8 @@ void ObjectAllocator::finish_pending_free(std::uint64_t payload_off) {
     Magazine& mag = magazine_for(stack_);
     mag.hints.push_back(payload_off);
     if (mag.hints.size() > kMagazineMax) {
-      stack_->push_batch(mag.hints.data(), kMagazineBatch, shm_self_token(),
-                         lease_ns_);
+      stack_->push_batch(mag.hints.data(), kMagazineBatch, home_stripe_,
+                         shm_self_token(), lease_ns_);
       mag.hints.erase(mag.hints.begin(), mag.hints.begin() + kMagazineBatch);
     }
     return;

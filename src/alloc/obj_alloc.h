@@ -44,6 +44,16 @@ namespace simurgh::alloc {
 constexpr std::uint32_t kObjValid = 1u;
 constexpr std::uint32_t kObjDirty = 2u;
 
+// Per-process DRAM contention counters, bumped relaxed (lost increments
+// acceptable, like BlockAllocStats).  These diagnose cross-mount pressure
+// from stats alone: claim_cas_retries counts hints another mount claimed
+// first (the on-media flag CAS lost), stripe_steals counts pops the home
+// stripe could not serve.
+struct ObjAllocStats {
+  std::atomic<std::uint64_t> claim_cas_retries{0};
+  std::atomic<std::uint64_t> stripe_steals{0};
+};
+
 struct ObjectHeader {
   std::atomic<std::uint32_t> flags{0};
   std::uint32_t reserved = 0;
@@ -134,9 +144,19 @@ class ObjectAllocator {
   // (recovery, while peers wait on the mount registry's recovering token).
   void drop_volatile_cache();
 
-  // Switches the free cache to a shm-resident stack shared by all mounts.
-  // Call before the first alloc(); `stack` must outlive the allocator.
-  void attach_shared_cache(ObjCacheStack* stack) noexcept { stack_ = stack; }
+  // Switches the free cache to a shm-resident striped stack shared by all
+  // mounts.  `mount_token` picks this mount's home stripe (other stripes
+  // are touched only to steal/spill).  Call before the first alloc();
+  // `stack` must outlive the allocator.
+  void attach_shared_cache(ObjCacheStack* stack,
+                           std::uint64_t mount_token) noexcept {
+    stack_ = stack;
+    home_stripe_ = static_cast<unsigned>(
+        (mount_token * 0x9e3779b97f4a7c15ull >> 56) % kObjCacheStripes);
+  }
+  [[nodiscard]] unsigned home_stripe() const noexcept { return home_stripe_; }
+
+  ObjAllocStats& stats() noexcept { return *stats_; }
 
   // Lease for the shared stack's spinlock steals; mirrors the block
   // allocator's lease (FileSystem::set_lease_ns fans out to both).
@@ -173,7 +193,10 @@ class ObjectAllocator {
   std::unique_ptr<std::mutex> cache_mu_ = std::make_unique<std::mutex>();
   std::vector<std::uint64_t> cache_;
   ObjCacheStack* stack_ = nullptr;
+  unsigned home_stripe_ = 0;
   std::uint64_t lease_ns_ = 100'000'000;  // 100 ms
+  // Heap-held so the allocator stays movable.
+  std::unique_ptr<ObjAllocStats> stats_ = std::make_unique<ObjAllocStats>();
 };
 
 }  // namespace simurgh::alloc

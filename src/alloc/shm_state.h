@@ -25,10 +25,22 @@
 //     the object again later); an empty one sends the caller to the refill
 //     scan.
 //
+// Sharding (NOVA-style per-CPU partitioning, ported to the cross-mount
+// tier): one spinlocked LIFO per pool serialises every mount behind a
+// single cache line, so the per-pool stack is striped into kObjCacheStripes
+// independent, cache-line-aligned stripes.  Each mount homes on one stripe
+// (chosen from its attachment token) and touches the others only to steal
+// on a miss or spill on overflow — two mounts on different stripes never
+// share an allocator cache line on the hot path.  Reservation slots get the
+// same treatment: the slot array is carved into per-mount home ranges so
+// slot claims scan (and CAS-collide over) kShmReserveSlots/kShmReserveHomes
+// slots instead of the whole table.
+//
 // Everything here is volatile: a fresh boot reformats the shm device and
 // recovery re-derives all of it from NVMM.
 #pragma once
 
+#include <sched.h>
 #include <time.h>
 
 #include <atomic>
@@ -54,10 +66,14 @@ inline std::uint64_t shm_self_token() noexcept {
 // Spin-acquires a lease-stamped shm spinlock.  The critical sections behind
 // these locks are a handful of loads/stores, so a holder whose lease
 // expired can only be a process that died inside one — steal, exactly like
-// allocator segment locks.
+// allocator segment locks.  After a short pause burst the waiter yields the
+// CPU: the holder may be a *descheduled* peer process (single-core boxes,
+// oversubscribed machines), and burning the rest of a scheduler quantum on
+// pause only delays the release being waited for.
 inline void shm_spin_lock(std::atomic<std::uint64_t>& lock,
                           std::atomic<std::uint64_t>& stamp_ns,
                           std::uint64_t self, std::uint64_t lease_ns) noexcept {
+  unsigned spins = 0;
   for (;;) {
     std::uint64_t expected = 0;
     if (lock.compare_exchange_weak(expected, self,
@@ -73,9 +89,13 @@ inline void shm_spin_lock(std::atomic<std::uint64_t>& lock,
         return;
       }
     }
+    if (++spins < 64) {
 #if defined(__x86_64__)
-    __builtin_ia32_pause();
+      __builtin_ia32_pause();
 #endif
+    } else {
+      ::sched_yield();
+    }
   }
 }
 
@@ -89,8 +109,10 @@ inline void shm_spin_unlock(std::atomic<std::uint64_t>& lock,
 
 // One thread's block reservation, visible to every mount.  `mount` is the
 // owning FileSystem's attachment token (0 = slot free); a survivor that
-// declares that mount dead reclaims the slot under the slot lock.
-struct ShmReservation {
+// declares that mount dead reclaims the slot under the slot lock.  Padded
+// to a cache line: the slot spinlock is CASed on every reserved allocation,
+// and two adjacent threads' slots must not false-share.
+struct alignas(64) ShmReservation {
   std::atomic<std::uint64_t> lock{0};           // spinlock owner token
   std::atomic<std::uint64_t> lock_stamp_ns{0};  // lease stamp for steals
   std::atomic<std::uint64_t> mount{0};          // owning mount token
@@ -98,8 +120,22 @@ struct ShmReservation {
   std::atomic<std::uint64_t> dev_off{0};        // next block to hand out
   std::atomic<std::uint64_t> n{0};              // blocks remaining
 };
+static_assert(sizeof(ShmReservation) == 64);
 
 constexpr unsigned kShmReserveSlots = 256;
+// Home ranges: slot claims start inside the mount's own 1/kShmReserveHomes
+// of the table and wrap only when it is exhausted, so mounts stop scanning
+// (and CAS-colliding over) one shared prefix of the array.
+constexpr unsigned kShmReserveHomes = 8;
+constexpr unsigned kShmReserveHomeSlots = kShmReserveSlots / kShmReserveHomes;
+static_assert(kShmReserveSlots % kShmReserveHomes == 0);
+
+inline unsigned shm_reserve_home(std::uint64_t mount_token) noexcept {
+  // Attachment tokens are clock-derived odd numbers; mix before reducing so
+  // near-simultaneous attaches do not pile onto one home range.
+  return static_cast<unsigned>((mount_token * 0x9e3779b97f4a7c15ull >> 56) %
+                               kShmReserveHomes);
+}
 
 inline void lock_reservation(ShmReservation& r, std::uint64_t self,
                              std::uint64_t lease_ns) noexcept {
@@ -110,67 +146,42 @@ inline void unlock_reservation(ShmReservation& r, std::uint64_t self) noexcept {
   shm_spin_unlock(r.lock, self);
 }
 
-// Bounded LIFO stack of free-object offsets, one per pool, guarded by a
-// lease-stamped spinlock.  Entries are hints: the popper must still win the
-// on-media flag CAS, so the worst a lease steal from a *stalled* (not dead)
-// holder can do is duplicate or drop a hint — pop() additionally discards
-// a zero read so a torn `n` can never surface offset 0 as an object.
-constexpr std::uint32_t kObjCacheSlots = 4096;  // per pool
+// One stripe of a pool's free-object cache: a bounded LIFO guarded by its
+// own lease-stamped spinlock, aligned so stripes never share a cache line.
+// Entries are hints: the popper must still win the on-media flag CAS, so
+// the worst a lease steal from a *stalled* (not dead) holder can do is
+// duplicate or drop a hint — pops additionally discard zero reads so a torn
+// `n` can never surface offset 0 as an object.
+constexpr unsigned kObjCacheStripes = 8;
+constexpr std::uint32_t kObjCacheStripeSlots = 512;  // per stripe
+// Total capacity matches the pre-striping single stack (4096 per pool).
+constexpr std::uint32_t kObjCacheSlots =
+    kObjCacheStripes * kObjCacheStripeSlots;
 
-struct ObjCacheStack {
+struct alignas(64) ObjCacheStripe {
   std::atomic<std::uint64_t> lock{0};
   std::atomic<std::uint64_t> lock_stamp_ns{0};
-  // Identity stamp, renewed on every reset.  Thread-local magazines
-  // (obj_alloc.cc) remember it and self-invalidate when it moves — both
-  // after recovery and when a torn-down file system's heap address is
-  // reused by a fresh one, where stale DRAM hints would otherwise point
-  // into an unrelated device image.
-  std::atomic<std::uint64_t> epoch{0};
   std::atomic<std::uint32_t> n{0};
-  std::atomic<std::uint64_t> slots[kObjCacheSlots];
+  std::atomic<std::uint64_t> slots[kObjCacheStripeSlots];
 
-  // Quiescent re-initialisation (shm format, recovery).
   void reset() noexcept {
     lock.store(0, std::memory_order_relaxed);
     lock_stamp_ns.store(0, std::memory_order_relaxed);
     n.store(0, std::memory_order_relaxed);
     for (auto& s : slots) s.store(0, std::memory_order_relaxed);
-    epoch.store(shm_clock_ns(), std::memory_order_release);
-    std::atomic_thread_fence(std::memory_order_release);
   }
 
-  bool push(std::uint64_t off_v, std::uint64_t self,
-            std::uint64_t lease_ns) noexcept {
-    shm_spin_lock(lock, lock_stamp_ns, self, lease_ns);
-    const std::uint32_t i = n.load(std::memory_order_relaxed);
-    const bool ok = i < kObjCacheSlots;
-    if (ok) {
-      slots[i].store(off_v, std::memory_order_relaxed);
-      n.store(i + 1, std::memory_order_relaxed);
-    }
-    shm_spin_unlock(lock, self);
-    return ok;  // full: dropped, a refill scan finds the object again
+  // Unsynchronised peek; callers treat the answer as a hint (a stripe can
+  // drain or fill between the load and the lock).
+  [[nodiscard]] bool looks_empty() const noexcept {
+    return n.load(std::memory_order_relaxed) == 0;
+  }
+  [[nodiscard]] bool looks_full() const noexcept {
+    return n.load(std::memory_order_relaxed) >= kObjCacheStripeSlots;
   }
 
-  bool pop(std::uint64_t& off_v, std::uint64_t self,
-           std::uint64_t lease_ns) noexcept {
-    shm_spin_lock(lock, lock_stamp_ns, self, lease_ns);
-    const std::uint32_t i = n.load(std::memory_order_relaxed);
-    bool ok = i > 0;
-    if (ok) {
-      off_v = slots[i - 1].load(std::memory_order_relaxed);
-      n.store(i - 1, std::memory_order_relaxed);
-      ok = off_v != 0;
-    }
-    shm_spin_unlock(lock, self);
-    return ok;
-  }
-
-  // Batched transfers amortise the lock: one acquisition moves up to `max`
-  // hints to/from a caller-local magazine (obj_alloc.cc).  Order is kept
-  // LIFO end-to-end — out[0] is the most recently freed object.
-  unsigned pop_batch(std::uint64_t* out, unsigned max, std::uint64_t self,
-                     std::uint64_t lease_ns) noexcept {
+  unsigned pop_some(std::uint64_t* out, unsigned max, std::uint64_t self,
+                    std::uint64_t lease_ns) noexcept {
     shm_spin_lock(lock, lock_stamp_ns, self, lease_ns);
     std::uint32_t i = n.load(std::memory_order_relaxed);
     unsigned got = 0;
@@ -183,16 +194,83 @@ struct ObjCacheStack {
     return got;
   }
 
-  unsigned push_batch(const std::uint64_t* in, unsigned count,
-                      std::uint64_t self, std::uint64_t lease_ns) noexcept {
+  unsigned push_some(const std::uint64_t* in, unsigned count,
+                     std::uint64_t self, std::uint64_t lease_ns) noexcept {
     shm_spin_lock(lock, lock_stamp_ns, self, lease_ns);
     std::uint32_t i = n.load(std::memory_order_relaxed);
     unsigned put = 0;
-    while (put < count && i < kObjCacheSlots)
+    while (put < count && i < kObjCacheStripeSlots)
       slots[i++].store(in[put++], std::memory_order_relaxed);
     n.store(i, std::memory_order_relaxed);
     shm_spin_unlock(lock, self);
-    return put;  // the rest is dropped: a refill scan finds it again
+    return put;
+  }
+};
+
+// A pool's striped free-object cache: kObjCacheStripes independent LIFOs.
+// Every operation names a *home* stripe (the caller's mount affinity); the
+// other stripes are touched only to steal on a miss or spill on overflow,
+// in ascending distance from home so neighbours absorb imbalance first.
+// LIFO order is preserved within a stripe, which is where it matters — a
+// mount recycles through its own home stripe, so its just-freed object is
+// still the next one it is handed.
+struct ObjCacheStack {
+  // Identity stamp, renewed on every reset.  Thread-local magazines
+  // (obj_alloc.cc) remember it and self-invalidate when it moves — both
+  // after recovery and when a torn-down file system's heap address is
+  // reused by a fresh one, where stale DRAM hints would otherwise point
+  // into an unrelated device image.  Set-level: a reset quiesces every
+  // stripe at once.
+  std::atomic<std::uint64_t> epoch{0};
+  ObjCacheStripe stripes[kObjCacheStripes];
+
+  // Quiescent re-initialisation (shm format, recovery).
+  void reset() noexcept {
+    for (auto& s : stripes) s.reset();
+    epoch.store(shm_clock_ns(), std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  // Pops up to `max` hints, home stripe first, stealing from the others in
+  // ring order on a miss.  `steals` (optional) counts pops that had to
+  // leave the home stripe.
+  unsigned pop_batch(std::uint64_t* out, unsigned max, unsigned home,
+                     std::uint64_t self, std::uint64_t lease_ns,
+                     std::uint64_t* steals = nullptr) noexcept {
+    for (unsigned d = 0; d < kObjCacheStripes; ++d) {
+      ObjCacheStripe& s = stripes[(home + d) % kObjCacheStripes];
+      if (d > 0 && s.looks_empty()) continue;  // skip the lock on a dry peer
+      const unsigned got = s.pop_some(out, max, self, lease_ns);
+      if (got > 0) {
+        if (d > 0 && steals != nullptr) *steals += got;
+        return got;
+      }
+    }
+    return 0;
+  }
+
+  bool pop(std::uint64_t& off_v, unsigned home, std::uint64_t self,
+           std::uint64_t lease_ns, std::uint64_t* steals = nullptr) noexcept {
+    return pop_batch(&off_v, 1, home, self, lease_ns, steals) == 1;
+  }
+
+  // Pushes up to `count` hints into the home stripe, spilling overflow to
+  // the neighbours.  Returns how many were accepted; the rest is dropped —
+  // a refill scan finds those objects again.
+  unsigned push_batch(const std::uint64_t* in, unsigned count, unsigned home,
+                      std::uint64_t self, std::uint64_t lease_ns) noexcept {
+    unsigned put = 0;
+    for (unsigned d = 0; d < kObjCacheStripes && put < count; ++d) {
+      ObjCacheStripe& s = stripes[(home + d) % kObjCacheStripes];
+      if (s.looks_full()) continue;
+      put += s.push_some(in + put, count - put, self, lease_ns);
+    }
+    return put;
+  }
+
+  bool push(std::uint64_t off_v, unsigned home, std::uint64_t self,
+            std::uint64_t lease_ns) noexcept {
+    return push_batch(&off_v, 1, home, self, lease_ns) == 1;
   }
 };
 

@@ -30,6 +30,7 @@ FileSystem::~FileSystem() { stop_heartbeat_thread(); }
 void FileSystem::start_heartbeat_thread() {
   hb_stop_ = false;
   hb_thread_ = std::thread([this] {
+    unsigned round = 0;
     std::unique_lock<std::mutex> lk(hb_mutex_);
     for (;;) {
       // Re-read the lease each round: tests shrink it mid-run and
@@ -42,6 +43,15 @@ void FileSystem::start_heartbeat_thread() {
       });
       if (hb_stop_) return;
       if (!registry_->heartbeat(attachment_)) registry_->reattach(attachment_);
+      // Dead-peer reap, wall-clock-paced (~once per lease) so the data
+      // path never walks the registry or the lock table.  Deferred until
+      // the mount is fully constructed: recovery may still be running
+      // between attach and make_walker().
+      if (++round % 4 == 0 && coord_ready_.load(std::memory_order_acquire)) {
+        lk.unlock();
+        reap_dead_mounts();
+        lk.lock();
+      }
     }
   });
 }
@@ -155,7 +165,8 @@ std::unique_ptr<FileSystem> FileSystem::format(nvmm::Device& nvmm,
   auto& shared = reinterpret_cast<ShmHeader*>(shm.base())->alloc_shared;
   fs->blocks_->attach_shared_state(&shared, fs->attachment_.token);
   for (unsigned i = 0; i < kNumPools; ++i)
-    fs->pools_[i]->attach_shared_cache(&shared.obj_stacks[i]);
+    fs->pools_[i]->attach_shared_cache(&shared.obj_stacks[i],
+                                       fs->attachment_.token);
 
   // Root directory.
   auto ino_off = fs->pools_[kPoolInode]->alloc();
@@ -181,6 +192,7 @@ std::unique_ptr<FileSystem> FileSystem::format(nvmm::Device& nvmm,
 
   fs->make_walker();
   fs->register_protected_functions();
+  fs->coord_ready_.store(true, std::memory_order_release);
   return fs;
 }
 
@@ -216,7 +228,8 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
   auto& shared = reinterpret_cast<ShmHeader*>(shm.base())->alloc_shared;
   fs->blocks_->attach_shared_state(&shared, fs->attachment_.token);
   for (unsigned i = 0; i < kNumPools; ++i)
-    fs->pools_[i]->attach_shared_cache(&shared.obj_stacks[i]);
+    fs->pools_[i]->attach_shared_cache(&shared.obj_stacks[i],
+                                       fs->attachment_.token);
   fs->root_off_ = sb.root.load().raw();
   fs->make_walker();
   fs->register_protected_functions();
@@ -235,8 +248,13 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
     fs->recover();
     fs->registry_->finish_recovery(fs->attachment_);
   }
+  for (unsigned i = 0; i < kCacheGenShards; ++i)
+    fs->shard_gen_seen_[i].store(
+        sb.cache_shards[i].gen.load(std::memory_order_acquire),
+        std::memory_order_relaxed);
   fs->cache_gen_seen_.store(sb.cache_gen.load(std::memory_order_acquire),
                             std::memory_order_relaxed);
+  fs->coord_ready_.store(true, std::memory_order_release);
   return fs;
 }
 
@@ -269,26 +287,41 @@ void FileSystem::unmount() {
   unmounted_ = true;
 }
 
-void FileSystem::poll_coordination_slow(std::uint64_t tick,
-                                        std::uint64_t gen) {
-  // Opportunistic heartbeat, amortised off the hot path.  Liveness is the
-  // background heartbeat thread's job (wall-clock-paced at ~lease/4); this
-  // just keeps a busy mount's stamp extra fresh.  A mount a peer falsely
-  // lease-reaped anyway (stalled, not dead) simply rejoins — its durable
-  // writes were always safe, the two-bit protocol and busy-lock steals
-  // cover them.
-  if ((tick & 63u) == 0) {
-    if (!registry_->heartbeat(attachment_)) registry_->reattach(attachment_);
+void FileSystem::poll_coordination_slow(std::uint64_t gen) {
+  // A peer published an invalidation (recovery or lease reclaim).  Diff
+  // the per-shard generations against what this mount last consumed and
+  // drop only the DRAM views those shards could hold.  Serialised on a
+  // mount-private mutex: concurrent op threads that raced onto the slow
+  // path wait here, then see cache_gen_seen_ already caught up.
+  (void)gen;  // re-read under the mutex; the caller's load may be stale
+  std::lock_guard<std::mutex> lk(coord_mu_);
+  Superblock& s = sb();
+  const std::uint64_t cur = s.cache_gen.load(std::memory_order_acquire);
+  if (cur == cache_gen_seen_.load(std::memory_order_relaxed)) return;
+  std::uint64_t mask = 0;
+  for (unsigned i = 0; i < kCacheGenShards; ++i) {
+    const std::uint64_t g =
+        s.cache_shards[i].gen.load(std::memory_order_acquire);
+    if (g != shard_gen_seen_[i].load(std::memory_order_relaxed)) {
+      mask |= 1ull << i;
+      shard_gen_seen_[i].store(g, std::memory_order_relaxed);
+    }
   }
-  std::uint64_t seen = cache_gen_seen_.load(std::memory_order_relaxed);
-  if (gen != seen && cache_gen_seen_.compare_exchange_strong(
-                         seen, gen, std::memory_order_acq_rel)) {
-    lookup_cache_->clear();
+  if (mask != 0) {
+    lookup_cache_->invalidate_shards(mask);
+    extent_cache_->invalidate_shards(mask);
+    // Whole-path entries chain through many directories, so any affected
+    // shard can poison a chain: the small table is dropped wholesale.
     path_cache_->clear();
-    extent_cache_->clear();
+    shard_invalidations_.fetch_add(
+        static_cast<std::uint64_t>(__builtin_popcountll(mask)),
+        std::memory_order_relaxed);
   }
-  // Amortised dead-peer scan; tests reclaim eagerly via reap_dead_mounts().
-  if ((tick & 511u) == 511u) reap_dead_mounts();
+  // An empty mask is a benign wake: a racing slow path on this mount
+  // already consumed the shard bumps, or a writer's shard bump was picked
+  // up early (shards move before the summary) — either way the caches are
+  // already consistent with everything `cur` announces.
+  cache_gen_seen_.store(cur, std::memory_order_relaxed);
 }
 
 ReapReport FileSystem::reap_dead_mounts() {
@@ -296,20 +329,53 @@ ReapReport FileSystem::reap_dead_mounts() {
   r.mounts = registry_->reap_dead(attachment_, [&](std::uint64_t tok) {
     r.reserved_blocks += blocks_->reclaim_mount_reservations(tok);
   });
-  if (r.mounts == 0) return r;
-  r.file_locks = locks_->sweep_expired();
+  const std::uint64_t now = wall_ns();
+  if (r.mounts > 0) {
+    // The victim's lock-lease stamps can be YOUNGER than the registry
+    // stamp that just expired (it heartbeat last before taking the locks
+    // it died holding), so the sweep below may find nothing yet.  Every
+    // stamp the victim left predates this reap, though, so a sweep that
+    // STARTS one lease from now is guaranteed final: leave a sweep debt
+    // that only such a mature sweep clears.
+    lock_sweep_due_ns_.store(now + registry_->lease_ns(),
+                             std::memory_order_relaxed);
+  }
+  std::uint64_t due = lock_sweep_due_ns_.load(std::memory_order_relaxed);
+  if (r.mounts == 0 && due == 0) return r;  // no dead slot, no debt
+  if (due != 0 && now >= due) {
+    // Mature debt: this sweep will see every victim stamp expired, so
+    // retire it (CAS so a concurrent reap that just re-armed the debt is
+    // not erased).  Immature debt sweeps too — whatever has expired so
+    // far is reclaimed promptly — and stays armed for the final pass.
+    lock_sweep_due_ns_.compare_exchange_strong(due, 0,
+                                               std::memory_order_relaxed);
+  }
+  std::uint64_t mask = 0;
+  r.file_locks = locks_->sweep_expired(&mask);
   r.segment_locks = blocks_->reap_expired_segment_locks();
   mount_reclaims_.fetch_add(r.mounts, std::memory_order_relaxed);
-  // The dead peer may have died mid-mutation with locks now released;
-  // every mount's DRAM view (ours included) must revalidate against NVMM.
-  Superblock& s = sb();
-  const std::uint64_t gen =
-      s.cache_gen.fetch_add(1, std::memory_order_acq_rel) + 1;
-  nvmm::persist_now(s.cache_gen);
-  cache_gen_seen_.store(gen, std::memory_order_relaxed);
-  lookup_cache_->clear();
-  path_cache_->clear();
-  extent_cache_->clear();
+  reap_blocks_.fetch_add(r.reserved_blocks, std::memory_order_relaxed);
+  reap_file_locks_.fetch_add(r.file_locks, std::memory_order_relaxed);
+  reap_segment_locks_.fetch_add(r.segment_locks, std::memory_order_relaxed);
+  // The dead peer may have died mid-mutation of the inodes whose locks we
+  // just swept; name their shards so every mount (ours included) drops
+  // exactly the DRAM views that could hold them.  Objects it touched
+  // WITHOUT a visible lock need no bump: directory walks are epoch-
+  // validated (a death mid-EpochGuard leaves the epoch odd, so cached
+  // entries stop validating), and its reservation blocks were never
+  // reachable.  Shards first, summary second — a reader woken by the
+  // summary then provably sees every shard bump it announces.
+  if (mask != 0) {
+    Superblock& s = sb();
+    for (unsigned i = 0; i < kCacheGenShards; ++i) {
+      if ((mask & (1ull << i)) == 0) continue;
+      s.cache_shards[i].gen.fetch_add(1, std::memory_order_acq_rel);
+      nvmm::persist_now(s.cache_shards[i].gen);
+    }
+    s.cache_gen.fetch_add(1, std::memory_order_acq_rel);
+    nvmm::persist_now(s.cache_gen);
+    poll_coordination_slow(0);  // catch our own caches up, selectively
+  }
   return r;
 }
 
@@ -358,6 +424,16 @@ FsStat FileSystem::fsstat() {
   st.lock_lease_steals = fl.lease_steals.load(std::memory_order_relaxed);
   st.mounts_attached = registry_ ? registry_->attached_mounts() : 0;
   st.mount_reclaims = mount_reclaims_.load(std::memory_order_relaxed);
+  for (auto& p : pools_) {
+    const alloc::ObjAllocStats& os = p->stats();
+    st.obj_cas_retries +=
+        os.claim_cas_retries.load(std::memory_order_relaxed);
+    st.obj_stripe_steals += os.stripe_steals.load(std::memory_order_relaxed);
+  }
+  st.reserve_slot_probes =
+      blocks_->stats().reserve_slot_probes.load(std::memory_order_relaxed);
+  st.shard_invalidations =
+      shard_invalidations_.load(std::memory_order_relaxed);
   return st;
 }
 

@@ -93,6 +93,13 @@ struct FsStat {
   // peers THIS mount has lease-reclaimed.
   std::uint64_t mounts_attached = 0;
   std::uint64_t mount_reclaims = 0;
+  // Cross-mount contention telemetry (this mount's view).  All four should
+  // stay near zero on a well-sharded system; growth pinpoints which shared
+  // structure mounts are colliding on.
+  std::uint64_t obj_cas_retries = 0;      // lost object-claim CAS races
+  std::uint64_t obj_stripe_steals = 0;    // free-obj pops off foreign stripes
+  std::uint64_t reserve_slot_probes = 0;  // reservation-slot scan length
+  std::uint64_t shard_invalidations = 0;  // cache shards this mount dropped
 };
 
 // What a survivor's dead-peer reclaim recovered (reap_dead_mounts()).
@@ -145,31 +152,42 @@ class FileSystem {
   RecoveryReport recover();
 
   // ---- multi-mount coordination (§4 "fully decentralized") ----
-  // Called at the top of every Process operation: drops the DRAM caches
-  // when the superblock's cache_gen moved (a peer ran recovery or a lease
-  // reclaim), opportunistically refreshes this mount's registry heartbeat,
-  // and periodically scans for expired peers.  Liveness does NOT depend on
-  // this being called: the background heartbeat thread (started at attach)
-  // bounds the heartbeat cadence in wall-clock time, so an idle or slow
-  // mount never reads as dead to its peers.  The body is inline so the
-  // common case — nothing to do — costs a handful of plain loads on the
-  // hot path; the tick increment is racy by design (it only paces the
-  // opportunistic heartbeats and reap scans, so lost or doubled ticks are
-  // harmless).
+  // Called at the top of every Process operation: invalidates the DRAM
+  // caches (selectively, by shard) when the superblock's summary cache_gen
+  // moved — a peer ran recovery or a lease reclaim.  That is ALL the data
+  // path does now: heartbeats and dead-peer reaping are wall-clock-paced
+  // on the background heartbeat thread (started at attach), so an idle or
+  // slow mount never reads as dead to its peers and a busy one pays
+  // exactly one acquire load of a read-mostly cache line per operation.
   void poll_coordination() {
     if (registry_ == nullptr || unmounted_) return;
-    const std::uint64_t tick = poll_tick_.load(std::memory_order_relaxed);
-    poll_tick_.store(tick + 1, std::memory_order_relaxed);
     const std::uint64_t gen = sb().cache_gen.load(std::memory_order_acquire);
-    if ((tick & 63u) == 0 ||
-        gen != cache_gen_seen_.load(std::memory_order_relaxed))
-      poll_coordination_slow(tick, gen);
+    if (gen != cache_gen_seen_.load(std::memory_order_relaxed))
+      poll_coordination_slow(gen);
   }
   // Reclaims every peer whose heartbeat lease expired: its stranded block
   // reservations, expired file locks and segment leases return to service
-  // without a remount.  Any victim bumps the superblock cache_gen so all
-  // mounts (this one included) drop stale DRAM views.
+  // without a remount.  A victim that held file locks bumps the per-shard
+  // cache generations of the swept inodes (then the summary cache_gen), so
+  // every mount — this one included — drops exactly the DRAM views that
+  // could hold the affected objects; a victim that held nothing visible
+  // bumps nothing.
   ReapReport reap_dead_mounts();
+  // Cumulative totals of every reap this mount performed — explicit calls
+  // AND the background heartbeat thread's periodic scans.  Tests assert on
+  // these: with reaping hoisted onto the heartbeat thread, an explicit
+  // call racing the background scan can legitimately find nothing left.
+  [[nodiscard]] ReapReport reap_totals() const noexcept {
+    ReapReport r;
+    r.mounts = static_cast<unsigned>(
+        mount_reclaims_.load(std::memory_order_relaxed));
+    r.reserved_blocks = reap_blocks_.load(std::memory_order_relaxed);
+    r.file_locks = static_cast<unsigned>(
+        reap_file_locks_.load(std::memory_order_relaxed));
+    r.segment_locks = static_cast<unsigned>(
+        reap_segment_locks_.load(std::memory_order_relaxed));
+    return r;
+  }
   [[nodiscard]] MountRegistry& mount_registry() noexcept {
     return *registry_;
   }
@@ -261,11 +279,13 @@ class FileSystem {
   FileSystem(nvmm::Device& nvmm, nvmm::Device& shm);
   void attach_components(bool formatted, const FormatOptions& opts);
   void register_protected_functions();
-  void poll_coordination_slow(std::uint64_t tick, std::uint64_t gen);
+  void poll_coordination_slow(std::uint64_t gen);
   // Wall-clock heartbeat pacing (~lease/4): op-driven polling alone stops
   // when the mount goes idle, which must not read as death — peers would
   // reap the live mount and a fresh attacher would become first-in and run
-  // recovery concurrently with its operations.  The thread's shm side
+  // recovery concurrently with its operations.  The same thread paces the
+  // dead-peer reap scan (once per lease), so the data path never walks the
+  // registry or the lock table.  The thread's shm side
   // (heartbeat/reattach) is lock-free, so fork()ed children sharing this
   // mount's slot can never inherit a locked process-private mutex from it.
   void start_heartbeat_thread();
@@ -285,10 +305,28 @@ class FileSystem {
   std::condition_variable hb_cv_;
   bool hb_stop_ = false;           // guarded by hb_mutex_
   std::uint64_t hb_wake_gen_ = 0;  // guarded by hb_mutex_; bumped to re-pace
-  // Last superblock cache_gen this mount synchronised its DRAM caches to.
+  // Last superblock cache_gen this mount synchronised its DRAM caches to,
+  // plus the per-shard generations consumed at that point.  The slow path
+  // (summary moved) serialises on coord_mu_, diffs the shard generations
+  // against shard_gen_seen_ and invalidates only the shards that moved.
   std::atomic<std::uint64_t> cache_gen_seen_{0};
-  std::atomic<std::uint64_t> poll_tick_{0};
+  std::mutex coord_mu_;
+  std::atomic<std::uint64_t> shard_gen_seen_[kCacheGenShards] = {};
+  std::atomic<std::uint64_t> shard_invalidations_{0};
   std::atomic<std::uint64_t> mount_reclaims_{0};
+  std::atomic<std::uint64_t> reap_blocks_{0};
+  std::atomic<std::uint64_t> reap_file_locks_{0};
+  std::atomic<std::uint64_t> reap_segment_locks_{0};
+  // Outstanding lock-sweep debt (wall-clock ns; 0 = none): a victim's
+  // registry stamp ages from its last heartbeat, but its lock stamps age
+  // from the (later) acquisitions it died holding, so the sweep riding
+  // the slot reap can run before those leases expire.  reap_dead_mounts
+  // re-sweeps once the debt matures (one lease past the reap, by which
+  // time every stamp the victim left has aged out).
+  std::atomic<std::uint64_t> lock_sweep_due_ns_{0};
+  // The heartbeat thread starts before the DRAM caches exist (recovery may
+  // run between attach and make_walker); it only reaps once this flips.
+  std::atomic<bool> coord_ready_{false};
 
   std::unique_ptr<alloc::BlockAllocator> blocks_;
   std::unique_ptr<alloc::ObjectAllocator> pools_[kNumPools];

@@ -54,6 +54,28 @@ constexpr std::uint64_t kFileEntryPayload = 312;  // stride 320
 constexpr std::uint64_t kDirBlockPayload = 4088;  // stride 4096
 constexpr std::uint64_t kExtentPayload = 4088;    // stride 4096
 
+// Cross-mount cache-invalidation shards.  The single cache_gen counter was
+// one cache line every mount's hot path polled AND every reclaim RMWed —
+// and it shared that line with the epoch-generation counters below, which
+// are RMWed on every create/unlink.  Each shard now owns a cache line; an
+// invalidation names only the shards whose inode offsets it touched, so one
+// mount's reclaim no longer wipes caches that could not hold the affected
+// objects.
+constexpr unsigned kCacheGenShards = 8;
+
+struct alignas(64) CacheGenShard {
+  std::atomic<std::uint64_t> gen{0};
+};
+static_assert(sizeof(CacheGenShard) == 64);
+
+// Shard owning device offset `off` (inode identity IS its offset).  Bits
+// below 12 are intra-page and mostly constant across pool strides; the
+// page number spreads offsets evenly.
+inline unsigned cache_shard_of(std::uint64_t off) noexcept {
+  return static_cast<unsigned>((off >> 12) & (kCacheGenShards - 1));
+}
+constexpr std::uint64_t kAllCacheShards = (1ull << kCacheGenShards) - 1;
+
 struct Superblock {
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
@@ -71,20 +93,27 @@ struct Superblock {
   // directory advances it past the dead directory's final epoch
   // (DirOps::retire_dir_epoch), so a recycled offset can never replay an
   // epoch value some DRAM cache entry was filled against (lookup_cache.h).
-  std::atomic<std::uint64_t> dir_epoch_gen{0};
+  // Cache-line isolated: this counter is RMWed by every mkdir/rmdir on
+  // every mount, and must not share a line with anything the read path
+  // polls (cache_gen) or the other epoch source.
+  alignas(64) std::atomic<std::uint64_t> dir_epoch_gen{0};
   // Same construction for *file* extent-map epochs (Inode::ext_epoch,
   // extent_cache.h): new regular files stamp their epoch from here
   // (Process::create_file) and dropping a file's last link advances the
   // counter past the dead file's final epoch (Process::drop_inode), closing
   // the recycled-inode-offset ABA for the DRAM extent cache.
-  std::atomic<std::uint64_t> file_epoch_gen{0};
-  // Cross-mount cache-invalidation generation.  recover() and a survivor's
-  // dead-mount reclaim bump it (those paths recycle objects without going
-  // through the per-directory / per-file epoch retirement); every mount
-  // polls it on entry to an operation and drops its private DRAM caches
-  // (LookupCache, PathCache, ExtentCache) when it moved.  NVMM-resident so
-  // peer mounts — separate processes — observe the bump.
-  std::atomic<std::uint64_t> cache_gen{0};
+  alignas(64) std::atomic<std::uint64_t> file_epoch_gen{0};
+  // Cross-mount cache-invalidation summary generation.  recover() and a
+  // survivor's dead-mount reclaim bump it (those paths recycle objects
+  // without going through the per-directory / per-file epoch retirement);
+  // every mount polls it on entry to an operation (the ONLY cross-mount
+  // line the fast path reads) and, when it moved, consults the per-shard
+  // generations below to invalidate selectively.  Writers bump the
+  // affected cache_shards[] entries FIRST, then this summary — readers that
+  // observe the summary move therefore see every shard bump it announces.
+  // NVMM-resident so peer mounts — separate processes — observe the bumps.
+  alignas(64) std::atomic<std::uint64_t> cache_gen{0};
+  CacheGenShard cache_shards[kCacheGenShards];
 };
 static_assert(sizeof(Superblock) <= 4096);
 
@@ -105,11 +134,14 @@ struct FileLock {
 // released at clean unmount.  A slot whose heartbeat exceeded the mount
 // lease is a dead mount: any survivor may reclaim its cross-process state
 // (file locks, segment locks, block reservations) and clear the slot.
-struct MountSlot {
+// Padded to a cache line: every mount CASes its own slot's heartbeat at
+// ~lease/4, and 24-byte slots put adjacent mounts' heartbeats on one line.
+struct alignas(64) MountSlot {
   std::atomic<std::uint64_t> token{0};  // 0 = free
   std::atomic<std::uint64_t> heartbeat_ns{0};
   std::atomic<std::uint64_t> attach_gen{0};
 };
+static_assert(sizeof(MountSlot) == 64);
 
 constexpr unsigned kMaxMountSlots = 64;
 

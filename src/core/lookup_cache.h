@@ -91,6 +91,12 @@ class LookupCache {
   // Drops every entry (tests; also cheap enough for recovery paths).
   void clear() noexcept;
 
+  // Selective cross-mount invalidation (layout.h cache_shard_of): drops
+  // only entries whose parent directory OR bound inode falls in a shard
+  // named by `shard_mask` (bit i = shard i).  A peer's reclaim names the
+  // shards of the objects it recycled; entries provably elsewhere survive.
+  void invalidate_shards(std::uint64_t shard_mask) noexcept;
+
   [[nodiscard]] LookupCacheStats stats() const noexcept;
   void reset_stats() noexcept;
 

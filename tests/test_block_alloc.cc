@@ -151,8 +151,10 @@ TEST_F(BlockAllocTest, LeaseStealRecoversCrashedHolder) {
   // directly, then verify a short lease lets another caller steal it.
   alloc_.set_lease_ns(1'000'000);  // 1 ms
   auto* hdr = reinterpret_cast<BlockAllocHeader*>(dev_.at(kHeaderOff));
-  auto* segs = reinterpret_cast<SegmentHeader*>(dev_.at(kHeaderOff) +
-                                                sizeof(BlockAllocHeader));
+  // Segment headers start at the first cache line past the allocator
+  // header (block_alloc.h segments()).
+  auto* segs = reinterpret_cast<SegmentHeader*>(dev_.at(
+      (kHeaderOff + sizeof(BlockAllocHeader) + 63) / 64 * 64));
   for (std::uint64_t s = 0; s < hdr->n_segments; ++s) {
     segs[s].lock.owner.store(0xdeadbeef, std::memory_order_relaxed);
     segs[s].lock.last_accessed_ns.store(1, std::memory_order_relaxed);

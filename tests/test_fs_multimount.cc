@@ -128,9 +128,14 @@ TEST_F(MultiMountTest, DirtyPeerDeathForcesRecoveryOnNextEra) {
   pb_.reset();
   fs_b_.reset();
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  const core::ReapReport r = fs_a_->reap_dead_mounts();
-  EXPECT_EQ(r.mounts, 1u);
-  EXPECT_EQ(fs_a_->fsstat().mount_reclaims, 1u);
+  // A's background heartbeat thread may have reaped B already; the explicit
+  // call then finds nothing left, so the cumulative totals are the contract.
+  // >= rather than ==: under load B can stall past the 2 ms lease while
+  // still alive, get falsely reaped, reattach, and die — two legitimate
+  // reaps of one peer.
+  (void)fs_a_->reap_dead_mounts();
+  EXPECT_GE(fs_a_->reap_totals().mounts, 1u);
+  EXPECT_GE(fs_a_->fsstat().mount_reclaims, 1u);
   // A is now alone, but the era saw a dirty death: last-out must NOT mark
   // clean, so the next first-in runs full recovery.
   fs_a_->unmount();
@@ -241,9 +246,12 @@ TEST_F(MultiMountTest, RecoveryOnABumpsGenerationAndClearsBCaches) {
   EXPECT_EQ(read_all(b(), "/d/f"), "payload");
 }
 
-TEST_F(MultiMountTest, LeaseReclaimBumpsGenerationForSurvivors) {
-  // Three mounts: C dies dirty, A reaps it, and *B* (which did neither)
-  // must still learn to drop its caches via the superblock generation.
+TEST_F(MultiMountTest, LeaseReclaimWithoutHeldLocksKeepsSurvivorCaches) {
+  // Three mounts: C dies dirty, A reaps it.  C finished its write before
+  // dying — it held no file locks — so the reclaim names NO cache shards
+  // and bumps no generation: B's warm caches survive the reap and keep
+  // serving validated hits (the selective-invalidation upside; a peer that
+  // DOES die mid-mutation is covered by the storm test below).
   auto fs_c = core::FileSystem::mount(*nvmm_, *shm_);
   auto pc = fs_c->open_process(1000, 1000);
   fs_a_->set_lease_ns(2'000'000);
@@ -259,12 +267,15 @@ TEST_F(MultiMountTest, LeaseReclaimBumpsGenerationForSurvivors) {
   fs_c.reset();  // dies without unmount
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   // B sat idle past the lease too, so A may co-reap it (a false reap B
-  // transparently survives by reattaching); C is the guaranteed victim.
-  ASSERT_GE(fs_a_->reap_dead_mounts().mounts, 1u);
+  // transparently survives by reattaching); C is the guaranteed victim —
+  // though either survivor's background thread may claim the reap.
+  (void)fs_a_->reap_dead_mounts();
+  ASSERT_GE(fs_a_->reap_totals().mounts + fs_b_->reap_totals().mounts, 1u);
 
   const std::uint64_t h1 = fs_b_->fsstat().lookup_hits;
   ASSERT_TRUE(b().stat("/f").is_ok());
-  EXPECT_EQ(fs_b_->fsstat().lookup_hits, h1);  // B's caches were cleared
+  EXPECT_GT(fs_b_->fsstat().lookup_hits, h1);  // still warm: no shard moved
+  EXPECT_EQ(fs_b_->fsstat().shard_invalidations, 0u);
   EXPECT_EQ(read_all(b(), "/f"), "from c");
 }
 
@@ -280,8 +291,9 @@ TEST_F(MultiMountTest, SurvivorReclaimsDeadMountsBlockReservations) {
   pa_.reset();
   fs_a_.reset();  // dies without unmount, reservation stranded
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  const core::ReapReport r = fs_b_->reap_dead_mounts();
-  EXPECT_EQ(r.mounts, 1u);
+  (void)fs_b_->reap_dead_mounts();
+  const core::ReapReport r = fs_b_->reap_totals();
+  EXPECT_GE(r.mounts, 1u);  // >=: a falsely reaped, reattached A dies twice
   EXPECT_GT(r.reserved_blocks, 0u);
   // The stranded blocks went back to the free lists; accounting is exact
   // (free_blocks already counted reserve_unused, so the total is stable
@@ -371,10 +383,12 @@ TEST_F(MultiMountTest, KillOneMountStormSurvivorReclaimsAndImageChecksClean) {
   pa_.reset();
   fs_a_.reset();  // the rest of "process A" dies with it; no unmount
 
-  // Phase 3: B waits out the lease and reclaims everything A stranded.
+  // Phase 3: B waits out the lease and reclaims everything A stranded
+  // (its background heartbeat thread may beat the explicit call to it).
   std::this_thread::sleep_for(std::chrono::milliseconds(120));
-  const core::ReapReport r = fs_b_->reap_dead_mounts();
-  EXPECT_EQ(r.mounts, 1u);
+  (void)fs_b_->reap_dead_mounts();
+  const core::ReapReport r = fs_b_->reap_totals();
+  EXPECT_GE(r.mounts, 1u);  // >=: a falsely reaped, reattached A dies twice
   EXPECT_GT(r.reserved_blocks, 0u);   // stranded reservation chunks
   EXPECT_GE(r.file_locks, 1u);        // /doomed's exclusive lock
   EXPECT_GE(r.segment_locks, 1u);     // the lock held across the split
@@ -395,6 +409,86 @@ TEST_F(MultiMountTest, KillOneMountStormSurvivorReclaimsAndImageChecksClean) {
   EXPECT_TRUE(cr.ok()) << cr.summary();
   auto pc = fs_c->open_process(1000, 1000);
   EXPECT_EQ(pc->stat("/after")->size, 256u << 10);
+}
+
+// ---- striped free-object cache ----
+
+TEST_F(MultiMountTest, StripeStealsKeepServingUniqueInodesAfterPeerDeath) {
+  fs_a_->set_lease_ns(2'000'000);
+  fs_b_->set_lease_ns(2'000'000);
+  // Peer churn on its own thread (thread-local hint magazines die with
+  // it): create+unlink pushes ~10 magazine spills of freed inodes onto B's
+  // home stripe, where they sit when B is killed.
+  std::atomic<bool> failed{false};
+  std::thread churn([&] {
+    auto p = fs_b_->open_process(1000, 1000);
+    for (int i = 0; i < 200 && !failed; ++i) {
+      auto fd = p->open("/c" + std::to_string(i), kOpenCreate | kOpenWrite);
+      if (!fd.is_ok() || !p->close(*fd).is_ok()) failed = true;
+    }
+    for (int i = 0; i < 200 && !failed; ++i)
+      if (!p->unlink("/c" + std::to_string(i)).is_ok()) failed = true;
+  });
+  churn.join();
+  ASSERT_FALSE(failed.load());
+  pb_.reset();
+  fs_b_.reset();  // killed; no unmount
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  (void)fs_a_->reap_dead_mounts();
+  EXPECT_GE(fs_a_->reap_totals().mounts, 1u);
+
+  // The survivor allocates far past its own home stripe (512 slots): pops
+  // spill over into neighbor stripes — the dead peer's among them — and
+  // every claim still goes through the on-media flag CAS, so no inode can
+  // ever be double-served no matter whose stripe served the hint.
+  constexpr int kFiles = 700;
+  for (int i = 0; i < kFiles; ++i) {
+    auto fd = a().open("/s" + std::to_string(i), kOpenCreate | kOpenWrite);
+    ASSERT_TRUE(fd.is_ok());
+    ASSERT_TRUE(a().close(*fd).is_ok());
+  }
+  EXPECT_GT(fs_a_->fsstat().obj_stripe_steals, 0u);
+  auto entries = a().readdir("/");
+  ASSERT_TRUE(entries.is_ok());
+  EXPECT_EQ(entries->size(), static_cast<std::size_t>(kFiles));
+  std::vector<std::uint64_t> inodes;
+  for (const auto& e : *entries) inodes.push_back(e.inode);
+  std::sort(inodes.begin(), inodes.end());
+  EXPECT_EQ(std::unique(inodes.begin(), inodes.end()), inodes.end());
+  const core::CheckReport cr = core::check_fs(*fs_a_);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
+}
+
+TEST_F(MultiMountTest, RecoveryRebuildsStripedFreeListsToSameAccounting) {
+  // Two mounts with different segment biases churn allocations, one dies
+  // dirty; full recovery must rebuild the per-segment free lists to
+  // exactly the block accounting the survivors agreed on — the bias only
+  // rotates where a mount *starts* carving, never what is free.
+  fs_a_->set_lease_ns(2'000'000);
+  fs_b_->set_lease_ns(2'000'000);
+  for (int i = 0; i < 6; ++i) {
+    write_all(a(), "/a" + std::to_string(i), std::string(30000, 'a'));
+    write_all(b(), "/b" + std::to_string(i), std::string(30000, 'b'));
+  }
+  ASSERT_TRUE(a().unlink("/a1").is_ok());
+  ASSERT_TRUE(b().unlink("/b1").is_ok());
+  pb_.reset();
+  fs_b_.reset();  // dirty death with stranded reservations
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  (void)fs_a_->reap_dead_mounts();
+  ASSERT_GE(fs_a_->reap_totals().mounts, 1u);
+  const std::uint64_t free_expected = fs_a_->fsstat().free_blocks;
+  fs_a_->unmount();  // era saw a dirty death: next first-in recovers
+
+  auto fs_c = restart_all();
+  EXPECT_GE(fs_c->last_recovery().directories, 1u);
+  EXPECT_EQ(fs_c->fsstat().free_blocks, free_expected);
+  const core::CheckReport cr = core::check_fs(*fs_c);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
+  auto pc = fs_c->open_process(1000, 1000);
+  EXPECT_EQ(pc->stat("/a0")->size, 30000u);
+  EXPECT_EQ(pc->stat("/b5")->size, 30000u);
+  EXPECT_EQ(pc->stat("/a1").code(), Errc::not_found);
 }
 
 }  // namespace
