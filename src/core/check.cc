@@ -170,49 +170,93 @@ class Checker {
     ++r_.directories;
     std::unordered_set<std::uint64_t> chain_seen;
     std::unordered_set<std::string> names;
-    nvmm::pptr<DirBlock> b = dir->dir.load();
-    if (!b) {
+    const nvmm::pptr<DirBlock> first = dir->dir.load();
+    if (!first) {
       fail("directory @", dir_off, ": no hash block");
       return;
     }
-    bool first_block = true;
-    while (b) {
-      const std::uint64_t blk_off = b.raw();
-      if (!chain_seen.insert(blk_off).second) {
-        fail("directory @", dir_off, ": hash-block chain loops at @",
-             blk_off);
-        break;
-      }
-      if (valid_[kPoolDirBlock].count(blk_off) == 0)
-        fail("directory @", dir_off, ": chain block @", blk_off,
-             " is not a valid dirblock object");
-      reached_[kPoolDirBlock].insert(blk_off);
-      DirBlock* blk = b.in(dev_);
-      if (first_block) {
-        if (blk->busy.load(std::memory_order_acquire) != 0)
+    DirBlock* anchor = first.in(dev_);
+    const std::uint64_t depth = anchor->depth.load(std::memory_order_acquire);
+    const std::uint32_t split_state =
+        anchor->split_state.load(std::memory_order_acquire);
+    if (split_state != 0)
+      fail("directory @", dir_off, ": bucket split still armed (state=",
+           split_state, ") in quiescent image");
+    if (depth > kMaxBucketBits)
+      fail("directory @", dir_off, ": impossible bucket depth ", depth);
+    const std::uint64_t n_buckets =
+        (depth == 0 || depth > kMaxBucketBits) ? 0 : (1ull << depth);
+    for (unsigned i = 0; i < kMaxDirBuckets; ++i) {
+      const bool have = static_cast<bool>(anchor->bucket_heads[i].load());
+      if (i < n_buckets && !have)
+        fail("directory @", dir_off, ": bucket ", i,
+             " head missing at depth ", depth);
+      else if (i >= n_buckets && have)
+        fail("directory @", dir_off, ": bucket ", i,
+             " head present beyond depth ", depth);
+    }
+
+    // One chain walk.  `bucket` >= 0 pins every entry's hashed bucket (a
+    // bucket chain after fan-out); -1 skips the bucket check (unsplit
+    // anchor).  `expect_empty` marks the legacy chain of a settled split,
+    // which migration must have fully drained.
+    auto walk_chain = [&](nvmm::pptr<DirBlock> b, bool is_anchor, int bucket,
+                          bool expect_empty) {
+      bool first_block = true;
+      while (b) {
+        const std::uint64_t blk_off = b.raw();
+        if (!chain_seen.insert(blk_off).second) {
+          fail("directory @", dir_off, ": hash-block chain loops at @",
+               blk_off);
+          break;
+        }
+        if (valid_[kPoolDirBlock].count(blk_off) == 0)
+          fail("directory @", dir_off, ": chain block @", blk_off,
+               " is not a valid dirblock object");
+        reached_[kPoolDirBlock].insert(blk_off);
+        DirBlock* blk = b.in(dev_);
+        // Lock words live on every lockable block: the anchor and each
+        // bucket head carry per-line busy bits; the rename marker and the
+        // cross-directory log only ever arm on the anchor.
+        if (first_block &&
+            blk->busy.load(std::memory_order_acquire) != 0)
           fail("directory @", dir_off, ": busy line bits ",
                blk->busy.load(std::memory_order_relaxed),
                " set in quiescent image");
-        if (blk->rename_busy.load(std::memory_order_acquire) != 0)
-          fail("directory @", dir_off,
-               ": intra-directory rename marker set in quiescent image");
-        if (blk->log.state.load(std::memory_order_acquire) != 0)
-          fail("directory @", dir_off,
-               ": cross-directory rename log still armed (state=",
-               blk->log.state.load(std::memory_order_relaxed), ")");
+        if (first_block && is_anchor) {
+          if (blk->rename_busy.load(std::memory_order_acquire) != 0)
+            fail("directory @", dir_off,
+                 ": intra-directory rename marker set in quiescent image");
+          if (blk->log.state.load(std::memory_order_acquire) != 0)
+            fail("directory @", dir_off,
+                 ": cross-directory rename log still armed (state=",
+                 blk->log.state.load(std::memory_order_relaxed), ")");
+        }
+        for (unsigned ln = 0; ln < kLines; ++ln)
+          for (unsigned s = 0; s < kSlotsPerLine; ++s) {
+            const std::uint64_t v =
+                blk->lines[ln].slots[s].v.load(std::memory_order_acquire);
+            if (expect_empty && DirSlot::off_of(v) != 0)
+              fail("directory @", dir_off, ": entry left in legacy chain @",
+                   blk_off, " after a settled split");
+            check_slot(dir_off, depth, bucket, ln, v, names, stack);
+          }
+        b = blk->next.load();
+        first_block = false;
       }
-      for (unsigned ln = 0; ln < kLines; ++ln)
-        for (unsigned s = 0; s < kSlotsPerLine; ++s)
-          check_slot(dir_off, ln,
-                     blk->lines[ln].slots[s].v.load(
-                         std::memory_order_acquire),
-                     names, stack);
-      b = blk->next.load();
-      first_block = false;
+    };
+    walk_chain(first, /*is_anchor=*/true, /*bucket=*/-1,
+               /*expect_empty=*/n_buckets != 0);
+    for (std::uint64_t i = 0; i < n_buckets; ++i) {
+      const nvmm::pptr<DirBlock> hb = anchor->bucket_heads[i].load();
+      if (!hb) continue;  // missing head already reported above
+      walk_chain(hb, /*is_anchor=*/false, static_cast<int>(i),
+                 /*expect_empty=*/false);
     }
   }
 
-  void check_slot(std::uint64_t dir_off, unsigned ln, std::uint64_t v,
+  void check_slot(std::uint64_t dir_off, std::uint64_t depth, int bucket,
+                  unsigned ln, std::uint64_t v,
                   std::unordered_set<std::string>& names,
                   std::vector<std::uint64_t>& stack) {
     const std::uint64_t fe_off = DirSlot::off_of(v);
@@ -238,6 +282,13 @@ class Checker {
       if (tag_of_name(name) != DirSlot::tag_of(v))
         fail("entry '", name, "' @", fe_off, ": slot tag ",
              DirSlot::tag_of(v), " != name tag ", tag_of_name(name));
+      if (bucket >= 0 &&
+          bucket_of(name, depth) != static_cast<unsigned>(bucket))
+        fail("entry '", name, "' @", fe_off, " stored in bucket ", bucket,
+             " but its name hashes to bucket ", bucket_of(name, depth),
+             " at depth ", depth);
+      // `names` spans every chain of the directory, so a split entry
+      // duplicated across the legacy and bucket chains is caught here.
       if (!names.insert(name).second)
         fail("duplicate name '", name, "' in directory @", dir_off);
     }

@@ -2,6 +2,7 @@
 
 #include <time.h>
 
+#include <algorithm>
 #include <cstring>
 #include <iterator>
 #include <memory>
@@ -21,6 +22,16 @@ namespace {
 std::atomic<std::uint64_t>& epoch_gen(nvmm::Device& dev) noexcept {
   return reinterpret_cast<Superblock*>(dev.base() + kSuperblockOff)
       ->dir_epoch_gen;
+}
+
+// Advances the generation counter past `e` so the next create_dir_block
+// stamps a strictly larger epoch than anything observed so far.
+void advance_epoch_gen(nvmm::Device& dev, std::uint64_t e) noexcept {
+  auto& gen = epoch_gen(dev);
+  std::uint64_t g = gen.load(std::memory_order_relaxed);
+  while (g <= e &&
+         !gen.compare_exchange_weak(g, e + 2, std::memory_order_acq_rel)) {
+  }
 }
 
 std::uint64_t monotonic_ns() noexcept {
@@ -77,9 +88,8 @@ void scrub_entry(FileEntry* fe) noexcept {
 
 // ---------------------------------------------------------------- LineLock
 
-LineLock::LineLock(const DirOps& ops, Inode& dir, unsigned line,
-                   std::uint64_t lease_ns)
-    : first_(ops.first_block(dir)), line_(line) {
+LineLock::LineLock(DirBlock* head, unsigned line, std::uint64_t lease_ns)
+    : first_(head), line_(line) {
   const std::uint64_t bit = 1ull << line;
   for (;;) {
     std::uint64_t cur = first_->busy.load(std::memory_order_relaxed);
@@ -140,12 +150,19 @@ Result<std::uint64_t> DirOps::create_dir_block() {
 void DirOps::retire_dir_epoch(Inode& dir) noexcept {
   DirBlock* first = first_block(dir);
   if (first == nullptr) return;
-  const std::uint64_t e = first->epoch.load(std::memory_order_acquire);
-  auto& gen = epoch_gen(dev_);
-  std::uint64_t g = gen.load(std::memory_order_relaxed);
-  while (g <= e &&
-         !gen.compare_exchange_weak(g, e + 2, std::memory_order_acq_rel)) {
+  // The retiring directory's largest epoch governs: the anchor while
+  // unsplit, the anchor and every bucket head once split.
+  std::uint64_t e = first->epoch.load(std::memory_order_acquire);
+  const std::uint64_t d = first->depth.load(std::memory_order_acquire);
+  if (d != 0) {
+    const unsigned nb = 1u << (d > kMaxBucketBits ? kMaxBucketBits : d);
+    for (unsigned i = 0; i < nb; ++i) {
+      DirBlock* h = first->bucket_heads[i].load().in(dev_);
+      if (h != nullptr)
+        e = std::max(e, h->epoch.load(std::memory_order_acquire));
+    }
   }
+  advance_epoch_gen(dev_, e);
 }
 
 bool DirOps::scrub_slot(DirSlot& slot) const {
@@ -165,12 +182,119 @@ bool DirOps::scrub_slot(DirSlot& slot) const {
   return false;
 }
 
-DirOps::SlotRef DirOps::find_slot(Inode& dir, unsigned ln,
-                                  std::string_view name,
-                                  std::uint16_t tag) const {
-  nvmm::pptr<DirBlock> b = dir.dir.load();
-  while (b) {
-    DirBlock* blk = b.in(dev_);
+DirOps::Route DirOps::route_of(Inode& dir,
+                               std::string_view name) const noexcept {
+  Route rt;
+  rt.anchor = first_block(dir);
+  if (rt.anchor == nullptr) return rt;
+  // depth before split_state: the split publishes state=1 strictly before
+  // depth, so observing depth>0 guarantees the state load below sees the
+  // armed marker or its later clearing — never the pre-split 0 that would
+  // make a mid-migration directory look settled.
+  const std::uint64_t d = rt.anchor->depth.load(std::memory_order_acquire);
+  rt.splitting =
+      rt.anchor->split_state.load(std::memory_order_acquire) != 0;
+  if (d == 0) {
+    rt.head = rt.anchor;
+    return rt;
+  }
+  rt.bucket = static_cast<unsigned>(
+      bucket_of(name, d > kMaxBucketBits ? kMaxBucketBits : d));
+  rt.head = rt.anchor->bucket_heads[rt.bucket].load().in(dev_);
+  if (rt.head == nullptr) rt.head = rt.anchor;  // torn image; be lenient
+  return rt;
+}
+
+DirOps::MutCtx DirOps::lock_name(Inode& dir, std::string_view name,
+                                 unsigned ln) {
+  MutCtx ctx;
+  for (;;) {
+    ctx.rt = route_of(dir, name);
+    if (ctx.rt.anchor == nullptr) return ctx;  // directory being torn down
+    DirBlock* tgt = lock_block_of(ctx.rt);
+    ctx.lock = std::make_unique<LineLock>(tgt, ln, lease_ns_);
+    // The route may have changed while we waited for the lock (a split
+    // published its depth, or settled): re-route and retry on the block
+    // that now serializes this name.
+    Route now = route_of(dir, name);
+    if (now.anchor == nullptr || lock_block_of(now) != tgt) {
+      ctx.lock.reset();
+      if (now.anchor == nullptr) return ctx;
+      continue;
+    }
+    ctx.rt = now;
+    if (ctx.lock->stole_lease()) steal_repair(dir, ctx.rt, tgt, ln);
+    return ctx;
+  }
+}
+
+DirOps::PairCtx DirOps::lock_pair(Inode& dir_a, std::string_view name_a,
+                                  unsigned ln_a, Inode& dir_b,
+                                  std::string_view name_b, unsigned ln_b) {
+  PairCtx ctx;
+  for (;;) {
+    ctx.rt_a = route_of(dir_a, name_a);
+    ctx.rt_b = route_of(dir_b, name_b);
+    if (ctx.rt_a.anchor == nullptr || ctx.rt_b.anchor == nullptr) return ctx;
+    DirBlock* ta = lock_block_of(ctx.rt_a);
+    DirBlock* tb = lock_block_of(ctx.rt_b);
+    // Global (block address, line) order keeps concurrent multi-line
+    // operations — including the splitter's ascending 0..47 sweep of one
+    // block — deadlock free.
+    const bool a_first =
+        std::make_pair(ta, ln_a) <= std::make_pair(tb, ln_b);
+    const bool same = ta == tb && ln_a == ln_b;
+    ctx.first = std::make_unique<LineLock>(a_first ? ta : tb,
+                                           a_first ? ln_a : ln_b, lease_ns_);
+    if (!same)
+      ctx.second = std::make_unique<LineLock>(
+          a_first ? tb : ta, a_first ? ln_b : ln_a, lease_ns_);
+    Route now_a = route_of(dir_a, name_a);
+    Route now_b = route_of(dir_b, name_b);
+    if (now_a.anchor == nullptr || now_b.anchor == nullptr ||
+        lock_block_of(now_a) != ta || lock_block_of(now_b) != tb) {
+      ctx.second.reset();
+      ctx.first.reset();
+      if (now_a.anchor == nullptr || now_b.anchor == nullptr) return ctx;
+      continue;
+    }
+    ctx.rt_a = now_a;
+    ctx.rt_b = now_b;
+    if (ctx.first->stole_lease())
+      steal_repair(a_first ? dir_a : dir_b, a_first ? now_a : now_b,
+                   a_first ? ta : tb, a_first ? ln_a : ln_b);
+    if (ctx.second != nullptr && ctx.second->stole_lease())
+      steal_repair(a_first ? dir_b : dir_a, a_first ? now_b : now_a,
+                   a_first ? tb : ta, a_first ? ln_b : ln_a);
+    return ctx;
+  }
+}
+
+void DirOps::steal_repair(Inode& dir, const Route& rt, DirBlock* target,
+                          unsigned ln) {
+  // Repairs mutate slot visibility (completed deletes, relocated rename
+  // strays), so they invalidate like any mutation.
+  EpochGuard epoch(*this, dir);
+  const std::uint64_t d = rt.anchor->depth.load(std::memory_order_acquire);
+  const bool splitting =
+      rt.anchor->split_state.load(std::memory_order_acquire) != 0;
+  if (target == rt.anchor && d > 0 && splitting) {
+    // The dead holder was (or raced with) the splitter: every mutator
+    // serializes on the anchor here, so we may touch all chains.  Repair
+    // first (rename strays route to their buckets), then finish this
+    // line's migration so our caller finds a consistent line.
+    repair_line_all(dir, ln);
+    migrate_line(dir, ln);
+    return;
+  }
+  repair_line_chain(dir, target, ln);
+}
+
+DirOps::SlotRef DirOps::find_slot_in(DirBlock* head, unsigned ln,
+                                     std::string_view name,
+                                     std::uint16_t tag) const {
+  for (DirBlock* blk = head; blk != nullptr;
+       blk = blk->next.load().in(dev_)) {
     for (unsigned s = 0; s < kSlotsPerLine; ++s) {
       DirSlot& slot = blk->lines[ln].slots[s];
       const std::uint64_t v = slot.v.load(std::memory_order_acquire);
@@ -182,23 +306,36 @@ DirOps::SlotRef DirOps::find_slot(Inode& dir, unsigned ln,
         return {blk, &slot};
       }
     }
-    b = blk->next.load();
   }
   return {};
 }
 
-Result<DirOps::SlotRef> DirOps::free_slot(Inode& dir, unsigned ln) {
-  nvmm::pptr<DirBlock> b = dir.dir.load();
+DirOps::SlotRef DirOps::find_slot(Inode& dir, unsigned ln,
+                                  std::string_view name,
+                                  std::uint16_t tag) const {
+  const Route rt = route_of(dir, name);
+  if (rt.anchor == nullptr) return {};
+  if (rt.head != rt.anchor && rt.splitting) {
+    // Mid-split: an entry lives in the legacy chain until its bucket copy
+    // is published, and the copy is published before the legacy slot
+    // clears — so scanning source before destination can never miss it.
+    SlotRef ref = find_slot_in(rt.anchor, ln, name, tag);
+    if (ref.slot != nullptr) return ref;
+  }
+  return find_slot_in(rt.head, ln, name, tag);
+}
+
+Result<DirOps::SlotRef> DirOps::free_slot_in(DirBlock* head, unsigned ln) {
   DirBlock* last = nullptr;
-  while (b) {
-    DirBlock* blk = b.in(dev_);
+  for (DirBlock* blk = head; blk != nullptr;
+       blk = blk->next.load().in(dev_)) {
     for (unsigned s = 0; s < kSlotsPerLine; ++s) {
       DirSlot& slot = blk->lines[ln].slots[s];
       scrub_slot(slot);
-      if (slot.v.load(std::memory_order_acquire) == 0) return SlotRef{blk, &slot};
+      if (slot.v.load(std::memory_order_acquire) == 0)
+        return SlotRef{blk, &slot};
     }
     last = blk;
-    b = blk->next.load();
   }
   // Line full in every block: extend the chain (Fig. 5a step 4).  The next
   // pointer is CAS-published because other lines extend concurrently.
@@ -239,15 +376,27 @@ Status DirOps::insert(Inode& dir, std::string_view name,
                       std::uint64_t fentry_off) {
   if (name.empty() || name.size() > kMaxName) return Status(Errc::invalid);
   const unsigned ln = line_of(name);
+  MutCtx ctx = lock_name(dir, name, ln);  // Fig. 5a step 3
+  if (ctx.rt.anchor == nullptr) return Status(Errc::not_found);
+  const Status st = insert_locked(dir, ctx.rt, name, fentry_off);
+  ctx.lock.reset();  // release before the (lock-hungry) split check
+  if (st.is_ok()) maybe_split(dir);
+  return st;
+}
+
+Status DirOps::insert_locked(Inode& dir, const Route& rt,
+                             std::string_view name,
+                             std::uint64_t fentry_off) {
+  const unsigned ln = line_of(name);
   const std::uint16_t tag = tag_of_name(name);
-  LineLock lock(*this, dir, ln, lease_ns_);  // Fig. 5a step 3
-  EpochGuard epoch(*this, dir);
-  if (lock.stole_lease()) repair_line(dir, ln);
+  EpochGuard epoch(*this, dir, rt.head);
   if (find_slot(dir, ln, name, tag).slot != nullptr)
     return Status(Errc::exists);
   SIMURGH_FAILPOINT("dir.insert.before_publish");
   for (;;) {
-    SIMURGH_ASSIGN_OR_RETURN(SlotRef ref, free_slot(dir, ln));
+    // New entries always go to the governing head — mid-split inserts land
+    // directly in their bucket, never in the draining legacy chain.
+    SIMURGH_ASSIGN_OR_RETURN(SlotRef ref, free_slot_in(rt.head, ln));
     if (claim_slot(*ref.slot, DirSlot::pack(tag, fentry_off))) break;
   }
   SIMURGH_FAILPOINT("dir.insert.after_publish");  // Fig. 5a after step 5
@@ -257,9 +406,9 @@ Status DirOps::insert(Inode& dir, std::string_view name,
 Result<std::uint64_t> DirOps::remove(Inode& dir, std::string_view name) {
   if (name.empty() || name.size() > kMaxName) return Errc::invalid;
   const unsigned ln = line_of(name);
-  LineLock lock(*this, dir, ln, lease_ns_);  // Fig. 5b step 1
-  EpochGuard epoch(*this, dir);
-  if (lock.stole_lease()) repair_line(dir, ln);
+  MutCtx ctx = lock_name(dir, name, ln);  // Fig. 5b step 1
+  if (ctx.rt.anchor == nullptr) return Errc::not_found;
+  EpochGuard epoch(*this, dir, ctx.rt.head);
   return remove_locked(dir, ln, name);
 }
 
@@ -305,23 +454,23 @@ Result<std::uint64_t> DirOps::rename_local(Inode& dir,
   const std::uint16_t tag_old = tag_of_name(old_name);
   const std::uint16_t tag_new = tag_of_name(new_name);
   DirBlock* first = first_block(dir);
+  if (first == nullptr) return Errc::not_found;
 
   // Steps 1-2: shadow entry pointing at the same inode.
   SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t new_fe_off,
                            pools_.fentry->alloc());
   FileEntry* new_fe = entry_at(new_fe_off);
 
-  // Lock lines in ascending order (deadlock freedom among renames).
-  const unsigned lo = l_old < l_new ? l_old : l_new;
-  const unsigned hi = l_old < l_new ? l_new : l_old;
-  LineLock lock_lo(*this, dir, lo, lease_ns_);
-  EpochGuard epoch(*this, dir);
-  if (lock_lo.stole_lease()) repair_line(dir, lo);
-  std::unique_ptr<LineLock> lock_hi;
-  if (hi != lo) {
-    lock_hi = std::make_unique<LineLock>(*this, dir, hi, lease_ns_);
-    if (lock_hi->stole_lease()) repair_line(dir, hi);
+  // Lock both names' lines — possibly on two different bucket heads — in
+  // the global (block, line) order.
+  PairCtx ctx = lock_pair(dir, old_name, l_old, dir, new_name, l_new);
+  if (ctx.rt_a.anchor == nullptr || ctx.rt_b.anchor == nullptr) {
+    pools_.fentry->free(new_fe_off);
+    return Errc::not_found;
   }
+  // Both names' governing heads; one bump pair per head (deduplicated by
+  // the guard when they coincide).
+  EpochGuard epoch(*this, dir, ctx.rt_a.head, ctx.rt_b.head);
 
   SlotRef old_ref = find_slot(dir, l_old, old_name, tag_old);
   if (old_ref.slot == nullptr) {
@@ -353,7 +502,8 @@ Result<std::uint64_t> DirOps::rename_local(Inode& dir,
   SIMURGH_FAILPOINT("dir.rename.marked");
 
   // Step 5: swing the *old* slot onto the new entry.  The line is now
-  // deliberately inconsistent: the entry's name hashes to l_new.
+  // deliberately inconsistent: the entry's name hashes to l_new (and
+  // possibly a different bucket).
   old_ref.slot->v.store(DirSlot::pack(tag_new, new_fe_off),
                         std::memory_order_release);
   nvmm::persist_now(old_ref.slot->v);
@@ -362,6 +512,14 @@ Result<std::uint64_t> DirOps::rename_local(Inode& dir,
   // Step 6: the old entry is no longer needed.
   pools_.fentry->free(old_fe_off);
   SIMURGH_FAILPOINT("dir.rename.old_entry_freed");
+
+  // The swung slot can serve as the entry's home only when it already sits
+  // in the right line of the right (settled) chain; a mid-split directory
+  // always republishes, since the swung slot may sit in a chain the new
+  // name's future lookups will stop scanning.
+  const bool keep_home = target_ref.slot == nullptr && l_new == l_old &&
+                         ctx.rt_a.head == ctx.rt_b.head &&
+                         !ctx.rt_a.splitting && !ctx.rt_b.splitting;
 
   // Step 7: publish in the correct line (reusing the displaced target's
   // slot when replacing).
@@ -376,18 +534,18 @@ Result<std::uint64_t> DirOps::rename_local(Inode& dir,
     pools_.fentry->set_flags(t_off, alloc::kObjDirty);
     scrub_entry(t_fe);
     pools_.fentry->finish_pending_free(t_off);
-  } else if (l_new != l_old) {
+  } else if (!keep_home) {
     for (;;) {
-      SIMURGH_ASSIGN_OR_RETURN(SlotRef dst, free_slot(dir, l_new));
+      SIMURGH_ASSIGN_OR_RETURN(SlotRef dst,
+                               free_slot_in(ctx.rt_b.head, l_new));
       if (claim_slot(*dst.slot, DirSlot::pack(tag_new, new_fe_off))) break;
     }
   }
   SIMURGH_FAILPOINT("dir.rename.published");
 
-  // Step 8: retire the temporary (inconsistent) pointer, unless the rename
-  // stayed within one line (the swung slot then already sits in the right
-  // line and stays as the entry's home).
-  if (l_new != l_old || target_ref.slot != nullptr) {
+  // Step 8: retire the temporary (inconsistent) pointer, unless the swung
+  // slot stayed the entry's home.
+  if (!keep_home) {
     old_ref.slot->v.store(0, std::memory_order_release);
     nvmm::persist_now(old_ref.slot->v);
   }
@@ -406,26 +564,15 @@ Result<std::uint64_t> DirOps::rename_cross(Inode& src_dir,
   const std::uint16_t tag_old = tag_of_name(old_name);
   const std::uint16_t tag_new = tag_of_name(new_name);
   DirBlock* src_first = first_block(src_dir);
+  if (src_first == nullptr) return Errc::not_found;
 
   // Lock rows in a global order keyed by (block address, line) so two
   // opposing cross-renames cannot deadlock (§4.3 step 3).
-  DirBlock* dst_first = first_block(dst_dir);
-  const bool src_first_order =
-      std::make_pair(src_first, l_src) < std::make_pair(dst_first, l_dst);
-  auto lock_a = std::make_unique<LineLock>(
-      *this, src_first_order ? src_dir : dst_dir,
-      src_first_order ? l_src : l_dst, lease_ns_);
-  auto lock_b = std::make_unique<LineLock>(
-      *this, src_first_order ? dst_dir : src_dir,
-      src_first_order ? l_dst : l_src, lease_ns_);
-  EpochGuard epoch_src(*this, src_dir);
-  EpochGuard epoch_dst(*this, dst_dir);
-  if (lock_a->stole_lease())
-    repair_line(src_first_order ? src_dir : dst_dir,
-                src_first_order ? l_src : l_dst);
-  if (lock_b->stole_lease())
-    repair_line(src_first_order ? dst_dir : src_dir,
-                src_first_order ? l_dst : l_src);
+  PairCtx ctx = lock_pair(src_dir, old_name, l_src, dst_dir, new_name, l_dst);
+  if (ctx.rt_a.anchor == nullptr || ctx.rt_b.anchor == nullptr)
+    return Errc::not_found;
+  EpochGuard epoch_src(*this, src_dir, ctx.rt_a.head);
+  EpochGuard epoch_dst(*this, dst_dir, ctx.rt_b.head);
 
   SlotRef src_ref = find_slot(src_dir, l_src, old_name, tag_old);
   if (src_ref.slot == nullptr) return Errc::not_found;
@@ -479,7 +626,8 @@ Result<std::uint64_t> DirOps::rename_cross(Inode& src_dir,
     pools_.fentry->finish_pending_free(t_off);
   } else {
     for (;;) {
-      SIMURGH_ASSIGN_OR_RETURN(SlotRef dst, free_slot(dst_dir, l_dst));
+      SIMURGH_ASSIGN_OR_RETURN(SlotRef dst,
+                               free_slot_in(ctx.rt_b.head, l_dst));
       if (claim_slot(*dst.slot, DirSlot::pack(tag_new, new_fe_off))) break;
     }
   }
@@ -500,21 +648,47 @@ Result<std::uint64_t> DirOps::rename_cross(Inode& src_dir,
 }
 
 bool DirOps::empty(Inode& dir) const {
-  bool any = false;
-  const_cast<DirOps*>(this)->list(dir, [&](std::string_view, std::uint64_t,
-                                           std::uint64_t) { any = true; });
-  return !any;
+  const nvmm::pptr<DirBlock> first = dir.dir.load();
+  if (!first) return true;
+  // Early-exit scan: stop at the first live entry, in the block where it
+  // was found — a giant directory answers "not empty" after one block.
+  auto chain_has_entry = [&](DirBlock* blk) {
+    for (; blk != nullptr; blk = blk->next.load().in(dev_)) {
+      stat_block_probes_.fetch_add(1, std::memory_order_relaxed);
+      for (unsigned ln = 0; ln < kLines; ++ln) {
+        for (unsigned s = 0; s < kSlotsPerLine; ++s) {
+          const std::uint64_t v =
+              blk->lines[ln].slots[s].v.load(std::memory_order_acquire);
+          const std::uint64_t off = DirSlot::off_of(v);
+          if (off == 0) continue;
+          if (entry_at(off)->name_len.load(std::memory_order_acquire) != 0)
+            return true;  // live entry; entries mid-delete don't count
+        }
+      }
+    }
+    return false;
+  };
+  DirBlock* anchor = first.in(dev_);
+  if (chain_has_entry(anchor)) return false;
+  const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+  if (d == 0) return true;
+  const unsigned nb = 1u << (d > kMaxBucketBits ? kMaxBucketBits : d);
+  for (unsigned i = 0; i < nb; ++i) {
+    DirBlock* h = anchor->bucket_heads[i].load().in(dev_);
+    if (h != nullptr && chain_has_entry(h)) return false;
+  }
+  return true;
 }
 
-void DirOps::repair_line(Inode& dir, unsigned ln) {
+void DirOps::repair_line_chain(Inode& dir, DirBlock* head, unsigned ln) {
   // Finish interrupted deletes, drop duplicate slots (rename crash between
-  // steps 7-8), relocate rename strays and resolve displaced replace-rename
-  // targets in this line.
+  // steps 7-8), relocate rename/migration strays and resolve displaced
+  // replace-rename targets in line `ln` of `head`'s chain.
   std::uint64_t seen[kSlotsPerLine * 8];
   unsigned n_seen = 0;
-  // Entries whose name hashes to this line, to detect a replace-rename that
-  // crashed between swinging the source slot and retiring the displaced
-  // same-name target (both names then coexist in one line).
+  // Entries whose home is this very (chain, line), to detect a
+  // replace-rename that crashed between swinging the source slot and
+  // retiring the displaced same-name target (both then coexist here).
   struct NamedSlot {
     std::string name;
     std::uint64_t off;
@@ -528,9 +702,8 @@ void DirOps::repair_line(Inode& dir, unsigned ln) {
     nvmm::fence();
     pools_.fentry->finish_pending_free(fe_off);
   };
-  nvmm::pptr<DirBlock> b = dir.dir.load();
-  while (b) {
-    DirBlock* blk = b.in(dev_);
+  for (DirBlock* blk = head; blk != nullptr;
+       blk = blk->next.load().in(dev_)) {
     for (unsigned s = 0; s < kSlotsPerLine; ++s) {
       DirSlot& slot = blk->lines[ln].slots[s];
       if (scrub_slot(slot)) continue;
@@ -555,7 +728,12 @@ void DirOps::repair_line(Inode& dir, unsigned ln) {
       const std::string_view nm{namebuf, nlen};
       const unsigned want = line_of(nm);
       const std::uint16_t tag = tag_of_name(nm);
-      if (want == ln) {
+      // Where this name should live now.  While a split is migrating, an
+      // anchor-chain entry's home is already its bucket head — relocating
+      // it below doubles as (idempotent) migration.
+      const Route home_rt = route_of(dir, nm);
+      const bool home_here = want == ln && home_rt.head == head;
+      if (home_here) {
         // Two distinct entries under one name can only come from a
         // replace-rename (Fig. 5c with an existing target) that crashed
         // after swinging the source slot but before displacing the target.
@@ -584,13 +762,18 @@ void DirOps::repair_line(Inode& dir, unsigned ln) {
         if (!dup_name) by_name.push_back({std::string(nm), off, &slot});
         continue;
       }
-      // Rename stray (Fig. 5c crash between steps 5 and 8): publish the
-      // entry in its correct line if not already there, then retire this
-      // slot.  Publication uses CAS, so racing with the original renamer
-      // resolves to exactly one slot.
-      SlotRef home = find_slot(dir, want, nm, tag);
+      // Stray (Fig. 5c crash between steps 5 and 8, or a half-migrated
+      // split slot): publish the entry at its home if not already there,
+      // then retire this slot.  Publication uses CAS, so racing with the
+      // original renamer resolves to exactly one slot.  The home probe
+      // must never find *this* slot: when only the bucket differs
+      // (want == ln) we search the home chain alone, and when the line
+      // differs the routed search scans a different line by construction.
+      SlotRef home = want == ln
+                         ? find_slot_in(home_rt.head, want, nm, tag)
+                         : find_slot(dir, want, nm, tag);
       if (home.slot == nullptr) {
-        auto free_ref = free_slot(dir, want);
+        auto free_ref = free_slot_in(home_rt.head, want);
         if (free_ref.is_ok())
           claim_slot(*free_ref->slot, DirSlot::pack(tag, off));
       } else if (const std::uint64_t hv =
@@ -609,8 +792,183 @@ void DirOps::repair_line(Inode& dir, unsigned ln) {
           (alloc::kObjValid | alloc::kObjDirty))
         pools_.fentry->commit(off);
     }
-    b = blk->next.load();
   }
+}
+
+void DirOps::repair_line_all(Inode& dir, unsigned ln) {
+  DirBlock* anchor = first_block(dir);
+  if (anchor == nullptr) return;
+  repair_line_chain(dir, anchor, ln);
+  const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+  if (d == 0) return;
+  const unsigned nb = 1u << (d > kMaxBucketBits ? kMaxBucketBits : d);
+  for (unsigned i = 0; i < nb; ++i) {
+    DirBlock* h = anchor->bucket_heads[i].load().in(dev_);
+    if (h != nullptr) repair_line_chain(dir, h, ln);
+  }
+}
+
+void DirOps::migrate_line(Inode& dir, unsigned ln) {
+  DirBlock* anchor = first_block(dir);
+  if (anchor == nullptr) return;
+  const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+  if (d == 0) return;
+  const std::uint64_t eff_d = d > kMaxBucketBits ? kMaxBucketBits : d;
+  for (DirBlock* blk = anchor; blk != nullptr;
+       blk = blk->next.load().in(dev_)) {
+    for (unsigned s = 0; s < kSlotsPerLine; ++s) {
+      DirSlot& slot = blk->lines[ln].slots[s];
+      if (scrub_slot(slot)) continue;
+      const std::uint64_t v = slot.v.load(std::memory_order_acquire);
+      const std::uint64_t off = DirSlot::off_of(v);
+      if (off == 0) continue;
+      FileEntry* fe = entry_at(off);
+      char namebuf[kMaxName + 1];
+      const std::uint16_t nlen = fe->load_name(namebuf);
+      if (nlen == 0) continue;  // mid-delete; a later scrub finishes it
+      const std::string_view nm{namebuf, nlen};
+      DirBlock* head =
+          anchor->bucket_heads[bucket_of(nm, eff_d)].load().in(dev_);
+      if (head == nullptr) continue;  // torn image; recovery rolls back
+      const unsigned want_ln = line_of(nm);  // == ln except rename strays
+      const std::uint16_t tag = tag_of_name(nm);
+      SlotRef existing = find_slot_in(head, want_ln, nm, tag);
+      if (existing.slot == nullptr) {
+        // Publish the bucket copy first; the legacy slot clears only after
+        // the copy persisted, so no crash prefix loses the entry.
+        bool placed = false;
+        while (!placed) {
+          auto free_ref = free_slot_in(head, want_ln);
+          if (!free_ref.is_ok()) return;  // out of blocks; retried later
+          placed = claim_slot(*free_ref->slot, DirSlot::pack(tag, off));
+        }
+        SIMURGH_FAILPOINT("dir.split.slot_copied");
+      } else if (DirSlot::off_of(existing.slot->v.load(
+                     std::memory_order_acquire)) != off) {
+        // Same name, different entry: remnant of a crashed replace-rename.
+        // Leave the legacy slot for repair_line_* to adjudicate.
+        continue;
+      }
+      clear_slot(slot, v);
+      SIMURGH_FAILPOINT("dir.split.slot_migrated");
+    }
+  }
+}
+
+void DirOps::maybe_split(Inode& dir) {
+  if (split_bits_ == 0) return;
+  DirBlock* anchor = first_block(dir);
+  if (anchor == nullptr) return;
+  if (anchor->depth.load(std::memory_order_acquire) != 0 ||
+      anchor->split_state.load(std::memory_order_acquire) != 0)
+    return;
+  std::uint64_t n = 0;
+  for (DirBlock* b = anchor; b != nullptr; b = b->next.load().in(dev_)) ++n;
+  if (n <= split_threshold_) return;
+  (void)split_directory(dir);  // best effort: ENOSPC leaves the dir unsplit
+}
+
+Status DirOps::split_directory(Inode& dir) {
+  if (split_bits_ == 0) return Status::ok();
+  DirBlock* anchor = first_block(dir);
+  if (anchor == nullptr) return Status(Errc::invalid);
+
+  // Take every anchor line lock, ascending — consistent with the global
+  // (block, line) order, so the sweep cannot deadlock against mutators.
+  std::vector<std::unique_ptr<LineLock>> locks;
+  bool stolen[kLines] = {};
+  locks.reserve(kLines);
+  for (unsigned ln = 0; ln < kLines; ++ln) {
+    locks.push_back(std::make_unique<LineLock>(anchor, ln, lease_ns_));
+    stolen[ln] = locks.back()->stole_lease();
+  }
+
+  // A predecessor may have died mid-split: roll its attempt forward (depth
+  // published) or back (depth still 0) before deciding ours.
+  const std::uint64_t d0 = anchor->depth.load(std::memory_order_acquire);
+  if (d0 != 0) {
+    if (anchor->split_state.load(std::memory_order_acquire) != 0) {
+      EpochGuard epoch(*this, dir);
+      for (unsigned ln = 0; ln < kLines; ++ln) {
+        if (stolen[ln]) repair_line_all(dir, ln);
+        migrate_line(dir, ln);
+      }
+      anchor->split_state.store(0, std::memory_order_release);
+      nvmm::persist_now(anchor->split_state);
+    }
+    return Status::ok();  // already split
+  }
+  if (anchor->split_state.load(std::memory_order_acquire) != 0) {
+    // Rollback: the heads were never reachable (depth never published), so
+    // they hold no entries.  Unhook before freeing — the pool scrubs.
+    std::uint64_t head_offs[kMaxDirBuckets];
+    unsigned n_heads = 0;
+    for (unsigned i = 0; i < kMaxDirBuckets; ++i) {
+      const nvmm::pptr<DirBlock> h = anchor->bucket_heads[i].load();
+      if (!h) continue;
+      head_offs[n_heads++] = h.raw();
+      anchor->bucket_heads[i].store(nvmm::pptr<DirBlock>());
+    }
+    nvmm::persist(&anchor->bucket_heads[0], sizeof(anchor->bucket_heads));
+    nvmm::fence();
+    anchor->split_state.store(0, std::memory_order_release);
+    nvmm::persist_now(anchor->split_state);
+    for (unsigned i = 0; i < n_heads; ++i) pools_.dirblock->free(head_offs[i]);
+  }
+  for (unsigned ln = 0; ln < kLines; ++ln)
+    if (stolen[ln]) repair_line_chain(dir, anchor, ln);
+
+  // The guard's entry bump happens before any head exists and its exit
+  // bump re-reads depth, so it invalidates the anchor now and the anchor
+  // plus every head afterwards.
+  EpochGuard epoch(*this, dir);
+  // Advance the generation past the anchor's epoch before creating heads:
+  // their epochs are then strictly greater than any epoch a pre-split
+  // cache fill recorded, so such fills can never validate against a head.
+  advance_epoch_gen(dev_, anchor->epoch.load(std::memory_order_acquire));
+  SIMURGH_FAILPOINT("dir.split.prepared");
+
+  const unsigned d = split_bits_;
+  const unsigned nb = 1u << d;
+  std::uint64_t head_offs[kMaxDirBuckets] = {};
+  for (unsigned i = 0; i < nb; ++i) {
+    auto r = create_dir_block();
+    if (!r.is_ok()) {
+      for (unsigned j = 0; j < i; ++j) pools_.dirblock->free(head_offs[j]);
+      return r.status();
+    }
+    head_offs[i] = *r;
+  }
+  for (unsigned i = 0; i < nb; ++i)
+    anchor->bucket_heads[i].store(nvmm::pptr<DirBlock>(head_offs[i]));
+  nvmm::persist(&anchor->bucket_heads[0], sizeof(anchor->bucket_heads));
+  nvmm::fence();
+  SIMURGH_FAILPOINT("dir.split.heads_published");
+
+  anchor->split_state.store(1, std::memory_order_release);
+  nvmm::persist_now(anchor->split_state);
+  SIMURGH_FAILPOINT("dir.split.armed");
+
+  // Readers load depth with acquire before anything else, so observing
+  // d > 0 implies the heads and the armed marker above are visible.
+  anchor->depth.store(d, std::memory_order_release);
+  nvmm::persist_now(anchor->depth);
+  SIMURGH_FAILPOINT("dir.split.depth_published");
+
+  for (unsigned ln = 0; ln < kLines; ++ln) {
+    // Keep every held lease fresh: mutators must not conclude we died
+    // while a long migration is still making progress.
+    const std::uint64_t now = monotonic_ns();
+    for (unsigned i = 0; i < kLines; ++i)
+      anchor->stamp_ns[i].store(now, std::memory_order_relaxed);
+    migrate_line(dir, ln);
+  }
+
+  anchor->split_state.store(0, std::memory_order_release);
+  nvmm::persist_now(anchor->split_state);
+  stat_splits_.fetch_add(1, std::memory_order_relaxed);
+  SIMURGH_FAILPOINT("dir.split.done");
+  return Status::ok();
 }
 
 void DirOps::replay_cross_log(Inode& src_dir) {
@@ -620,19 +978,7 @@ void DirOps::replay_cross_log(Inode& src_dir) {
   // Decide redo vs. undo by whether the destination directory published a
   // slot pointing at the new entry — the operation's commit point.
   const std::uint64_t new_fe = log.new_fentry;
-  bool dst_published = false;
-  nvmm::pptr<DirBlock> b(log.dst_dir_inode);  // dst first block offset
-  while (b && !dst_published) {
-    DirBlock* blk = b.in(dev_);
-    for (unsigned ln = 0; ln < kLines && !dst_published; ++ln)
-      for (unsigned s = 0; s < kSlotsPerLine; ++s)
-        if (DirSlot::off_of(blk->lines[ln].slots[s].v.load(
-                std::memory_order_acquire)) == new_fe) {
-          dst_published = true;
-          break;
-        }
-    b = blk->next.load();
-  }
+  const bool dst_published = dir_contains_fentry(log.dst_dir_inode, new_fe);
   if (dst_published) {
     // Redo: finish the source-side cleanup.
     if (pools_.fentry->flags_of(new_fe) ==
@@ -645,7 +991,7 @@ void DirOps::replay_cross_log(Inode& src_dir) {
       pools_.fentry->finish_pending_free(log.old_fentry);
     }
     // Scrub the stale source slot wherever it is.
-    for (unsigned ln = 0; ln < kLines; ++ln) repair_line(src_dir, ln);
+    for (unsigned ln = 0; ln < kLines; ++ln) repair_line_all(src_dir, ln);
   } else if (pools_.fentry->flags_of(new_fe) != 0) {
     // Undo: the new entry never became visible; drop it.
     pools_.fentry->set_flags(new_fe, alloc::kObjDirty);
@@ -656,13 +1002,33 @@ void DirOps::replay_cross_log(Inode& src_dir) {
   nvmm::persist_now(log.state);
 }
 
+bool DirOps::dir_contains_fentry(std::uint64_t first_blk_off,
+                                 std::uint64_t fe_off) const {
+  if (first_blk_off == 0) return false;
+  auto chain_contains = [&](DirBlock* blk) {
+    for (; blk != nullptr; blk = blk->next.load().in(dev_))
+      for (unsigned ln = 0; ln < kLines; ++ln)
+        for (unsigned s = 0; s < kSlotsPerLine; ++s)
+          if (DirSlot::off_of(blk->lines[ln].slots[s].v.load(
+                  std::memory_order_acquire)) == fe_off)
+            return true;
+    return false;
+  };
+  auto* anchor = reinterpret_cast<DirBlock*>(dev_.at(first_blk_off));
+  if (chain_contains(anchor)) return true;
+  const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+  if (d == 0) return false;
+  const unsigned nb = 1u << (d > kMaxBucketBits ? kMaxBucketBits : d);
+  for (unsigned i = 0; i < nb; ++i) {
+    DirBlock* h = anchor->bucket_heads[i].load().in(dev_);
+    if (h != nullptr && chain_contains(h)) return true;
+  }
+  return false;
+}
+
 std::uint64_t DirOps::chain_length(Inode& dir) const {
   std::uint64_t n = 0;
-  nvmm::pptr<DirBlock> b = dir.dir.load();
-  while (b) {
-    ++n;
-    b = b.in(dev_)->next.load();
-  }
+  for_each_block(dir, [&](DirBlock*, std::uint64_t) { ++n; });
   return n;
 }
 
@@ -670,42 +1036,131 @@ std::uint64_t DirOps::compact_chain(Inode& dir) {
   if (!dir.dir.load()) return 0;
   EpochGuard epoch(*this, dir);
   std::uint64_t freed = 0;
-  DirBlock* prev = first_block(dir);
-  nvmm::pptr<DirBlock> cur = prev->next.load();
-  while (cur) {
-    DirBlock* blk = cur.in(dev_);
-    const nvmm::pptr<DirBlock> next = blk->next.load();
-    bool empty = true;
-    for (unsigned ln = 0; ln < kLines && empty; ++ln)
+  auto block_empty = [&](DirBlock* blk) {
+    for (unsigned ln = 0; ln < kLines; ++ln)
       for (unsigned s = 0; s < kSlotsPerLine; ++s)
-        if (blk->lines[ln].slots[s].v.load(std::memory_order_acquire) != 0) {
-          empty = false;
-          break;
-        }
-    if (empty) {
-      // Unlink first (persist), then release the block: a crash in between
-      // leaves an allocated-but-unreachable block the next sweep reclaims.
-      prev->next.store(next);
-      nvmm::persist_now(prev->next);
-      pools_.dirblock->free(cur.raw());
-      ++freed;
-    } else {
-      prev = blk;
+        if (blk->lines[ln].slots[s].v.load(std::memory_order_acquire) != 0)
+          return false;
+    return true;
+  };
+  auto compact_one = [&](DirBlock* first) {
+    DirBlock* prev = first;
+    nvmm::pptr<DirBlock> cur = prev->next.load();
+    while (cur) {
+      DirBlock* blk = cur.in(dev_);
+      const nvmm::pptr<DirBlock> next = blk->next.load();
+      if (block_empty(blk)) {
+        // Unlink first (persist), then release the block: a crash in
+        // between leaves an allocated-but-unreachable block the next sweep
+        // reclaims.
+        prev->next.store(next);
+        nvmm::persist_now(prev->next);
+        pools_.dirblock->free(cur.raw());
+        ++freed;
+      } else {
+        prev = blk;
+      }
+      cur = next;
     }
-    cur = next;
+  };
+  DirBlock* anchor = first_block(dir);
+  compact_one(anchor);
+  const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+  if (d == 0) return freed;
+  const unsigned nb = 1u << (d > kMaxBucketBits ? kMaxBucketBits : d);
+  bool all_empty = block_empty(anchor);
+  for (unsigned i = 0; i < nb; ++i) {
+    DirBlock* h = anchor->bucket_heads[i].load().in(dev_);
+    if (h == nullptr) continue;
+    compact_one(h);
+    if (!block_empty(h) || h->next.load()) all_empty = false;
   }
+  if (!all_empty) return freed;
+  // The whole fan-out emptied: unsplit so the directory is a single block
+  // again.  Keep every epoch unique first — advance the generation past
+  // the largest epoch any chain head reached, then clear depth (persist)
+  // before unhooking and freeing the heads, so no crash prefix leaves a
+  // positive depth pointing at freed blocks.
+  std::uint64_t mx = anchor->epoch.load(std::memory_order_acquire);
+  std::uint64_t head_offs[kMaxDirBuckets];
+  unsigned n_heads = 0;
+  for (unsigned i = 0; i < nb; ++i) {
+    const nvmm::pptr<DirBlock> h = anchor->bucket_heads[i].load();
+    if (!h) continue;
+    mx = std::max(mx, h.in(dev_)->epoch.load(std::memory_order_acquire));
+    head_offs[n_heads++] = h.raw();
+  }
+  advance_epoch_gen(dev_, mx);
+  anchor->depth.store(0, std::memory_order_release);
+  nvmm::persist_now(anchor->depth);
+  for (unsigned i = 0; i < kMaxDirBuckets; ++i)
+    anchor->bucket_heads[i].store(nvmm::pptr<DirBlock>());
+  nvmm::persist(&anchor->bucket_heads[0], sizeof(anchor->bucket_heads));
+  nvmm::fence();
+  for (unsigned i = 0; i < n_heads; ++i) {
+    pools_.dirblock->free(head_offs[i]);
+    ++freed;
+  }
+  // Future fills validate against the anchor again; stamp it above every
+  // retired head epoch so none of their cached entries can ever match.
+  anchor->epoch.store(
+      epoch_gen(dev_).fetch_add(2, std::memory_order_acq_rel),
+      std::memory_order_release);
   return freed;
 }
 
 void DirOps::recover_directory(Inode& dir) {
   if (!dir.dir.load()) return;
   EpochGuard epoch(*this, dir);
+  DirBlock* anchor = first_block(dir);
   replay_cross_log(dir);
-  for (unsigned ln = 0; ln < kLines; ++ln) repair_line(dir, ln);
-  DirBlock* first = first_block(dir);
-  first->busy.store(0, std::memory_order_release);
-  first->rename_busy.store(0, std::memory_order_release);
-  nvmm::persist_now(first->busy);
+  const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+  if (d == 0) {
+    // Roll back any split that never published its depth: the heads were
+    // never reachable, so they hold no entries.  This also sweeps head
+    // pointers a crash persisted before the armed marker.
+    std::uint64_t head_offs[kMaxDirBuckets];
+    unsigned n_heads = 0;
+    for (unsigned i = 0; i < kMaxDirBuckets; ++i) {
+      const nvmm::pptr<DirBlock> h = anchor->bucket_heads[i].load();
+      if (!h) continue;
+      head_offs[n_heads++] = h.raw();
+      anchor->bucket_heads[i].store(nvmm::pptr<DirBlock>());
+    }
+    if (n_heads != 0) {
+      nvmm::persist(&anchor->bucket_heads[0], sizeof(anchor->bucket_heads));
+      nvmm::fence();
+    }
+    if (anchor->split_state.load(std::memory_order_acquire) != 0) {
+      anchor->split_state.store(0, std::memory_order_release);
+      nvmm::persist_now(anchor->split_state);
+    }
+    for (unsigned i = 0; i < n_heads; ++i)
+      pools_.dirblock->free(head_offs[i]);
+  }
+  // Repair before finishing a migration: rename strays route to their
+  // buckets with full duplicate adjudication, which plain slot migration
+  // must not preempt.
+  for (unsigned ln = 0; ln < kLines; ++ln) repair_line_all(dir, ln);
+  if (d != 0 && anchor->split_state.load(std::memory_order_acquire) != 0) {
+    // Roll the split forward: depth was published, so readers already
+    // route to the buckets; drain what the dead splitter left behind.
+    for (unsigned ln = 0; ln < kLines; ++ln) migrate_line(dir, ln);
+    anchor->split_state.store(0, std::memory_order_release);
+    nvmm::persist_now(anchor->split_state);
+  }
+  anchor->busy.store(0, std::memory_order_release);
+  anchor->rename_busy.store(0, std::memory_order_release);
+  nvmm::persist_now(anchor->busy);
+  if (d != 0) {
+    const unsigned nb = 1u << (d > kMaxBucketBits ? kMaxBucketBits : d);
+    for (unsigned i = 0; i < nb; ++i) {
+      DirBlock* h = anchor->bucket_heads[i].load().in(dev_);
+      if (h == nullptr) continue;
+      h->busy.store(0, std::memory_order_release);
+      nvmm::persist_now(h->busy);
+    }
+  }
 }
 
 }  // namespace simurgh::core

@@ -20,11 +20,25 @@
 //  * An intra-directory rename deliberately leaves the line "inconsistent"
 //    (the entry's name hashes to a different line) between its steps 5-8;
 //    that inconsistency plus the rename marker is the redo record — Fig. 5c.
+//
+// Giant directories: bucketed fan-out (DESIGN.md §10).  A directory whose
+// chain outgrows a threshold is split once into 2^depth bucket chains,
+// selected by hash bits independent of the line bits.  The first ("anchor")
+// block persistently records the depth, the bucket-head pointers and a
+// split-in-progress marker; each bucket head is an ordinary DirBlock whose
+// busy word, lease stamps and epoch govern only that bucket, so mutations
+// in different buckets take different locks and invalidate different
+// lookup-cache entries.  The split migrates slot-by-slot under all 48
+// anchor line locks with publish-then-clear ordering, so a crash at any
+// point loses no entry and recovery can roll the split forward (depth
+// published) or back (depth still 0).
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <string_view>
 
 #include "common/hash.h"
@@ -35,6 +49,14 @@ namespace simurgh::core {
 constexpr unsigned kMaxName = 255;
 constexpr unsigned kLines = 48;
 constexpr unsigned kSlotsPerLine = 8;
+
+// Bucketed fan-out bounds: a directory splits at most once, from depth 0
+// (a single chain) to at most kMaxBucketBits of additional hash bits.
+constexpr unsigned kMaxBucketBits = 6;
+constexpr unsigned kMaxDirBuckets = 1u << kMaxBucketBits;  // 64
+
+// Cursor value meaning "iteration finished" for DirOps::list_at.
+constexpr std::uint64_t kReaddirEnd = ~0ull;
 
 // File entry: name plus the persistent pointer to its inode (Fig. 4).
 //
@@ -121,7 +143,11 @@ struct DirBlock {
   // ---- first block of a chain only ----
   std::atomic<std::uint64_t> busy{0};          // one bit per line
   std::atomic<std::uint32_t> rename_busy{0};   // intra-dir rename marker
-  std::uint32_t _pad = 0;
+  // Split-in-progress marker (persistent, anchor block only): armed after
+  // the bucket heads are published and before `depth`, cleared once every
+  // legacy slot has migrated.  While set, the legacy chain may still hold
+  // entries and mutators serialize on the anchor line locks.
+  std::atomic<std::uint32_t> split_state{0};
   // Mutation epoch for the DRAM lookup cache (lookup_cache.h): every
   // DirOps mutation increments it once before its first visible change and
   // once after its last.  Volatile semantics — it is never persisted and
@@ -129,10 +155,21 @@ struct DirBlock {
   // visibility matters, so it lives here where all processes map it.
   // create_dir_block stamps it from Superblock::dir_epoch_gen (never 0), so
   // epoch values are unique across directory lifetimes at a recycled
-  // offset; see DirOps::retire_dir_epoch.
+  // offset; see DirOps::retire_dir_epoch.  On a bucket head this epoch
+  // governs only that bucket's entries (per-bucket invalidation).
   std::atomic<std::uint64_t> epoch{0};
   RenameLog log;
+  // Bucket fan-out depth (persistent, anchor block only): 0 = unsplit, d>0
+  // means names route to bucket_heads[bucket_of(name, d)].  Published
+  // (release + persist) strictly after split_state and the head pointers,
+  // so any reader that observes d>0 also observes live heads and the
+  // armed marker.
+  std::atomic<std::uint64_t> depth{0};
   std::atomic<std::uint64_t> stamp_ns[kLines]; // line lease stamps
+  // Bucket chain heads (persistent, anchor block only; null beyond
+  // 2^depth).  Each head is a DirBlock whose busy/stamp_ns/epoch fields
+  // serve that bucket alone.
+  nvmm::atomic_pptr<DirBlock> bucket_heads[kMaxDirBuckets];
   // ---- all blocks ----
   DirLine lines[kLines];
 };
@@ -144,6 +181,17 @@ inline unsigned line_of(std::string_view name) noexcept {
 inline std::uint16_t tag_of_name(std::string_view name) noexcept {
   return static_cast<std::uint16_t>(fnv1a64(name) >> 48);
 }
+// Bucket selection uses hash bits disjoint from both the line bits (low,
+// mod 48) and the tag bits (top 16), so the per-line and per-bucket
+// distributions stay independent.
+inline unsigned bucket_of_hash(std::uint64_t h, std::uint64_t depth) noexcept {
+  return static_cast<unsigned>((h >> 16) & ((1ull << depth) - 1ull));
+}
+inline unsigned bucket_of(std::string_view name, std::uint64_t depth) noexcept {
+  return bucket_of_hash(fnv1a64(name), depth);
+}
+
+class LineLock;
 
 // All directory operations; shared by every Process of the mount.
 // Stateless except for references to the device and pools, so one instance
@@ -181,11 +229,56 @@ class DirOps {
   template <typename Fn>
   void list(Inode& dir, Fn&& fn) const;
 
-  // True iff the directory holds no entries.
+  // Streaming enumeration: emits up to `cap` entries starting at `cursor`
+  // (0 = beginning) and returns the cursor of the next unexamined slot, or
+  // kReaddirEnd when the directory is exhausted.  The cursor is an opaque
+  // position (chain unit / block ordinal / line / slot), valid only for
+  // the directory it came from.  Semantics under concurrent churn: an
+  // entry that is neither renamed nor migrated by a concurrent split for
+  // the whole scan appears exactly once; a renamed entry and an entry a
+  // concurrent split migrates may appear twice (legacy position first,
+  // bucket position later) but is never skipped — the split publishes the
+  // bucket copy before clearing the legacy one, and buckets are scanned
+  // after the legacy chain.
+  template <typename Fn>
+  std::uint64_t list_at(Inode& dir, std::uint64_t cursor, std::size_t cap,
+                        Fn&& fn) const;
+
+  // Iterates every hash block of the directory — the anchor chain plus
+  // every bucket chain: fn(DirBlock*, block_offset).  Recovery's
+  // reachability walk and the checker use this.
+  template <typename Fn>
+  void for_each_block(Inode& dir, Fn&& fn) const;
+
+  // True iff the directory holds no entries.  Early-exits at the first
+  // live slot; blocks visited are counted in stats().block_probes.
   [[nodiscard]] bool empty(Inode& dir) const;
 
   // Creates (and persists) the first hash block of a new directory.
   Result<std::uint64_t> create_dir_block();
+
+  // Splits an unsplit directory into 2^bucket_bits bucket chains (the
+  // crash-ordered migration described in the header comment).  Called
+  // automatically by insert() once the anchor chain outgrows the
+  // threshold; public so tests can drive it directly.  A no-op when the
+  // directory is already split or splitting is disabled.
+  Status split_directory(Inode& dir);
+
+  // Split policy: split once the anchor chain exceeds `threshold_blocks`
+  // blocks, into 2^bucket_bits buckets.  bucket_bits == 0 disables
+  // splitting (the benches' unsplit A/B arm; also SIMURGH_DIR_SPLIT=0).
+  void set_split_params(std::uint64_t threshold_blocks,
+                        unsigned bucket_bits) noexcept {
+    split_threshold_ = threshold_blocks == 0 ? 1 : threshold_blocks;
+    split_bits_ = bucket_bits > kMaxBucketBits ? kMaxBucketBits : bucket_bits;
+  }
+  [[nodiscard]] unsigned split_bits() const noexcept { return split_bits_; }
+
+  // Current fan-out depth of `dir` (0 = unsplit).
+  [[nodiscard]] std::uint64_t dir_depth(Inode& dir) const noexcept {
+    DirBlock* f = first_block(dir);
+    return f != nullptr ? f->depth.load(std::memory_order_acquire) : 0;
+  }
 
   // Must be called before a directory's first hash block is freed (rmdir,
   // rename-over, unlink of the last link): advances the mount-wide epoch
@@ -209,12 +302,56 @@ class DirOps {
   // Number of hash blocks in the directory's chain (tests, stats).
   [[nodiscard]] std::uint64_t chain_length(Inode& dir) const;
 
-  // Current mutation epoch of `dir` (see DirBlock::epoch).  ~0 when the
-  // directory has no hash block (being torn down) — a value no fill ever
-  // stores, so cache validation can never succeed against it.
+  // Current mutation epoch of `dir`'s anchor block (see DirBlock::epoch).
+  // ~0 when the directory has no hash block (being torn down) — a value no
+  // fill ever stores, so cache validation can never succeed against it.
+  // Cache users should prefer name_epoch(): once a directory splits, the
+  // anchor epoch no longer governs entry lookups.
   [[nodiscard]] std::uint64_t dir_epoch(Inode& dir) const noexcept {
     DirBlock* f = first_block(dir);
     return f != nullptr ? f->epoch.load(std::memory_order_acquire) : ~0ull;
+  }
+
+  // The mutation epoch governing `name` in `dir`, plus the bucket it
+  // hashes to: the anchor epoch while unsplit, the bucket head's epoch
+  // once split.  epoch == ~0 (never stored by any fill) when the
+  // directory is torn down or the head is unreachable.
+  struct NameEpoch {
+    std::uint64_t epoch = ~0ull;
+    std::uint32_t bucket = 0;
+  };
+  [[nodiscard]] NameEpoch name_epoch(Inode& dir,
+                                     std::string_view name) const noexcept {
+    NameEpoch ne;
+    DirBlock* anchor = first_block(dir);
+    if (anchor == nullptr) return ne;
+    const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+    if (d == 0) {
+      ne.epoch = anchor->epoch.load(std::memory_order_acquire);
+      return ne;
+    }
+    ne.bucket = bucket_of(name, d > kMaxBucketBits ? kMaxBucketBits : d);
+    DirBlock* head = anchor->bucket_heads[ne.bucket].load().in(dev_);
+    if (head != nullptr)
+      ne.epoch = head->epoch.load(std::memory_order_acquire);
+    return ne;
+  }
+
+  // Monotone telemetry (surfaced through FsStat).
+  struct Stats {
+    std::uint64_t splits = 0;             // directories fanned out
+    std::uint64_t block_probes = 0;       // blocks scanned by empty()
+    std::uint64_t epoch_bumps_scoped = 0; // bucket-scoped EpochGuards
+    std::uint64_t epoch_bumps_full = 0;   // whole-directory EpochGuards
+  };
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats s;
+    s.splits = stat_splits_.load(std::memory_order_relaxed);
+    s.block_probes = stat_block_probes_.load(std::memory_order_relaxed);
+    s.epoch_bumps_scoped =
+        stat_epoch_scoped_.load(std::memory_order_relaxed);
+    s.epoch_bumps_full = stat_epoch_full_.load(std::memory_order_relaxed);
+    return s;
   }
 
   // Lease for busy-line locks (tests shrink it).
@@ -233,33 +370,103 @@ class DirOps {
     return reinterpret_cast<FileEntry*>(dev_.at(off));
   }
 
-  // Probes line `ln` across the chain for `name`; returns {block, slot} or
-  // nulls.  Scrubs slots whose entries are zeroed (interrupted delete).
+  // Where a name currently lives: the anchor block, the chain head that
+  // governs it (== anchor while unsplit), its bucket, and whether a split
+  // is still migrating (the legacy chain may then also hold the entry).
+  struct Route {
+    DirBlock* anchor = nullptr;
+    DirBlock* head = nullptr;
+    unsigned bucket = 0;
+    bool splitting = false;
+  };
+  [[nodiscard]] Route route_of(Inode& dir,
+                               std::string_view name) const noexcept;
+  // The block whose line lock serializes mutations of this route: the
+  // bucket head once the split settled, the anchor otherwise (a mid-split
+  // directory serializes every mutator on the anchor, behind the
+  // splitter's locks).
+  static DirBlock* lock_block_of(const Route& rt) noexcept {
+    return (rt.splitting || rt.head == nullptr) ? rt.anchor : rt.head;
+  }
+
+  // Acquired mutation context for one (dir, name) pair; `lock` guards
+  // lock_block_of(rt)'s line.  rt.anchor == nullptr when the directory is
+  // being torn down (no lock taken).
+  struct MutCtx {
+    Route rt;
+    std::unique_ptr<LineLock> lock;
+  };
+  MutCtx lock_name(Inode& dir, std::string_view name, unsigned ln);
+  // Same for two (dir, name) pairs, acquiring in global (block, line)
+  // order and re-routing when a split completed while waiting.
+  struct PairCtx {
+    Route rt_a;
+    Route rt_b;
+    std::unique_ptr<LineLock> first;
+    std::unique_ptr<LineLock> second;
+  };
+  PairCtx lock_pair(Inode& dir_a, std::string_view name_a, unsigned ln_a,
+                    Inode& dir_b, std::string_view name_b, unsigned ln_b);
+  // Crashed-holder repair for a just-stolen line lock on `target`.
+  void steal_repair(Inode& dir, const Route& rt, DirBlock* target,
+                    unsigned ln);
+
+  // Probes line `ln` for `name` in every chain that may hold it (the
+  // governing bucket chain; plus the legacy chain first while a split is
+  // migrating); returns {block, slot} or nulls.  Scrubs slots whose
+  // entries are zeroed (interrupted delete).
   struct SlotRef {
     DirBlock* block = nullptr;
     DirSlot* slot = nullptr;
   };
   SlotRef find_slot(Inode& dir, unsigned ln, std::string_view name,
                     std::uint16_t tag) const;
-  // First free slot in line `ln`, appending a chain block if needed.
-  Result<SlotRef> free_slot(Inode& dir, unsigned ln);
+  SlotRef find_slot_in(DirBlock* head, unsigned ln, std::string_view name,
+                       std::uint16_t tag) const;
+  // First free slot in line `ln` of `head`'s chain, appending a block if
+  // needed.  New entries always go to the governing head, never legacy.
+  Result<SlotRef> free_slot_in(DirBlock* head, unsigned ln);
 
   // Interrupted-delete scrubber: if the slot's entry is zeroed or being
   // freed, finish the delete and clear the slot.  Returns true if scrubbed.
   bool scrub_slot(DirSlot& slot) const;
 
-  // Fixes rename inconsistencies in line `ln` (entry name hashing to a
-  // different line).  Caller holds the line lock.
-  void repair_line(Inode& dir, unsigned ln);
+  // Fixes rename/migration inconsistencies in line `ln` of one chain
+  // (entry hashing to a different line or bucket).  Caller holds the
+  // chain's line lock.
+  void repair_line_chain(Inode& dir, DirBlock* head, unsigned ln);
+  // Same for line `ln` of every chain (recovery; dead-splitter steal).
+  void repair_line_all(Inode& dir, unsigned ln);
+
+  // Moves every legacy (anchor-chain) entry of line `ln` to its bucket —
+  // publish in the bucket, then clear the legacy slot, deduplicating when
+  // a crashed migrator already published.  Caller holds the anchor line
+  // lock; depth must be published.
+  void migrate_line(Inode& dir, unsigned ln);
+
+  // Splits `dir` when the anchor chain outgrew the threshold.
+  void maybe_split(Inode& dir);
 
   void replay_cross_log(Inode& src_dir);
+  // True when fe_off appears in any slot of the directory whose anchor
+  // chain starts at first_blk_off (cross-rename redo/undo decision).
+  bool dir_contains_fentry(std::uint64_t first_blk_off,
+                           std::uint64_t fe_off) const;
 
+  Status insert_locked(Inode& dir, const Route& rt, std::string_view name,
+                       std::uint64_t fentry_off);
   Result<std::uint64_t> remove_locked(Inode& dir, unsigned ln,
                                       std::string_view name);
 
   nvmm::Device& dev_;
   Pools pools_;
   std::uint64_t lease_ns_ = 100'000'000;
+  std::uint64_t split_threshold_ = 4;   // anchor blocks before fanning out
+  unsigned split_bits_ = kMaxBucketBits;
+  mutable std::atomic<std::uint64_t> stat_splits_{0};
+  mutable std::atomic<std::uint64_t> stat_block_probes_{0};
+  mutable std::atomic<std::uint64_t> stat_epoch_scoped_{0};
+  mutable std::atomic<std::uint64_t> stat_epoch_full_{0};
 };
 
 // Brackets a directory mutation with epoch bumps for the lookup cache
@@ -270,32 +477,69 @@ class DirOps {
 // bumps even while crash-unwinding (CrashedException): an aborted mutation
 // must invalidate just like a finished one — survivors of a genuinely dead
 // process are covered because the pre-bump already made fills unverifiable.
+//
+// Two scopes:
+//  * Whole-directory (ops, dir): bumps the anchor AND, when split, every
+//    bucket head — re-reading depth and the head pointers at each bump, so
+//    a split completing inside the guarded operation is still fully
+//    invalidated on exit.  For structural changes that affect every entry
+//    (chmod/chown, recovery, the split itself, teardown).
+//  * Bucket-scoped (ops, dir, head[, head_b]): bumps only the chain
+//    head(s) governing the mutated name(s) — one create no longer
+//    invalidates the whole directory's cached components.  Construct after
+//    the line locks are held so the routing is pinned.
 class EpochGuard {
  public:
   EpochGuard(const DirOps& ops, Inode& dir) noexcept
-      : blk_(ops.first_block(dir)) {
-    if (blk_ != nullptr)
-      blk_->epoch.fetch_add(1, std::memory_order_acq_rel);
+      : ops_(ops), anchor_(ops.first_block(dir)), whole_(true) {
+    ops.stat_epoch_full_.fetch_add(1, std::memory_order_relaxed);
+    bump();
   }
-  ~EpochGuard() {
-    if (blk_ != nullptr)
-      blk_->epoch.fetch_add(1, std::memory_order_acq_rel);
+  EpochGuard(const DirOps& ops, Inode& dir, DirBlock* head,
+             DirBlock* head_b = nullptr) noexcept
+      : ops_(ops), anchor_(ops.first_block(dir)), a_(head), b_(head_b) {
+    ops.stat_epoch_scoped_.fetch_add(1, std::memory_order_relaxed);
+    bump();
   }
+  ~EpochGuard() { bump(); }
   EpochGuard(const EpochGuard&) = delete;
   EpochGuard& operator=(const EpochGuard&) = delete;
 
  private:
-  DirBlock* blk_;
+  void bump() noexcept {
+    if (whole_) {
+      if (anchor_ == nullptr) return;
+      anchor_->epoch.fetch_add(1, std::memory_order_acq_rel);
+      const std::uint64_t d = anchor_->depth.load(std::memory_order_acquire);
+      if (d == 0) return;
+      const unsigned n = 1u << (d > kMaxBucketBits ? kMaxBucketBits : d);
+      for (unsigned i = 0; i < n; ++i) {
+        DirBlock* h = anchor_->bucket_heads[i].load().in(ops_.dev_);
+        if (h != nullptr) h->epoch.fetch_add(1, std::memory_order_acq_rel);
+      }
+      return;
+    }
+    if (a_ != nullptr) a_->epoch.fetch_add(1, std::memory_order_acq_rel);
+    if (b_ != nullptr && b_ != a_)
+      b_->epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+  const DirOps& ops_;
+  DirBlock* anchor_;
+  DirBlock* a_ = nullptr;
+  DirBlock* b_ = nullptr;
+  bool whole_ = false;
 };
 
-// Busy-wait lock on one line of a directory (bit in the first block).
-// Stealing an expired lease first repairs the line, implementing the
-// paper's "the next process accessing the same row continues the
-// execution" rule.
+// Busy-wait lock on one line of a chain head (bit in that head's busy
+// word) — per-bucket lock words once a directory splits.  Stealing an
+// expired lease lets the caller repair the line, implementing the paper's
+// "the next process accessing the same row continues the execution" rule.
 class LineLock {
  public:
   LineLock(const DirOps& ops, Inode& dir, unsigned line,
-           std::uint64_t lease_ns);
+           std::uint64_t lease_ns)
+      : LineLock(ops.first_block(dir), line, lease_ns) {}
+  LineLock(DirBlock* head, unsigned line, std::uint64_t lease_ns);
   // A CrashedException models the holding process dying: the lock must stay
   // held so survivors detect the expired lease and run line recovery, so
   // the destructor skips the unlock while crash-unwinding.
@@ -316,10 +560,27 @@ class LineLock {
 };
 
 template <typename Fn>
+void DirOps::for_each_block(Inode& dir, Fn&& fn) const {
+  const nvmm::pptr<DirBlock> first = dir.dir.load();
+  if (!first) return;
+  auto walk = [&](nvmm::pptr<DirBlock> b) {
+    while (b) {
+      DirBlock* blk = b.in(dev_);
+      fn(blk, b.raw());
+      b = blk->next.load();
+    }
+  };
+  walk(first);
+  DirBlock* anchor = first.in(dev_);
+  const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+  if (d == 0) return;
+  const unsigned n = 1u << (d > kMaxBucketBits ? kMaxBucketBits : d);
+  for (unsigned i = 0; i < n; ++i) walk(anchor->bucket_heads[i].load());
+}
+
+template <typename Fn>
 void DirOps::list(Inode& dir, Fn&& fn) const {
-  nvmm::pptr<DirBlock> b = dir.dir.load();
-  while (b) {
-    DirBlock* blk = b.in(dev_);
+  for_each_block(dir, [&](DirBlock* blk, std::uint64_t) {
     for (unsigned ln = 0; ln < kLines; ++ln) {
       for (unsigned s = 0; s < kSlotsPerLine; ++s) {
         const std::uint64_t v =
@@ -333,8 +594,63 @@ void DirOps::list(Inode& dir, Fn&& fn) const {
         fn(std::string_view{namebuf, len}, off, fe->inode.load().raw());
       }
     }
-    b = blk->next.load();
+  });
+}
+
+template <typename Fn>
+std::uint64_t DirOps::list_at(Inode& dir, std::uint64_t cursor,
+                              std::size_t cap, Fn&& fn) const {
+  // Cursor encoding: [unit:16][block ordinal:32][line:8][slot:8], where
+  // unit 0 is the legacy/anchor chain and unit 1+i is bucket i.  Chain
+  // blocks are never unlinked at runtime, so block ordinals are stable
+  // for the lifetime of a scan.
+  if (cursor == kReaddirEnd) return kReaddirEnd;
+  const nvmm::pptr<DirBlock> first = dir.dir.load();
+  if (!first) return kReaddirEnd;
+  DirBlock* anchor = first.in(dev_);
+  const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
+  const unsigned n_units =
+      1u + (d != 0 ? (1u << (d > kMaxBucketBits ? kMaxBucketBits : d)) : 0u);
+  std::uint64_t unit = cursor >> 48;
+  std::uint64_t blk_idx = (cursor >> 16) & 0xffffffffull;
+  unsigned ln = static_cast<unsigned>((cursor >> 8) & 0xff);
+  unsigned sl = static_cast<unsigned>(cursor & 0xff);
+  if (ln >= kLines || sl >= kSlotsPerLine) return kReaddirEnd;  // corrupt
+  std::size_t emitted = 0;
+  for (; unit < n_units; ++unit, blk_idx = 0, ln = 0, sl = 0) {
+    nvmm::pptr<DirBlock> b =
+        unit == 0 ? first : anchor->bucket_heads[unit - 1].load();
+    std::uint64_t idx = 0;
+    while (b && idx < blk_idx) {
+      b = b.in(dev_)->next.load();
+      ++idx;
+    }
+    while (b) {
+      DirBlock* blk = b.in(dev_);
+      for (; ln < kLines; ++ln, sl = 0) {
+        for (; sl < kSlotsPerLine; ++sl) {
+          if (emitted == cap)
+            return (unit << 48) | (idx << 16) |
+                   (static_cast<std::uint64_t>(ln) << 8) | sl;
+          const std::uint64_t v =
+              blk->lines[ln].slots[sl].v.load(std::memory_order_acquire);
+          const std::uint64_t off = DirSlot::off_of(v);
+          if (off == 0) continue;
+          const FileEntry* fe = entry_at(off);
+          char namebuf[kMaxName + 1];
+          const std::uint16_t len = fe->load_name(namebuf);
+          if (len == 0) continue;  // being deleted
+          fn(std::string_view{namebuf, len}, off, fe->inode.load().raw());
+          ++emitted;
+        }
+      }
+      b = blk->next.load();
+      ++idx;
+      ln = 0;
+      sl = 0;
+    }
   }
+  return kReaddirEnd;
 }
 
 }  // namespace simurgh::core

@@ -111,6 +111,24 @@ void FileSystem::make_walker() {
   }
   extent_cache_ = std::make_unique<ExtentCache>(ext_slots);
 
+  // Giant-directory fan-out A/B switch: SIMURGH_DIR_SPLIT=0|off pins every
+  // directory to a single chain (the pre-split layout); the benches use it
+  // to measure the fan-out win.  SIMURGH_DIR_SPLIT_THRESHOLD=<blocks>
+  // tunes when a chain fans out (tests shrink it to split tiny dirs).
+  {
+    unsigned bits = dirops_->split_bits();
+    if (const char* s = std::getenv("SIMURGH_DIR_SPLIT")) {
+      const std::string_view v(s);
+      if (v == "0" || v == "off" || v == "false") bits = 0;
+    }
+    std::uint64_t threshold = 4;
+    if (const char* s = std::getenv("SIMURGH_DIR_SPLIT_THRESHOLD")) {
+      const long n = std::strtol(s, nullptr, 10);
+      if (n > 0) threshold = static_cast<std::uint64_t>(n);
+    }
+    dirops_->set_split_params(threshold, bits);
+  }
+
   // ... and thread-local block reservations (SIMURGH_BLOCK_RESERVE=<blocks>,
   // 0 disables).  Raw BlockAllocator users keep the direct path; only a
   // mounted file system opts in.
@@ -434,6 +452,11 @@ FsStat FileSystem::fsstat() {
       blocks_->stats().reserve_slot_probes.load(std::memory_order_relaxed);
   st.shard_invalidations =
       shard_invalidations_.load(std::memory_order_relaxed);
+  const DirOps::Stats ds = dirops_->stats();
+  st.dir_splits = ds.splits;
+  st.dir_block_probes = ds.block_probes;
+  st.dir_epoch_bumps_scoped = ds.epoch_bumps_scoped;
+  st.dir_epoch_bumps_full = ds.epoch_bumps_full;
   return st;
 }
 
@@ -595,13 +618,14 @@ Status Process::drop_inode(std::uint64_t inode_off) {
     // epoch generation past this directory's final epoch so no stale
     // lookup-cache entry can ever validate against its successor.
     fs_.dirops().retire_dir_epoch(*ino);
-    nvmm::pptr<DirBlock> b = ino->dir.load();
+    // Collect every hash block — the anchor chain plus all bucket chains —
+    // BEFORE freeing any: pool free scrubs the block, and the bucket-head
+    // pointers live inside the anchor block.
+    std::vector<std::uint64_t> blocks;
+    fs_.dirops().for_each_block(
+        *ino, [&](DirBlock*, std::uint64_t off) { blocks.push_back(off); });
     ino->dir.store(nvmm::pptr<DirBlock>());
-    while (b) {
-      const nvmm::pptr<DirBlock> next = b.in(fs_.dev())->next.load();
-      fs_.pool(kPoolDirBlock).free(b.raw());
-      b = next;
-    }
+    for (const std::uint64_t off : blocks) fs_.pool(kPoolDirBlock).free(off);
   } else {
     {
       ExtentEpochGuard guard(*ino);
@@ -891,6 +915,22 @@ Result<std::vector<DirEntry>> Process::readdir(std::string_view path) {
     out.push_back(DirEntry{std::string(name), inode_off});
   });
   return out;
+}
+
+Result<std::uint64_t> Process::readdir_at(std::string_view path,
+                                          std::uint64_t cursor,
+                                          std::vector<DirEntry>& out,
+                                          std::size_t cap) {
+  fs_.poll_coordination();
+  SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr, fs_.walker().resolve(cred_, path));
+  Inode* ino = fs_.inode_at(rr.inode_off);
+  if (!ino->is_dir()) return Errc::not_dir;
+  if (!may_access(*ino, cred_, kMayRead)) return Errc::permission;
+  return fs_.dirops().list_at(
+      *ino, cursor, cap,
+      [&](std::string_view name, std::uint64_t, std::uint64_t inode_off) {
+        out.push_back(DirEntry{std::string(name), inode_off});
+      });
 }
 
 }  // namespace simurgh::core

@@ -100,6 +100,14 @@ struct FsStat {
   std::uint64_t obj_stripe_steals = 0;    // free-obj pops off foreign stripes
   std::uint64_t reserve_slot_probes = 0;  // reservation-slot scan length
   std::uint64_t shard_invalidations = 0;  // cache shards this mount dropped
+  // Giant-directory telemetry (this mount's view; see DirOps::Stats).
+  // The epoch-bump split tells how selective invalidation is: scoped bumps
+  // touch only the mutated bucket's epoch, full bumps invalidate every
+  // cached walk through the directory.
+  std::uint64_t dir_splits = 0;             // directories fanned out
+  std::uint64_t dir_block_probes = 0;       // blocks scanned by empty()
+  std::uint64_t dir_epoch_bumps_scoped = 0; // bucket-scoped epoch bumps
+  std::uint64_t dir_epoch_bumps_full = 0;   // whole-directory epoch bumps
 };
 
 // What a survivor's dead-peer reclaim recovered (reap_dead_mounts()).
@@ -382,6 +390,17 @@ class Process {
   Status utimes(std::string_view path, std::uint64_t atime_ns,
                 std::uint64_t mtime_ns);
   Result<std::vector<DirEntry>> readdir(std::string_view path);
+  // Streaming readdir for giant directories: appends up to `cap` entries to
+  // `out` starting at `cursor` (0 = begin) and returns the cursor to resume
+  // from, or kReaddirEnd when the scan is finished.  Semantics under
+  // concurrent mutation: an entry alive for the whole scan is returned at
+  // least once and never skipped; an entry renamed or migrated by a
+  // concurrent bucket split may be returned twice (dup-once); entries
+  // created or removed mid-scan may or may not appear.  Cursors stay valid
+  // across calls and processes as long as the directory exists.
+  Result<std::uint64_t> readdir_at(std::string_view path, std::uint64_t cursor,
+                                   std::vector<DirEntry>& out,
+                                   std::size_t cap);
 
   [[nodiscard]] const Credentials& cred() const noexcept { return cred_; }
   [[nodiscard]] FileSystem& fs() noexcept { return fs_; }

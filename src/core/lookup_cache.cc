@@ -259,6 +259,8 @@ bool PathCache::get(std::uint64_t cred_key, std::string_view path,
   for (std::uint64_t i = 0; i < nd; ++i) {
     out.dirs[i] = s.dirs[i].load(std::memory_order_relaxed);
     out.epochs[i] = s.epochs[i].load(std::memory_order_relaxed);
+    out.buckets[i] = static_cast<std::uint32_t>(
+        s.buckets[i].load(std::memory_order_relaxed));
   }
   std::atomic_thread_fence(std::memory_order_acquire);
   if (s.seq.load(std::memory_order_relaxed) != seq1) {
@@ -302,6 +304,7 @@ void PathCache::put(std::uint64_t cred_key, std::string_view path,
   for (std::uint32_t i = 0; i < e.n_dirs; ++i) {
     s.dirs[i].store(e.dirs[i], std::memory_order_relaxed);
     s.epochs[i].store(e.epochs[i], std::memory_order_relaxed);
+    s.buckets[i].store(e.buckets[i], std::memory_order_relaxed);
   }
   s.seq.store(seq + 2, std::memory_order_release);
   bump(fills_);

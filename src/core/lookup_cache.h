@@ -172,6 +172,11 @@ class PathCache {
     std::uint32_t n_dirs = 0;
     std::uint64_t dirs[kMaxChain] = {};
     std::uint64_t epochs[kMaxChain] = {};
+    // Which bucket the component looked up in dirs[i] hashed to when the
+    // epoch was recorded (0 while that directory was unsplit): once a
+    // directory fans out, epochs[i] must be validated against that bucket
+    // head's epoch, not the whole directory's.
+    std::uint32_t buckets[kMaxChain] = {};
   };
 
   // Snapshot lookup: returns true when a consistent entry for
@@ -207,6 +212,7 @@ class PathCache {
     std::atomic<std::uint64_t> n_dirs{0};
     std::atomic<std::uint64_t> dirs[kMaxChain];
     std::atomic<std::uint64_t> epochs[kMaxChain];
+    std::atomic<std::uint64_t> buckets[kMaxChain];
   };
 
   [[nodiscard]] Slot& slot_for(std::uint64_t cred_key,

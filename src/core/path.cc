@@ -33,8 +33,10 @@ Result<PathWalker::ChildRef> PathWalker::lookup_child(
   if (cache != nullptr && LookupCache::cacheable(name)) {
     // The epoch is loaded (acquire) before the probe; a hit is only valid
     // against this snapshot, and a fill only happens when the epoch did not
-    // move across the slow probe.
-    epoch = dirops_.dir_epoch(dir);
+    // move across the slow probe.  name_epoch routes to the bucket head
+    // governing `name` once the directory is split, so mutations in other
+    // buckets neither invalidate this binding nor block its fill.
+    epoch = dirops_.name_epoch(dir, name).epoch;
     if (epoch != ~0ull) {
       LookupCache::Binding b;
       if (cache->get(dir_off, name, epoch, b))
@@ -51,12 +53,12 @@ Result<PathWalker::ChildRef> PathWalker::lookup_child(
   const auto* fe = reinterpret_cast<const FileEntry*>(dev_.at(fe_off));
   const std::uint64_t child_off = fe->inode.load().raw();
   if (child_off == 0) return Errc::not_found;  // racing delete
-  if (cache != nullptr && dirops_.dir_epoch(dir) == epoch)
+  if (cache != nullptr && dirops_.name_epoch(dir, name).epoch == epoch)
     cache->put(dir_off, name, epoch, fe_off, child_off);
   return ChildRef{fe_off, child_off};
 }
 
-bool PathWalker::dir_epoch_now(std::uint64_t ino_off,
+bool PathWalker::dir_epoch_now(std::uint64_t ino_off, std::uint32_t bucket,
                                std::uint64_t& out) const noexcept {
   // Chain entries were recorded in the past: the inode may have been freed
   // since (pool memory is only ever reused for inodes, so the read itself
@@ -71,12 +73,27 @@ bool PathWalker::dir_epoch_now(std::uint64_t ino_off,
   if (blk == 0 || (blk & 7) != 0 || blk + sizeof(DirBlock) > dev_.size())
     return false;
   const auto* b = reinterpret_cast<const DirBlock*>(dev_.at(blk));
-  out = b->epoch.load(std::memory_order_acquire);
+  const std::uint64_t depth = b->depth.load(std::memory_order_acquire);
+  if (depth == 0) {
+    // A bucket recorded against a since-unsplit directory compares safely
+    // here: unsplitting re-stamps the anchor epoch above every retired
+    // head epoch, so the comparison simply fails.
+    out = b->epoch.load(std::memory_order_acquire);
+    return true;
+  }
+  if (depth > kMaxBucketBits) return false;  // recycled/torn memory
+  if (bucket >= (1u << depth)) return false;
+  const std::uint64_t hoff = b->bucket_heads[bucket].load().raw();
+  if (hoff == 0 || (hoff & 7) != 0 || hoff + sizeof(DirBlock) > dev_.size())
+    return false;
+  out = reinterpret_cast<const DirBlock*>(dev_.at(hoff))
+            ->epoch.load(std::memory_order_acquire);
   return true;
 }
 
 bool PathWalker::chain_matches(const std::uint64_t* dirs,
                                const std::uint64_t* epochs,
+                               const std::uint32_t* buckets,
                                std::uint32_t n) const noexcept {
   // Reverse order (leaf-most first, root last) makes one pass sound
   // against recycled directories: removing or moving dirs[i] out of
@@ -88,7 +105,8 @@ bool PathWalker::chain_matches(const std::uint64_t* dirs,
   // never-recycled root.
   for (std::uint32_t i = n; i-- > 0;) {
     std::uint64_t e;
-    if (!dir_epoch_now(dirs[i], e) || e != epochs[i]) return false;
+    if (!dir_epoch_now(dirs[i], buckets[i], e) || e != epochs[i])
+      return false;
   }
   return true;
 }
@@ -132,12 +150,21 @@ Result<ResolveResult> PathWalker::walk(const Credentials& cred,
       // and probe, so a chmod/mutation racing the walk leaves the recorded
       // value behind the final epoch and the fill-side re-check refuses it.
       std::uint64_t e = ~0ull;
-      if (cur->is_dir()) e = dirops_.dir_epoch(*cur);
+      std::uint32_t bkt = 0;
+      if (cur->is_dir()) {
+        // The epoch governing *this component* in cur: the bucket head's
+        // once cur is split, so only mutations of that bucket invalidate
+        // the chain link.
+        const DirOps::NameEpoch ne = dirops_.name_epoch(*cur, comp);
+        e = ne.epoch;
+        bkt = ne.bucket;
+      }
       if (e == ~0ull || trace->n == PathCache::kMaxChain) {
         trace->ok = false;
       } else {
         trace->dirs[trace->n] = cur_off;
         trace->epochs[trace->n] = e;
+        trace->buckets[trace->n] = bkt;
         ++trace->n;
       }
     }
@@ -249,7 +276,7 @@ Result<ResolveResult> PathWalker::resolve(const Credentials& cred,
     // while every chained epoch stands.
     if (static_cast<std::size_t>(e.leaf_pos) + e.leaf_len <= path.size() &&
         e.leaf_len <= kMaxName &&
-        chain_matches(e.dirs, e.epochs, e.n_dirs)) {
+        chain_matches(e.dirs, e.epochs, e.buckets, e.n_dirs)) {
       ResolveResult res;
       res.parent_off = e.parent_off;
       res.inode_off = e.inode_off;
@@ -266,7 +293,7 @@ Result<ResolveResult> PathWalker::resolve(const Credentials& cred,
       // Fill only when every traversed directory still carries the epoch
       // recorded before it was checked: then bindings *and* permission
       // outcomes replay identically until some chained epoch moves.
-      chain_matches(tr.dirs, tr.epochs, tr.n)) {
+      chain_matches(tr.dirs, tr.epochs, tr.buckets, tr.n)) {
     PathCache::Entry fill;
     fill.parent_off = r->parent_off;
     fill.inode_off = r->inode_off;
@@ -276,6 +303,7 @@ Result<ResolveResult> PathWalker::resolve(const Credentials& cred,
     for (std::uint32_t i = 0; i < tr.n; ++i) {
       fill.dirs[i] = tr.dirs[i];
       fill.epochs[i] = tr.epochs[i];
+      fill.buckets[i] = tr.buckets[i];
     }
     pc->put(cred_key, path, fill);
   }

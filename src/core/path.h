@@ -74,6 +74,9 @@ struct WalkTrace {
   std::uint32_t leaf_len = 0;
   std::uint64_t dirs[PathCache::kMaxChain] = {};
   std::uint64_t epochs[PathCache::kMaxChain] = {};
+  // Bucket (of the component looked up in dirs[i]) the epoch was read
+  // from: the governing bucket head once dirs[i] is split, 0 before.
+  std::uint32_t buckets[PathCache::kMaxChain] = {};
 };
 
 class PathWalker {
@@ -125,15 +128,19 @@ class PathWalker {
                              bool follow_symlink, bool want_parent, int depth,
                              WalkTrace* trace = nullptr) const;
 
-  // Loads the current epoch of the directory inode at `ino_off`, refusing
-  // offsets that cannot denote a live first block (bounds / alignment):
-  // validation chases offsets recorded in the past, so unlike the walk it
-  // may encounter freed-and-rewritten inodes and must stay in bounds.
-  bool dir_epoch_now(std::uint64_t ino_off, std::uint64_t& out) const noexcept;
+  // Loads the current epoch governing `bucket` of the directory inode at
+  // `ino_off` (the bucket head's epoch once the directory is split, the
+  // anchor's otherwise), refusing offsets that cannot denote a live first
+  // block (bounds / alignment): validation chases offsets recorded in the
+  // past, so unlike the walk it may encounter freed-and-rewritten inodes
+  // and must stay in bounds.
+  bool dir_epoch_now(std::uint64_t ino_off, std::uint32_t bucket,
+                     std::uint64_t& out) const noexcept;
 
   // One forward pass: every chained directory still carries its recorded
   // epoch.  Hits require two passes (see lookup_cache.h); fills one.
   bool chain_matches(const std::uint64_t* dirs, const std::uint64_t* epochs,
+                     const std::uint32_t* buckets,
                      std::uint32_t n) const noexcept;
 
   nvmm::Device& dev_;

@@ -101,11 +101,11 @@ RecoveryReport FileSystem::recover() {
     dirops_->recover_directory(*dir);
     // Deferred Fig. 5b step 6: drop emptied chain blocks while offline.
     report.reclaimed_objects += dirops_->compact_chain(*dir);
-    nvmm::pptr<DirBlock> b = dir->dir.load();
-    while (b) {
-      live_dirblocks.insert(b.raw());
-      b = b.in(*dev_)->next.load();
-    }
+    // Mark every hash block: the anchor chain plus, once the directory has
+    // fanned out, each bucket chain (a plain next-walk would sweep the
+    // bucket blocks as unreachable and lose every migrated entry).
+    dirops_->for_each_block(
+        *dir, [&](DirBlock*, std::uint64_t off) { live_dirblocks.insert(off); });
     dirops_->list(*dir, [&](std::string_view, std::uint64_t fe_off,
                             std::uint64_t ino_off) {
       beat(4096);  // per directory entry

@@ -256,6 +256,42 @@ TEST(CrashImages, SymlinkIsCrashAtomic) {
   expect_both_outcomes(h, "symlink");
 }
 
+TEST(CrashImages, BucketSplitIsCrashAtomic) {
+  // The giant-directory fan-out (DESIGN.md §10): a directory past the chain
+  // threshold is split into 2^d bucket chains.  The split moves entries
+  // between hash blocks but changes no namespace state, so here pre == post
+  // and EVERY crash prefix — heads published, depth published, any subset of
+  // migrated slots — must recover to the one oracle snapshot losing no entry,
+  // with a clean (bucket-aware) fsck.  The split's publish sequence spans
+  // hundreds of fences at this population; exploration covers each window.
+  CrashHarness h;
+  // The op below fires the split explicitly; auto-split must stay out of
+  // setup's create path or the op would find nothing to do.
+  h.fs().dirops().set_split_params(1000, 3);
+  h.setup([](core::Process& p) {
+    ASSERT_TRUE(p.mkdir("/d").is_ok());
+    for (unsigned i = 0; i < 120; ++i) {
+      auto fd = p.open("/d/f" + std::to_string(i), kOpenCreate | kOpenWrite);
+      ASSERT_TRUE(fd.is_ok());
+      ASSERT_TRUE(p.close(*fd).is_ok());
+    }
+  });
+  h.run_op([&h](core::Process& p) {
+    auto st = p.stat("/d");
+    ASSERT_TRUE(st.is_ok());
+    core::Inode* d = h.fs().inode_at(st->inode);
+    ASSERT_EQ(h.fs().dirops().dir_depth(*d), 0u);
+    ASSERT_TRUE(h.fs().dirops().split_directory(*d).is_ok());
+    ASSERT_GT(h.fs().dirops().dir_depth(*d), 0u);
+  });
+  h.explore("bucket split of /d (120 entries, 8 buckets)");
+  std::cout << "[crash-harness] bucket split: " << h.stats() << "\n";
+  EXPECT_GT(h.stats().images, 0u);
+  EXPECT_TRUE(h.pre() == h.post())
+      << "a split must not change the namespace: "
+      << snapshot_diff(h.pre(), h.post());
+}
+
 // ---- fsck self-tests: the checker must actually detect corruption ----
 
 class FsckCorruptionTest : public ::testing::Test {
