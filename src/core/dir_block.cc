@@ -808,12 +808,13 @@ void DirOps::repair_line_all(Inode& dir, unsigned ln) {
   }
 }
 
-void DirOps::migrate_line(Inode& dir, unsigned ln) {
+bool DirOps::migrate_line(Inode& dir, unsigned ln) {
   DirBlock* anchor = first_block(dir);
-  if (anchor == nullptr) return;
+  if (anchor == nullptr) return true;
   const std::uint64_t d = anchor->depth.load(std::memory_order_acquire);
-  if (d == 0) return;
+  if (d == 0) return true;
   const std::uint64_t eff_d = d > kMaxBucketBits ? kMaxBucketBits : d;
+  bool drained = true;
   for (DirBlock* blk = anchor; blk != nullptr;
        blk = blk->next.load().in(dev_)) {
     for (unsigned s = 0; s < kSlotsPerLine; ++s) {
@@ -825,11 +826,17 @@ void DirOps::migrate_line(Inode& dir, unsigned ln) {
       FileEntry* fe = entry_at(off);
       char namebuf[kMaxName + 1];
       const std::uint16_t nlen = fe->load_name(namebuf);
-      if (nlen == 0) continue;  // mid-delete; a later scrub finishes it
+      if (nlen == 0) {  // mid-delete; a later scrub finishes it
+        drained = false;
+        continue;
+      }
       const std::string_view nm{namebuf, nlen};
       DirBlock* head =
           anchor->bucket_heads[bucket_of(nm, eff_d)].load().in(dev_);
-      if (head == nullptr) continue;  // torn image; recovery rolls back
+      if (head == nullptr) {  // torn image; recovery rolls back
+        drained = false;
+        continue;
+      }
       const unsigned want_ln = line_of(nm);  // == ln except rename strays
       const std::uint16_t tag = tag_of_name(nm);
       SlotRef existing = find_slot_in(head, want_ln, nm, tag);
@@ -839,33 +846,54 @@ void DirOps::migrate_line(Inode& dir, unsigned ln) {
         bool placed = false;
         while (!placed) {
           auto free_ref = free_slot_in(head, want_ln);
-          if (!free_ref.is_ok()) return;  // out of blocks; retried later
+          if (!free_ref.is_ok()) break;  // out of blocks
           placed = claim_slot(*free_ref->slot, DirSlot::pack(tag, off));
+        }
+        if (!placed) {
+          // The entry stays in the legacy chain.  Keep scanning: slots
+          // whose bucket copy already exists still dedup-clear below
+          // without allocating, so a partial drain leaves no duplicates.
+          drained = false;
+          continue;
         }
         SIMURGH_FAILPOINT("dir.split.slot_copied");
       } else if (DirSlot::off_of(existing.slot->v.load(
                      std::memory_order_acquire)) != off) {
         // Same name, different entry: remnant of a crashed replace-rename.
         // Leave the legacy slot for repair_line_* to adjudicate.
+        drained = false;
         continue;
       }
       clear_slot(slot, v);
       SIMURGH_FAILPOINT("dir.split.slot_migrated");
     }
   }
+  return drained;
 }
 
 void DirOps::maybe_split(Inode& dir) {
   if (split_bits_ == 0) return;
   DirBlock* anchor = first_block(dir);
   if (anchor == nullptr) return;
-  if (anchor->depth.load(std::memory_order_acquire) != 0 ||
-      anchor->split_state.load(std::memory_order_acquire) != 0)
+  if (anchor->split_state.load(std::memory_order_acquire) != 0) {
+    // A split is mid-flight.  A live splitter refreshes every anchor
+    // lease each line it migrates, so a fresh stamp means "stay out of
+    // the way".  A stale one means the splitter died (or a drain stalled
+    // on ENOSPC and released its locks): roll the split forward now so
+    // the directory doesn't stay in splitting mode — every lookup
+    // double-scanning legacy then bucket chains — until a remount.
+    const std::uint64_t stamp =
+        anchor->stamp_ns[0].load(std::memory_order_relaxed);
+    if (monotonic_ns() - stamp > lease_ns_) (void)split_directory(dir);
     return;
+  }
+  if (anchor->depth.load(std::memory_order_acquire) != 0) return;
   std::uint64_t n = 0;
   for (DirBlock* b = anchor; b != nullptr; b = b->next.load().in(dev_)) ++n;
   if (n <= split_threshold_) return;
-  (void)split_directory(dir);  // best effort: ENOSPC leaves the dir unsplit
+  // Best effort: ENOSPC leaves the dir unsplit, or armed mid-drain (a
+  // later pass finishes it).
+  (void)split_directory(dir);
 }
 
 Status DirOps::split_directory(Inode& dir) {
@@ -889,10 +917,22 @@ Status DirOps::split_directory(Inode& dir) {
   if (d0 != 0) {
     if (anchor->split_state.load(std::memory_order_acquire) != 0) {
       EpochGuard epoch(*this, dir);
+      // Repair every line before draining: rename remnants need full
+      // duplicate adjudication, and migrate_line refuses to settle while
+      // any remain.  All mutators serialize on the anchor locks we hold,
+      // so touching the bucket chains is safe.
+      for (unsigned ln = 0; ln < kLines; ++ln) repair_line_all(dir, ln);
+      bool drained = true;
       for (unsigned ln = 0; ln < kLines; ++ln) {
-        if (stolen[ln]) repair_line_all(dir, ln);
-        migrate_line(dir, ln);
+        const std::uint64_t now = monotonic_ns();
+        for (unsigned i = 0; i < kLines; ++i)
+          anchor->stamp_ns[i].store(now, std::memory_order_relaxed);
+        if (!migrate_line(dir, ln)) drained = false;
       }
+      // Settle only when every legacy slot drained: while any remain,
+      // find_slot must keep probing the legacy chain first, which it does
+      // only while the armed marker is up.
+      if (!drained) return Status(Errc::no_space);
       anchor->split_state.store(0, std::memory_order_release);
       nvmm::persist_now(anchor->split_state);
     }
@@ -955,15 +995,22 @@ Status DirOps::split_directory(Inode& dir) {
   nvmm::persist_now(anchor->depth);
   SIMURGH_FAILPOINT("dir.split.depth_published");
 
+  bool drained = true;
   for (unsigned ln = 0; ln < kLines; ++ln) {
     // Keep every held lease fresh: mutators must not conclude we died
     // while a long migration is still making progress.
     const std::uint64_t now = monotonic_ns();
     for (unsigned i = 0; i < kLines; ++i)
       anchor->stamp_ns[i].store(now, std::memory_order_relaxed);
-    migrate_line(dir, ln);
+    if (!migrate_line(dir, ln)) drained = false;
   }
 
+  if (!drained) {
+    // Out of blocks mid-migration: leave split_state armed — legacy-first
+    // probing keeps the undrained entries reachable — and let a later
+    // mutator (maybe_split's roll-forward) or recovery finish the drain.
+    return Status(Errc::no_space);
+  }
   anchor->split_state.store(0, std::memory_order_release);
   nvmm::persist_now(anchor->split_state);
   stat_splits_.fetch_add(1, std::memory_order_relaxed);
@@ -1145,9 +1192,16 @@ void DirOps::recover_directory(Inode& dir) {
   if (d != 0 && anchor->split_state.load(std::memory_order_acquire) != 0) {
     // Roll the split forward: depth was published, so readers already
     // route to the buckets; drain what the dead splitter left behind.
-    for (unsigned ln = 0; ln < kLines; ++ln) migrate_line(dir, ln);
-    anchor->split_state.store(0, std::memory_order_release);
-    nvmm::persist_now(anchor->split_state);
+    // Settle only if every line fully drained — otherwise keep the split
+    // armed so legacy-first probing still reaches the leftover entries
+    // and a later pass (maybe_split, the next recovery) finishes.
+    bool drained = true;
+    for (unsigned ln = 0; ln < kLines; ++ln)
+      if (!migrate_line(dir, ln)) drained = false;
+    if (drained) {
+      anchor->split_state.store(0, std::memory_order_release);
+      nvmm::persist_now(anchor->split_state);
+    }
   }
   anchor->busy.store(0, std::memory_order_release);
   anchor->rename_busy.store(0, std::memory_order_release);

@@ -144,9 +144,10 @@ struct DirBlock {
   std::atomic<std::uint64_t> busy{0};          // one bit per line
   std::atomic<std::uint32_t> rename_busy{0};   // intra-dir rename marker
   // Split-in-progress marker (persistent, anchor block only): armed after
-  // the bucket heads are published and before `depth`, cleared once every
-  // legacy slot has migrated.  While set, the legacy chain may still hold
-  // entries and mutators serialize on the anchor line locks.
+  // the bucket heads are published and before `depth`, cleared only once
+  // every legacy slot has migrated (a drain stalled by ENOSPC leaves it
+  // armed; mutators and recovery retry).  While set, the legacy chain may
+  // still hold entries and mutators serialize on the anchor line locks.
   std::atomic<std::uint32_t> split_state{0};
   // Mutation epoch for the DRAM lookup cache (lookup_cache.h): every
   // DirOps mutation increments it once before its first visible change and
@@ -181,9 +182,12 @@ inline unsigned line_of(std::string_view name) noexcept {
 inline std::uint16_t tag_of_name(std::string_view name) noexcept {
   return static_cast<std::uint16_t>(fnv1a64(name) >> 48);
 }
-// Bucket selection uses hash bits disjoint from both the line bits (low,
-// mod 48) and the tag bits (top 16), so the per-line and per-bucket
-// distributions stay independent.
+// Bucket selection uses hash bits 16..16+depth, disjoint from the tag
+// bits (top 16).  The line (whole hash mod 48) is NOT independent of the
+// bucket — line_of consumes every bit, including these — but nothing
+// relies on independence: each only needs to be well distributed, and
+// fixing the bucket bits still leaves 58 varying bits spreading names
+// across the 48 lines.
 inline unsigned bucket_of_hash(std::uint64_t h, std::uint64_t depth) noexcept {
   return static_cast<unsigned>((h >> 16) & ((1ull << depth) - 1ull));
 }
@@ -441,8 +445,12 @@ class DirOps {
   // Moves every legacy (anchor-chain) entry of line `ln` to its bucket —
   // publish in the bucket, then clear the legacy slot, deduplicating when
   // a crashed migrator already published.  Caller holds the anchor line
-  // lock; depth must be published.
-  void migrate_line(Inode& dir, unsigned ln);
+  // lock; depth must be published.  Returns true iff the line fully
+  // drained; false when some slot could not migrate (out of blocks, torn
+  // head, or a rename remnant awaiting repair).  Callers must then leave
+  // split_state armed so legacy-first probing keeps those entries
+  // reachable until a later pass finishes the drain.
+  bool migrate_line(Inode& dir, unsigned ln);
 
   // Splits `dir` when the anchor chain outgrew the threshold.
   void maybe_split(Inode& dir);

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -604,6 +605,101 @@ TEST_F(DirScaleCrashTest, CrashMidMigrationThenAutoSplitRollsForward) {
   EXPECT_TRUE(fs_->dirops().split_directory(*d).is_ok());
   for (unsigned i = 0; i < 200; ++i)
     EXPECT_TRUE(p().stat("/d/" + nm(0, i)).is_ok()) << nm(0, i);
+}
+
+TEST_F(DirScaleCrashTest, MutatorRollsForwardDeadSplitWithoutRemount) {
+  // After a splitter dies mid-migration, an ordinary mutator — not a
+  // remount — must settle the split: maybe_split sees the armed marker
+  // with an expired anchor lease and rolls the migration forward.
+  ASSERT_TRUE(p().mkdir("/d").is_ok());
+  for (unsigned i = 0; i < 200; ++i) create_file("/d/" + nm(0, i));
+  core::Inode* d = dir_inode("/d");
+  FailPoint::arm("dir.split.slot_copied", /*skip=*/25);
+  EXPECT_THROW((void)fs_->dirops().split_directory(*d), CrashedException);
+  FailPoint::disarm();
+  ASSERT_GT(fs_->dirops().dir_depth(*d), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // > lease
+  auto survivor = fs_->open_process(1000, 1000);
+  auto fd = survivor->open("/d/poke", kOpenCreate | kOpenWrite);
+  ASSERT_TRUE(fd.is_ok());
+  ASSERT_TRUE(survivor->close(*fd).is_ok());
+  // The split settled in place: the checker no longer sees the armed
+  // marker (it refuses split_state != 0), and every entry survived.
+  const core::CheckReport cr = core::check_fs(*fs_);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
+  for (unsigned i = 0; i < 200; ++i)
+    EXPECT_TRUE(survivor->stat("/d/" + nm(0, i)).is_ok()) << nm(0, i);
+  EXPECT_TRUE(survivor->stat("/d/poke").is_ok());
+}
+
+TEST_F(DirScaleTest, EnospcMidMigrationKeepsEntriesReachable) {
+  // A migration that cannot extend a bucket chain (device full) must NOT
+  // settle the split: before the fix, split_directory cleared the armed
+  // marker over a partial drain, and the entries left in the legacy chain
+  // vanished from lookup (find_slot only probes legacy while armed).
+  nvmm::Device tiny(80ull << 20);
+  nvmm::Device shm(4ull << 20);
+  auto fs = core::FileSystem::format(tiny, shm);
+  fs->dirops().set_split_params(1000, 2);  // the test fires the split
+  auto proc = fs->open_process(1000, 1000);
+  ASSERT_TRUE(proc->mkdir("/d").is_ok());
+  // Names colliding on one (line, bucket) pair: draining them needs ~150
+  // fresh chain blocks on that one bucket line — far more than the ~63
+  // objects of slack one dirblock pool segment can hold, so a full device
+  // guarantees the drain stalls rather than squeaking by on slack.
+  std::vector<std::string> names;
+  for (unsigned i = 0; names.size() < 1200; ++i) {
+    std::string c = "c" + std::to_string(i);
+    if (core::line_of(c) == 0 && core::bucket_of(c, 2) == 0)
+      names.push_back(std::move(c));
+  }
+  for (const auto& c : names) {
+    auto fd = proc->open("/d/" + c, kOpenCreate | kOpenWrite);
+    ASSERT_TRUE(fd.is_ok()) << c;
+    ASSERT_TRUE(proc->close(*fd).is_ok());
+  }
+  // Sacrificial directories: removed after the device fills, they hand a
+  // few free dirblock objects back so the split can still allocate its 4
+  // bucket heads (and then starve mid-drain).
+  for (unsigned i = 0; i < 8; ++i)
+    ASSERT_TRUE(proc->mkdir("/s" + std::to_string(i)).is_ok());
+  // Exhaust the device — down to sub-4KB free, so the dirblock pool
+  // cannot grow even one segment mid-drain.
+  auto fill = proc->open("/fill", kOpenCreate | kOpenWrite);
+  ASSERT_TRUE(fill.is_ok());
+  std::vector<char> chunk(1 << 20, 'f');
+  std::uint64_t off = 0;
+  while (proc->pwrite(*fill, chunk.data(), chunk.size(), off).is_ok()) {
+    off += chunk.size();
+    ASSERT_LT(off, 1ull << 30);
+  }
+  while (proc->pwrite(*fill, chunk.data(), 4096, off).is_ok()) {
+    off += 4096;
+    ASSERT_LT(off, 1ull << 30);
+  }
+  for (unsigned i = 0; i < 8; ++i)
+    ASSERT_TRUE(proc->rmdir("/s" + std::to_string(i)).is_ok());
+  auto st = proc->stat("/d");
+  ASSERT_TRUE(st.is_ok());
+  core::Inode* d = fs->inode_at(st->inode);
+  const Status split = fs->dirops().split_directory(*d);
+  ASSERT_EQ(split.code(), Errc::no_space);
+  EXPECT_GT(fs->dirops().dir_depth(*d), 0u)
+      << "depth published: the split must have stalled mid-drain, not "
+         "rolled back before it";
+  // The armed marker stays up, so every undrained legacy entry is still
+  // reachable — this is exactly what the unconditional settle broke.
+  for (const auto& c : names) EXPECT_TRUE(proc->stat("/d/" + c).is_ok()) << c;
+  auto rd = proc->readdir("/d");
+  ASSERT_TRUE(rd.is_ok());
+  EXPECT_EQ(rd->size(), names.size());
+  // Free the space; the next pass drains for real and settles.
+  ASSERT_TRUE(proc->ftruncate(*fill, 0).is_ok());
+  EXPECT_TRUE(fs->dirops().split_directory(*d).is_ok());
+  EXPECT_GT(fs->dirops().dir_depth(*d), 0u);
+  for (const auto& c : names) EXPECT_TRUE(proc->stat("/d/" + c).is_ok()) << c;
+  const core::CheckReport cr = core::check_fs(*fs);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
 }
 
 // ---- split crash coverage (shadow-log image exploration) ----
