@@ -6,7 +6,10 @@
 // (nvmm::persist_stats) report flushed lines and fences per operation so the
 // flush-coalescing work is observable, not just inferable.
 //
-// Run FROM THE REPO ROOT; writes BENCH_datapath.json to the cwd.
+// Run FROM THE REPO ROOT; writes BENCH_datapath.json to the cwd.  Runs
+// under the SIMURGH_NVMM_OPTANE wall-clock timing model by default (see
+// nvmm/persist.h) so fences cost modeled media time; set it to 0 for raw
+// emulated-DRAM numbers.
 //
 // A/B against a pre-change build: run the same bench on the old tree, save
 // its JSON, and point SIMURGH_BENCH_BASELINE_JSON at it — the new run then
@@ -45,6 +48,14 @@ bool smoke_mode() {
 double ns_per_op(Clock::time_point a, Clock::time_point b, std::uint64_t n) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count() /
          static_cast<double>(n);
+}
+
+// Median across reps — the gating statistic every BENCH_*.json uses (a
+// best-of-reps min rewards one lucky scheduling window; the median is what
+// a re-run actually reproduces).
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
 }
 
 struct PersistDelta {
@@ -170,6 +181,11 @@ double json_number(const std::string& text, const std::string& key) {
 }  // namespace
 
 int main() {
+  // Same modeled testbed as bench_writebehind (persist.h): fences pay
+  // Optane-shaped media latency/bandwidth, the device is prefaulted like a
+  // DAX mapping.  Keeps this bench's strict numbers comparable with the
+  // write-behind bench's strict arm.  SIMURGH_NVMM_OPTANE=0 overrides.
+  setenv("SIMURGH_NVMM_OPTANE", "1", 0);
   const bool smoke = smoke_mode();
   const std::uint64_t ops = smoke ? 64 : 8192;
   const std::uint64_t mt_ops = smoke ? 64 : 2048;
@@ -183,10 +199,11 @@ int main() {
   World w;
   core::Process& p = *w.proc;
 
-  // --- single-thread 4 KB append (fresh file per rep, best-of-reps) ---
-  double append_ns = 1e300;
+  // --- single-thread 4 KB append (fresh file per rep, median-of-reps) ---
+  std::vector<double> append_reps;
   for (int r = 0; r < reps; ++r)
-    append_ns = std::min(append_ns, run_append(p, "/app", block.data(), ops));
+    append_reps.push_back(run_append(p, "/app", block.data(), ops));
+  const double append_ns = median(append_reps);
   const PersistDelta append_pd = count_persists(
       ops, [&] { run_append(p, "/app", block.data(), ops); });
 
@@ -197,19 +214,19 @@ int main() {
   SIMURGH_CHECK(ofd.is_ok());
   for (std::uint64_t b = 0; b < file_blocks; ++b)
     SIMURGH_CHECK(p.pwrite(*ofd, block.data(), 4096, b * 4096).is_ok());
-  double ovw_ns = 1e300;
+  std::vector<double> ovw_reps;
   for (int r = 0; r < reps; ++r)
-    ovw_ns = std::min(ovw_ns,
-                      run_overwrite(p, *ofd, block.data(), file_blocks, ops));
+    ovw_reps.push_back(run_overwrite(p, *ofd, block.data(), file_blocks, ops));
+  const double ovw_ns = median(ovw_reps);
   const PersistDelta ovw_pd = count_persists(ops, [&] {
     run_overwrite(p, *ofd, block.data(), file_blocks, ops);
   });
 
   // --- sequential 4 KB read of that (contiguous) file ---
-  double read_seq_ns = 1e300;
+  std::vector<double> read_seq_reps;
   for (int r = 0; r < reps; ++r)
-    read_seq_ns =
-        std::min(read_seq_ns, run_read(p, *ofd, rbuf.data(), file_blocks, ops));
+    read_seq_reps.push_back(run_read(p, *ofd, rbuf.data(), file_blocks, ops));
+  const double read_seq_ns = median(read_seq_reps);
 
   // --- fragmented-file read: interleave 1-block appends to two files so
   // their extents alternate and the extent map degenerates to one extent
@@ -225,18 +242,18 @@ int main() {
     SIMURGH_CHECK(p.write(*fa, block.data(), 4096).is_ok());
     SIMURGH_CHECK(p.write(*fb, block.data(), 4096).is_ok());
   }
-  double read_frag_ns = 1e300;
+  std::vector<double> read_frag_reps;
   for (int r = 0; r < reps; ++r)
-    read_frag_ns = std::min(
-        read_frag_ns, run_read(p, *fa, rbuf.data(), frag_blocks, ops));
+    read_frag_reps.push_back(run_read(p, *fa, rbuf.data(), frag_blocks, ops));
+  const double read_frag_ns = median(read_frag_reps);
 
   // --- multi-thread append sweep ---
   std::vector<double> mt_ns;
   for (int t : mt_threads) {
-    double best = 1e300;
+    std::vector<double> mt_reps;
     for (int r = 0; r < std::max(1, reps - 2); ++r)
-      best = std::min(best, run_append_mt(*w.fs, t, mt_ops, block.data()));
-    mt_ns.push_back(best);
+      mt_reps.push_back(run_append_mt(*w.fs, t, mt_ops, block.data()));
+    mt_ns.push_back(median(mt_reps));
   }
 
   std::printf("4KB append  (1 thread):  %8.0f ns/op  (%.1f lines, %.1f "

@@ -45,6 +45,12 @@ struct Costs {
   // only every reserve_chunk-th allocating append.
   std::uint32_t sim_reserve_serve = 25;
   std::uint32_t sim_write = 700;
+  // Write-behind staging (write_behind.h): the ack path is a DRAM copy into
+  // the epoch buffer plus bookkeeping — no nt-store, no fence, no size
+  // stamp; the background persister pays those off the application clock.
+  std::uint32_t sim_write_staged = 250;
+  // An fsync absorbed into the epoch cadence: class lookup + counter bump.
+  std::uint32_t sim_fsync_absorbed = 30;
   std::uint32_t sim_read = 350;
   std::uint32_t sim_fallocate = 1300; // extent bookkeeping outside the lock
   std::uint32_t sim_falloc_hold = 1500; // first-fit carve inside the segment

@@ -43,6 +43,12 @@ struct SimurghModelOptions {
   // chunk carve); the rest are DRAM pointer bumps.  1 = carve per append
   // (the pre-reservation strawman).
   std::uint64_t reserve_chunk = 64;
+  // Durability class modeled for data writes/fsync (write_behind.h).
+  // Cost-model only: the virtual clock charges the staging ack path
+  // (sim_write_staged / sim_fsync_absorbed) while the real embedded fs
+  // stays strict — the DES needs deterministic virtual time, and the real
+  // tier's wall-clock persister timer has no meaning under it.
+  core::Durability durability_class = core::Durability::strict;
   std::size_t device_size = 4ull << 30;
 };
 

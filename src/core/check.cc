@@ -42,6 +42,7 @@ class Checker {
 
   CheckReport run() {
     if (!check_superblock()) return std::move(r_);
+    check_wb_journal();
     scan_pools();
     claim_pool_segments();
     walk_namespace();
@@ -75,6 +76,28 @@ class Checker {
     if (sb.version != kLayoutVersion)
       fail("superblock: layout version ", sb.version, " != ", kLayoutVersion);
     return true;
+  }
+
+  // The write-behind epoch journal must be quiescent, like an armed
+  // directory split or rename log: recovery (or a journal-lock stealer)
+  // rolls an armed epoch forward, so an armed state surviving to fsck means
+  // a roll-forward was skipped.  committed_seq going backwards cannot be
+  // observed from one page, but an armed epoch at or below the commit
+  // counter is the analogous impossibility.
+  void check_wb_journal() {
+    const WbJournal& j =
+        *reinterpret_cast<const WbJournal*>(dev_.at(kWbJournalOff));
+    const std::uint32_t state = j.state.load(std::memory_order_acquire);
+    if (state == kWbJournalArmed) {
+      fail("write-behind epoch journal still armed (epoch ", j.epoch_seq,
+           ", committed ", j.committed_seq.load(std::memory_order_relaxed),
+           ") in quiescent image");
+    } else if (state != kWbJournalIdle) {
+      fail("write-behind epoch journal has impossible state ", state);
+    }
+    if (j.n_entries > kWbJournalCap)
+      fail("write-behind epoch journal claims ", j.n_entries,
+           " entries (cap ", kWbJournalCap, ")");
   }
 
   void scan_pools() {

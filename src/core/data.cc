@@ -5,44 +5,32 @@
 // the mapped region.  A per-file reader/writer lock in shared DRAM gives
 // writes exclusivity while reads run concurrently; relaxed mode (Fig. 7k)
 // drops the write lock and leaves coordination to the application.
+//
+// Files with a relaxed durability class (write_behind.h) divert writes into
+// the DRAM staging tier before reaching the strict path, and reads overlay
+// staged bytes so acked data is always visible.
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <optional>
 
 #include "common/failpoint.h"
 #include "core/fs.h"
+#include "core/write_behind.h"
 
 namespace simurgh::core {
 
 namespace {
 constexpr std::uint64_t kBS = alloc::kBlockSize;
 constexpr std::uint64_t kNoZero = ~std::uint64_t{0};
-
-// Atomic max for the size field.
-void size_max(std::atomic<std::uint64_t>& size, std::uint64_t want) {
-  std::uint64_t cur = size.load(std::memory_order_relaxed);
-  while (cur < want &&
-         !size.compare_exchange_weak(cur, want, std::memory_order_acq_rel)) {
-  }
-}
-
-// Persist width of a write's metadata commit: size + atime + mtime are
-// adjacent in Inode and, with the pool's 256-byte stride, share one cache
-// line — flushing sizeof(Inode) would cost four lines for the same commit.
-constexpr std::size_t kSizeStampBytes =
-    sizeof(std::uint64_t) * 3;  // size, atime_ns, mtime_ns
-static_assert(offsetof(Inode, atime_ns) == offsetof(Inode, size) + 8);
-static_assert(offsetof(Inode, mtime_ns) == offsetof(Inode, size) + 16);
-static_assert(offsetof(Inode, size) / 64 ==
-              (offsetof(Inode, size) + kSizeStampBytes - 1) / 64);
 }  // namespace
 
-Result<bool> Process::ensure_allocated(ExtentResolver& res, Inode& ino,
-                                       std::uint64_t ino_off,
-                                       std::uint64_t first_block,
-                                       std::uint64_t n_blocks,
-                                       std::uint64_t zero_a,
-                                       std::uint64_t zero_b) {
+Result<bool> FileSystem::ensure_allocated(ExtentResolver& res, Inode& ino,
+                                          std::uint64_t ino_off,
+                                          std::uint64_t first_block,
+                                          std::uint64_t n_blocks,
+                                          std::uint64_t zero_a,
+                                          std::uint64_t zero_b) {
   std::optional<ExtentEpochGuard> guard;
   std::uint64_t b = first_block;
   const std::uint64_t end = first_block + n_blocks;
@@ -54,12 +42,12 @@ Result<bool> Process::ensure_allocated(ExtentResolver& res, Inode& ino,
     }
     // Allocate the whole missing run contiguously.
     SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t dev_off,
-                             fs_.blocks().alloc(run.n_blocks, ino_off));
+                             blocks().alloc(run.n_blocks, ino_off));
     // A fresh block the write only partially covers must read back zeros
     // in its unwritten bytes; interior blocks are fully overwritten.
     for (const std::uint64_t zb : {zero_a, zero_b}) {
       if (zb >= b && zb < b + run.n_blocks)
-        std::memset(fs_.dev().at(dev_off + (zb - b) * kBS), 0, kBS);
+        std::memset(dev().at(dev_off + (zb - b) * kBS), 0, kBS);
     }
     if (!guard) {
       // First mutation: mark the map epoch odd and stop trusting the
@@ -74,13 +62,56 @@ Result<bool> Process::ensure_allocated(ExtentResolver& res, Inode& ino,
   return guard.has_value();
 }
 
+Status FileSystem::write_file_bytes(Inode& ino, std::uint64_t ino_off,
+                                    const void* buf, std::size_t n,
+                                    std::uint64_t off) {
+  if (n == 0) return Status::ok();
+  const std::uint64_t first = off / kBS;
+  const std::uint64_t last = (off + n + kBS - 1) / kBS;
+  const std::uint64_t zero_a = off % kBS != 0 ? first : kNoZero;
+  const std::uint64_t zero_b =
+      (off + n) % kBS != 0 ? (off + n) / kBS : kNoZero;
+  ExtentResolver res(extent_cache_if_enabled(), dev(), pool(kPoolExtent),
+                     ino, ino_off, /*build_views=*/false);
+  auto mutated = ensure_allocated(res, ino, ino_off, first, last - first,
+                                  zero_a, zero_b);
+  if (!mutated.is_ok()) return mutated.status();
+  // Our own appends invalidated the snapshot mid-allocation; re-probe at
+  // the new (even) epoch so the copy loop below — and the next writer —
+  // run off a fresh cached view.
+  if (*mutated) res.invalidate_snapshot();
+  std::size_t done = 0;
+  const auto* src = static_cast<const std::byte*>(buf);
+  while (done < n) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t in_block = pos % kBS;
+    const std::uint64_t fb = pos / kBS;
+    const ExtentResolver::Run run = res.run_at(fb, last - fb);
+    SIMURGH_CHECK(run.dev_off != 0);
+    // One streaming copy per extent run: adjacent blocks of one extent are
+    // device-contiguous, so a multi-block write needs one nt_copy per
+    // extent instead of one per 4 KB block.
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n - done, run.n_blocks * kBS - in_block));
+    nvmm::nt_copy(dev().at(run.dev_off) + in_block, src + done, chunk);
+    done += chunk;
+  }
+  return Status::ok();
+}
+
 Result<std::size_t> Process::do_read(Inode& ino, std::uint64_t ino_off,
                                      void* buf, std::size_t n,
                                      std::uint64_t off) {
   SharedFileLock lock(fs_.file_locks(), fs_.file_locks().slot_for(ino_off));
   const std::uint64_t size = ino.size.load(std::memory_order_acquire);
-  if (off >= size) return std::size_t{0};
-  n = static_cast<std::size_t>(std::min<std::uint64_t>(n, size - off));
+  // Reads must see acked-but-staged data: the effective size includes
+  // staged appends, and staged ranges are overlaid after the base copy.
+  WriteBehind* wb = fs_.write_behind();
+  const bool staged = wb != nullptr && wb->active();
+  std::uint64_t eff = size;
+  if (staged) eff = std::max(eff, wb->staged_size_of(ino_off));
+  if (off >= eff) return std::size_t{0};
+  n = static_cast<std::size_t>(std::min<std::uint64_t>(n, eff - off));
   ExtentResolver res(fs_.extent_cache_if_enabled(), fs_.dev(),
                      fs_.pool(kPoolExtent), ino, ino_off);
   const std::uint64_t last = (off + n + kBS - 1) / kBS;
@@ -88,12 +119,21 @@ Result<std::size_t> Process::do_read(Inode& ino, std::uint64_t ino_off,
   auto* out = static_cast<std::byte*>(buf);
   while (done < n) {
     const std::uint64_t pos = off + done;
+    if (pos >= size) {
+      // Between the persisted size and the staged size: blocks here may be
+      // unwritten fallocate garbage — zero-fill, then let the overlay put
+      // the staged bytes on top (gaps between staged ranges read as zeros).
+      std::memset(out + done, 0, n - done);
+      done = n;
+      break;
+    }
     const std::uint64_t in_block = pos % kBS;
     const std::uint64_t fb = pos / kBS;
     const ExtentResolver::Run run = res.run_at(fb, last - fb);
     // One copy (or zero-fill) per extent-sized run, not per block.
-    const std::size_t chunk = static_cast<std::size_t>(
-        std::min<std::uint64_t>(n - done, run.n_blocks * kBS - in_block));
+    const std::size_t chunk = static_cast<std::size_t>(std::min<std::uint64_t>(
+        std::min<std::uint64_t>(n - done, run.n_blocks * kBS - in_block),
+        size - pos));
     if (run.dev_off == 0) {
       std::memset(out + done, 0, chunk);  // hole
     } else {
@@ -101,6 +141,7 @@ Result<std::size_t> Process::do_read(Inode& ino, std::uint64_t ino_off,
     }
     done += chunk;
   }
+  if (staged) wb->overlay_read(ino_off, buf, n, off);
   // Lazy atime: volatile update only; persisting atime on every read would
   // defeat the purpose of a read path (relatime-style policy).
   ino.atime_ns.store(wall_ns(), std::memory_order_relaxed);
@@ -128,47 +169,18 @@ Result<std::size_t> Process::do_write(Inode& ino, std::uint64_t ino_off,
   if (pos_out != nullptr) *pos_out = off;
   if (n == 0) return std::size_t{0};
 
-  const std::uint64_t first = off / kBS;
-  const std::uint64_t last = (off + n + kBS - 1) / kBS;
-  const std::uint64_t zero_a = off % kBS != 0 ? first : kNoZero;
-  const std::uint64_t zero_b =
-      (off + n) % kBS != 0 ? (off + n) / kBS : kNoZero;
-  ExtentResolver res(fs_.extent_cache_if_enabled(), fs_.dev(),
-                     fs_.pool(kPoolExtent), ino, ino_off,
-                     /*build_views=*/false);
-  SIMURGH_ASSIGN_OR_RETURN(
-      const bool mutated,
-      ensure_allocated(res, ino, ino_off, first, last - first, zero_a,
-                       zero_b));
-  // Our own appends invalidated the snapshot mid-allocation; re-probe at
-  // the new (even) epoch so the copy loop below — and the next writer —
-  // run off a fresh cached view.
-  if (mutated) res.invalidate_snapshot();
-  std::size_t done = 0;
-  const auto* src = static_cast<const std::byte*>(buf);
-  while (done < n) {
-    const std::uint64_t pos = off + done;
-    const std::uint64_t in_block = pos % kBS;
-    const std::uint64_t fb = pos / kBS;
-    const ExtentResolver::Run run = res.run_at(fb, last - fb);
-    SIMURGH_CHECK(run.dev_off != 0);
-    // One streaming copy per extent run: adjacent blocks of one extent are
-    // device-contiguous, so a multi-block write needs one nt_copy per
-    // extent instead of one per 4 KB block.
-    const std::size_t chunk = static_cast<std::size_t>(
-        std::min<std::uint64_t>(n - done, run.n_blocks * kBS - in_block));
-    nvmm::nt_copy(fs_.dev().at(run.dev_off) + in_block, src + done, chunk);
-    done += chunk;
-  }
+  if (Status st = fs_.write_file_bytes(ino, ino_off, buf, n, off);
+      !st.is_ok())
+    return st.code();
   // Order: data durable before the size/mtime update (paper: sfence between
   // data persist and metadata update) — ONE fence for the whole write.
   nvmm::fence();
   SIMURGH_FAILPOINT("fs.write.data_persisted");
-  size_max(ino.size, off + n);
+  inode_size_max(ino.size, off + n);
   ino.mtime_ns.store(wall_ns(), std::memory_order_relaxed);
   nvmm::persist(&ino.size, kSizeStampBytes);
   nvmm::fence();
-  return done;
+  return n;
 }
 
 Result<std::size_t> Process::read(int fd, void* buf, std::size_t n) {
@@ -194,6 +206,19 @@ Result<std::size_t> Process::write(int fd, const void* buf, std::size_t n) {
   // reading the size here would race a concurrent appender's size update
   // and overwrite its data.
   const bool append = (f->flags & kOpenAppend) != 0;
+  if (WriteBehind* wb = fs_.write_behind(); wb != nullptr && wb->active()) {
+    if ((f->flags & kOpenSync) == 0) {
+      std::uint64_t pos = append ? 0 : f->pos.load(std::memory_order_relaxed);
+      if (wb->stage_write(ino_off, buf, n, pos, append, &pos)) {
+        f->pos.store(pos + n, std::memory_order_relaxed);
+        return n;
+      }
+    } else {
+      // O_SYNC descriptor on a relaxed-class file: earlier acked staged
+      // writes must not land after this strict one — flush them first.
+      (void)wb->flush_inode(ino_off);
+    }
+  }
   std::uint64_t pos = append ? 0 : f->pos.load(std::memory_order_relaxed);
   auto r = do_write(*ino, ino_off, buf, n, pos, append, &pos);
   if (r.is_ok()) f->pos.store(pos + *r, std::memory_order_relaxed);
@@ -217,6 +242,14 @@ Result<std::size_t> Process::pwrite(int fd, const void* buf, std::size_t n,
   if (f == nullptr) return Errc::bad_fd;
   if ((f->flags & kOpenWrite) == 0) return Errc::bad_fd;
   const std::uint64_t ino_off = f->inode_off.load(std::memory_order_acquire);
+  if (WriteBehind* wb = fs_.write_behind(); wb != nullptr && wb->active()) {
+    if ((f->flags & kOpenSync) == 0) {
+      if (wb->stage_write(ino_off, buf, n, off, /*append=*/false, nullptr))
+        return n;
+    } else {
+      (void)wb->flush_inode(ino_off);
+    }
+  }
   return do_write(*fs_.inode_at(ino_off), ino_off, buf, n, off);
 }
 
@@ -230,10 +263,15 @@ Result<std::uint64_t> Process::lseek(int fd, std::int64_t off, int whence) {
     case kSeekCur:
       base = static_cast<std::int64_t>(f->pos.load(std::memory_order_relaxed));
       break;
-    case kSeekEnd:
-      base = static_cast<std::int64_t>(
-          fs_.inode_at(ino_off)->size.load(std::memory_order_acquire));
+    case kSeekEnd: {
+      std::uint64_t sz =
+          fs_.inode_at(ino_off)->size.load(std::memory_order_acquire);
+      if (WriteBehind* wb = fs_.write_behind();
+          wb != nullptr && wb->active())
+        sz = std::max(sz, wb->staged_size_of(ino_off));
+      base = static_cast<std::int64_t>(sz);
       break;
+    }
     default: return Errc::invalid;
   }
   const std::int64_t target = base + off;
@@ -243,14 +281,29 @@ Result<std::uint64_t> Process::lseek(int fd, std::int64_t off, int whence) {
 }
 
 Status Process::fsync(int fd) {
-  // All Simurgh writes are synchronously persisted (no page cache, §1);
-  // fsync only needs a fence to order outstanding non-temporal stores.
-  if (fds_.get(fd) == nullptr) return Status(Errc::bad_fd);
+  OpenFile* f = fds_.get(fd);
+  if (f == nullptr) return Status(Errc::bad_fd);
+  if (WriteBehind* wb = fs_.write_behind();
+      wb != nullptr && wb->active() && (f->flags & kOpenSync) == 0) {
+    const std::uint64_t ino_off =
+        f->inode_off.load(std::memory_order_acquire);
+    // group: absorbed into the epoch cadence; async: seals + awaits the
+    // epochs holding this inode's ranges; strict: falls through to the
+    // fence (see WriteBehind::fsync_inode).
+    if (wb->fsync_inode(ino_off)) return Status::ok();
+  }
+  // All strict Simurgh writes are synchronously persisted (no page cache,
+  // §1); fsync only needs a fence to order outstanding non-temporal stores.
   nvmm::fence();
   return Status::ok();
 }
 
 Status Process::truncate_inode(std::uint64_t ino_off, std::uint64_t size) {
+  // Staged ranges must land before the truncate commits, or a later drain
+  // would resurrect bytes (and a size) the truncate removed.  Flush before
+  // taking the lock — the drain takes the same exclusive lock per inode.
+  if (WriteBehind* wb = fs_.write_behind(); wb != nullptr && wb->active())
+    (void)wb->flush_inode(ino_off);
   Inode* ino = fs_.inode_at(ino_off);
   std::unique_ptr<ExclusiveFileLock> lock;
   if (!fs_.relaxed_writes())
@@ -327,11 +380,11 @@ Status Process::fallocate(int fd, std::uint64_t off, std::uint64_t len) {
   ExtentResolver res(fs_.extent_cache_if_enabled(), fs_.dev(),
                      fs_.pool(kPoolExtent), *ino, ino_off,
                      /*build_views=*/false);
-  if (auto r = ensure_allocated(res, *ino, ino_off, first, last - first,
-                                kNoZero, kNoZero);
+  if (auto r = fs_.ensure_allocated(res, *ino, ino_off, first, last - first,
+                                    kNoZero, kNoZero);
       !r.is_ok())
     return r.status();
-  size_max(ino->size, off + len);
+  inode_size_max(ino->size, off + len);
   nvmm::persist(&ino->size, kSizeStampBytes);
   nvmm::fence();
   return Status::ok();

@@ -3,6 +3,7 @@
 
 #include <time.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +11,7 @@
 #include <string_view>
 
 #include "common/failpoint.h"
+#include "core/write_behind.h"
 
 namespace simurgh::core {
 
@@ -209,6 +211,7 @@ std::unique_ptr<FileSystem> FileSystem::format(nvmm::Device& nvmm,
   fs->root_off_ = *ino_off;
 
   fs->make_walker();
+  fs->make_write_behind();
   fs->register_protected_functions();
   fs->coord_ready_.store(true, std::memory_order_release);
   return fs;
@@ -266,6 +269,10 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
     fs->recover();
     fs->registry_->finish_recovery(fs->attachment_);
   }
+  // After the recovery decision: mount-time recover() runs with wb_ null
+  // (there is no staged state yet; the journal roll-forward inside recover()
+  // does not need the tier).
+  fs->make_write_behind();
   for (unsigned i = 0; i < kCacheGenShards; ++i)
     fs->shard_gen_seen_[i].store(
         sb.cache_shards[i].gen.load(std::memory_order_acquire),
@@ -278,6 +285,12 @@ std::unique_ptr<FileSystem> FileSystem::mount(nvmm::Device& nvmm,
 
 void FileSystem::unmount() {
   if (unmounted_) return;
+  // Everything staged becomes durable before detach — group AND async — and
+  // the persister stops while every component it drains through is alive.
+  if (wb_) {
+    wb_->drain_all();
+    wb_.reset();
+  }
   // Stop heartbeating first: once the slot is released below, a stale
   // heartbeat would fail and reattach — resurrecting the mount mid-detach.
   stop_heartbeat_thread();
@@ -402,6 +415,7 @@ void FileSystem::set_lease_ns(std::uint64_t ns) {
   dirops_->set_lease_ns(ns);
   locks_->set_lease_ns(ns);
   for (auto& p : pools_) p->set_lease_ns(ns);
+  if (wb_) wb_->set_lease_ns(ns);
   if (registry_) {
     registry_->set_lease_ns(ns);
     // Wake the heartbeat thread so the new (possibly much shorter) cadence
@@ -457,7 +471,60 @@ FsStat FileSystem::fsstat() {
   st.dir_block_probes = ds.block_probes;
   st.dir_epoch_bumps_scoped = ds.epoch_bumps_scoped;
   st.dir_epoch_bumps_full = ds.epoch_bumps_full;
+  if (wb_) {
+    const WriteBehind::Counters wc = wb_->counters();
+    st.fsyncs_absorbed = wc.fsyncs_absorbed;
+    st.group_commits = wc.group_commits;
+    st.staged_bytes = wc.staged_bytes;
+    st.writeback_backpressure_hits = wc.backpressure_hits;
+  }
   return st;
+}
+
+// Honours SIMURGH_WRITEBEHIND=0|off (tier disabled: every file strict) plus
+// the cadence/cap knobs; called once the data-path components exist.
+void FileSystem::make_write_behind() {
+  bool enabled = true;
+  if (const char* s = std::getenv("SIMURGH_WRITEBEHIND")) {
+    const std::string_view v(s);
+    if (v == "0" || v == "off" || v == "false") enabled = false;
+  }
+  if (!enabled) {
+    wb_.reset();
+    return;
+  }
+  WriteBehind::Config cfg;
+  if (const char* s = std::getenv("SIMURGH_WRITEBEHIND_INTERVAL_US")) {
+    const long n = std::strtol(s, nullptr, 10);
+    if (n > 0) cfg.interval_us = static_cast<std::uint64_t>(n);
+  }
+  if (const char* s = std::getenv("SIMURGH_WRITEBEHIND_EPOCH_BYTES")) {
+    const long long n = std::strtoll(s, nullptr, 10);
+    if (n > 0) cfg.epoch_bytes = static_cast<std::uint64_t>(n);
+  }
+  if (const char* s = std::getenv("SIMURGH_WRITEBEHIND_STAGE_BYTES")) {
+    const long long n = std::strtoll(s, nullptr, 10);
+    if (n > 0) cfg.max_staged_bytes = static_cast<std::uint64_t>(n);
+  }
+  if (const char* s = std::getenv("SIMURGH_WRITEBEHIND_SYNC_DRAIN")) {
+    const std::string_view v(s);
+    cfg.sync_drain = v == "1" || v == "on" || v == "true";
+  }
+  wb_ = std::make_unique<WriteBehind>(*this, cfg);
+}
+
+Status FileSystem::apply_durability(std::uint64_t ino_off, Durability d) {
+  // Tier disabled: every file is strict; asking for strict is a no-op
+  // success, asking for a relaxed class silently keeps strict semantics
+  // (strictly stronger durability than requested).
+  if (wb_ == nullptr) return Status::ok();
+  if (d == Durability::strict) {
+    // Downgrade: staged acked writes must become durable under the old
+    // class's contract before strict semantics take over.
+    if (Status st = wb_->flush_inode(ino_off); !st.is_ok()) return st;
+  }
+  wb_->set_durability(ino_off, d);
+  return Status::ok();
 }
 
 void FileSystem::register_protected_functions() {
@@ -505,10 +572,32 @@ Stat Process::stat_of(std::uint64_t ino_off) const {
   st.gid = ino->gid.load(std::memory_order_relaxed);
   st.nlink = ino->nlink.load(std::memory_order_acquire);
   st.size = ino->size.load(std::memory_order_acquire);
+  // Acked staged appends are part of the file's visible size.
+  if (WriteBehind* wb = fs_.write_behind(); wb != nullptr && wb->active())
+    st.size = std::max(st.size, wb->staged_size_of(ino_off));
   st.atime_ns = ino->atime_ns.load(std::memory_order_relaxed);
   st.mtime_ns = ino->mtime_ns.load(std::memory_order_relaxed);
   st.ctime_ns = ino->ctime_ns.load(std::memory_order_relaxed);
   return st;
+}
+
+Status Process::set_durability(std::string_view path, Durability d) {
+  fs_.poll_coordination();
+  SIMURGH_ASSIGN_OR_RETURN(ResolveResult rr,
+                           fs_.walker().resolve(cred_, path));
+  Inode* ino = fs_.inode_at(rr.inode_off);
+  if (!ino->is_file()) return Status(Errc::is_dir);
+  if (!may_access(*ino, cred_, kMayWrite)) return Status(Errc::permission);
+  return fs_.apply_durability(rr.inode_off, d);
+}
+
+Status Process::set_durability(int fd, Durability d) {
+  fs_.poll_coordination();
+  OpenFile* f = fds_.get(fd);
+  if (f == nullptr) return Status(Errc::bad_fd);
+  if ((f->flags & kOpenWrite) == 0) return Status(Errc::bad_fd);
+  return fs_.apply_durability(f->inode_off.load(std::memory_order_acquire),
+                              d);
 }
 
 Result<std::uint64_t> Process::create_file(const ResolveResult& where,
@@ -609,10 +698,18 @@ Result<std::uint64_t> Process::create_file(const ResolveResult& where,
 }
 
 Status Process::drop_inode(std::uint64_t inode_off) {
+  // Staged acked writes must land before the storage they target can be
+  // freed — another hard link may still name this file.  Flush first (a
+  // no-op for inodes with nothing staged).
+  if (WriteBehind* wb = fs_.write_behind(); wb != nullptr && wb->active())
+    (void)wb->flush_inode(inode_off);
   Inode* ino = fs_.inode_at(inode_off);
   if (ino->nlink.fetch_sub(1, std::memory_order_acq_rel) != 1)
     return Status::ok();  // other hard links remain
-  // Last link: release storage, then the inode object itself.
+  // Last link: the class binding dies with the file (the inode offset will
+  // be recycled), then release storage and the inode object itself.
+  if (WriteBehind* wb = fs_.write_behind(); wb != nullptr)
+    wb->forget(inode_off);
   if (ino->is_dir()) {
     // Before the first hash block can be recycled, push the mount-wide
     // epoch generation past this directory's final epoch so no stale

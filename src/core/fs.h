@@ -108,6 +108,11 @@ struct FsStat {
   std::uint64_t dir_block_probes = 0;       // blocks scanned by empty()
   std::uint64_t dir_epoch_bumps_scoped = 0; // bucket-scoped epoch bumps
   std::uint64_t dir_epoch_bumps_full = 0;   // whole-directory epoch bumps
+  // Write-behind tier telemetry (this mount's view; see WriteBehind).
+  std::uint64_t fsyncs_absorbed = 0;    // fsyncs folded into epoch cadence
+  std::uint64_t group_commits = 0;      // epochs group-committed to NVMM
+  std::uint64_t staged_bytes = 0;       // current DRAM staging residency
+  std::uint64_t writeback_backpressure_hits = 0;  // cap-forced strict falls
 };
 
 // What a survivor's dead-peer reclaim recovered (reap_dead_mounts()).
@@ -129,10 +134,16 @@ struct RecoveryReport {
   // (e.g. a crash between removing an entry and dropping the link count)
   // and were reset to the observed value.
   std::uint64_t link_counts_repaired = 0;
+  // Write-behind accounting: staged DRAM bytes discarded (a crash loses
+  // them by contract) and whether an armed epoch journal was rolled
+  // forward (its data was durable; only the stamps were in flight).
+  std::uint64_t wb_staged_discarded = 0;
+  std::uint64_t wb_epochs_rolled_forward = 0;
   double seconds = 0;
 };
 
 class Process;
+class WriteBehind;
 
 class FileSystem {
  public:
@@ -222,6 +233,31 @@ class FileSystem {
 
   // Shrinks every busy-wait lease (crash tests).
   void set_lease_ns(std::uint64_t ns);
+
+  // ---- write-behind tier (write_behind.h) ----
+  // nullptr when disabled (SIMURGH_WRITEBEHIND=0): every file is strict.
+  [[nodiscard]] WriteBehind* write_behind() noexcept { return wb_.get(); }
+  // Binds a durability class to an inode; a downgrade to strict flushes the
+  // inode's staged ranges first.  No-op success when the tier is disabled.
+  Status apply_durability(std::uint64_t ino_off, Durability d);
+
+  // ---- data-path plumbing shared with the write-behind drain ----
+  // Fills every hole in [first_block, +n_blocks); freshly allocated blocks
+  // numbered zero_a / zero_b (partial write edges; ~0 = none) are zeroed.
+  // Returns whether the extent map was mutated (the caller's resolver
+  // snapshot is then stale).
+  Result<bool> ensure_allocated(ExtentResolver& res, Inode& ino,
+                                std::uint64_t ino_off,
+                                std::uint64_t first_block,
+                                std::uint64_t n_blocks, std::uint64_t zero_a,
+                                std::uint64_t zero_b);
+  // Streams [off, off+n) into the file's blocks (extent allocation +
+  // nt_copy per run).  NO trailing fence and NO size/mtime stamp: the
+  // caller owns the commit (strict do_write fences + stamps per write; the
+  // epoch drain fences once per epoch and stamps through the journal).
+  // Caller holds the file's exclusive lock.
+  Status write_file_bytes(Inode& ino, std::uint64_t ino_off, const void* buf,
+                          std::size_t n, std::uint64_t off);
 
   // Path-lookup cache A/B switch (benches, tests); toggles both the
   // per-component cache and the whole-path fast layer.  Construction
@@ -351,6 +387,13 @@ class FileSystem {
   std::unique_ptr<protsec::Gateway> gateway_;
   std::unique_ptr<protsec::Bootstrap> bootstrap_;
   protsec::ProtectedLibraryHandle prot_handle_;
+
+  // Honours SIMURGH_WRITEBEHIND[_INTERVAL_US|_EPOCH_BYTES|_STAGE_BYTES|
+  // _SYNC_DRAIN]; called by format()/mount().
+  void make_write_behind();
+  // Declared LAST: destroyed first, so the persister thread is joined while
+  // every component it drains through (locks_, blocks_, pools_) is alive.
+  std::unique_ptr<WriteBehind> wb_;
 };
 
 // One client process: credentials + open-file map over the shared FS.
@@ -372,6 +415,11 @@ class Process {
   Status ftruncate(int fd, std::uint64_t size);
   Status fallocate(int fd, std::uint64_t off, std::uint64_t len);
   Result<Stat> fstat(int fd);
+  // Selects the file's durability class (write_behind.h).  The path form
+  // needs write permission on the file; the fd form needs a writable fd.
+  // Note O_SYNC descriptors stay strict regardless of the file's class.
+  Status set_durability(std::string_view path, Durability d);
+  Status set_durability(int fd, Durability d);
 
   // ---- namespace ----
   Status mkdir(std::string_view path, std::uint32_t mode = 0755);
@@ -427,15 +475,6 @@ class Process {
                                const void* buf, std::size_t n,
                                std::uint64_t off, bool append = false,
                                std::uint64_t* pos_out = nullptr);
-  // Fills every hole in [first_block, +n_blocks); freshly allocated blocks
-  // numbered zero_a / zero_b (partial write edges; ~0 = none) are zeroed.
-  // Returns whether the extent map was mutated (the caller's resolver
-  // snapshot is then stale).
-  Result<bool> ensure_allocated(ExtentResolver& res, Inode& ino,
-                                std::uint64_t ino_off,
-                                std::uint64_t first_block,
-                                std::uint64_t n_blocks, std::uint64_t zero_a,
-                                std::uint64_t zero_b);
   Status truncate_inode(std::uint64_t ino_off, std::uint64_t size);
   Stat stat_of(std::uint64_t ino_off) const;
 

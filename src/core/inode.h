@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "core/layout.h"
@@ -74,6 +75,27 @@ struct Inode {
   }
 };
 static_assert(sizeof(Inode) <= kInodePayload);
+
+// Persist width of a write's metadata commit: size + atime + mtime are
+// adjacent in Inode and, with the pool's 256-byte stride, share one cache
+// line — flushing sizeof(Inode) would cost four lines for the same commit.
+// Shared by the strict write path (data.cc) and the write-behind epoch
+// drain (write_behind.cc), which must stamp identically.
+constexpr std::size_t kSizeStampBytes =
+    sizeof(std::uint64_t) * 3;  // size, atime_ns, mtime_ns
+static_assert(offsetof(Inode, atime_ns) == offsetof(Inode, size) + 8);
+static_assert(offsetof(Inode, mtime_ns) == offsetof(Inode, size) + 16);
+static_assert(offsetof(Inode, size) / 64 ==
+              (offsetof(Inode, size) + kSizeStampBytes - 1) / 64);
+
+// Atomic max for the size field (appends race truncates and each other).
+inline void inode_size_max(std::atomic<std::uint64_t>& size,
+                           std::uint64_t want) noexcept {
+  std::uint64_t cur = size.load(std::memory_order_relaxed);
+  while (cur < want &&
+         !size.compare_exchange_weak(cur, want, std::memory_order_acq_rel)) {
+  }
+}
 
 // Brackets an extent-map mutation: pre-bump makes the epoch odd (readers
 // stop trusting cached views), post-bump publishes the next even value.

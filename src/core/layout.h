@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "alloc/block_alloc.h"
@@ -38,6 +39,10 @@ constexpr std::uint64_t kBlockAllocOff = 4096;
 // Block-allocator header + up to kMaxSegments segment headers fit here.
 constexpr std::uint64_t kDataAreaOff = 64 * 1024;
 constexpr unsigned kMaxSegments = 256;
+// Write-behind epoch journal: the last 4 KB page of the metadata area
+// (block-alloc header + 256 × 64 B segment headers stop well short of it).
+constexpr std::uint64_t kWbJournalOff = kDataAreaOff - 4096;
+static_assert(kBlockAllocOff + 4096 + kMaxSegments * 64 <= kWbJournalOff);
 
 // Metadata object pools (§4.2).  Pool payload sizes are chosen so strides
 // are cache-line multiples; see inode.h / dir_block.h for the structures.
@@ -116,6 +121,53 @@ struct Superblock {
   CacheGenShard cache_shards[kCacheGenShards];
 };
 static_assert(sizeof(Superblock) <= 4096);
+
+// ---- write-behind epoch journal (write_behind.cc) ----
+//
+// One NVMM page that makes a group-commit epoch crash-atomic.  The drain
+// protocol is:
+//   1. stream every staged range into place (nt_copy), one fence — the data
+//      is durable but invisible (no size moved);
+//   2. fill `entries`/`epoch_seq`/`n_entries`, persist, fence; then set
+//      state = armed, persist, fence (the intent record: "this epoch's data
+//      is durable, its size stamps may be torn");
+//   3. apply the per-inode size/mtime stamps, one fence;
+//   4. committed_seq = epoch_seq, persist, fence; state = idle, persist,
+//      fence.
+// Recovery (and a survivor stealing `lock` from a dead peer) rolls an armed
+// journal FORWARD — the arm record proves the data under the stamps is
+// durable — making "epoch k durable ⇒ all epochs < k durable" structural:
+// committed_seq is the single monotonic commit counter and epochs arm
+// through this one page in order.  fsck rejects an armed journal in a
+// quiescent image, like an armed directory split or rename log.
+struct WbJournalEntry {
+  std::uint64_t ino_off = 0;
+  std::uint64_t new_size = 0;
+  std::uint64_t mtime_ns = 0;
+};
+
+constexpr unsigned kWbJournalCap = 128;  // distinct inodes per epoch
+constexpr std::uint32_t kWbJournalIdle = 0;
+constexpr std::uint32_t kWbJournalArmed = 1;
+
+struct WbJournal {
+  // Line 0: the commit record.  committed_seq and state are stamped by
+  // separate persist+fence steps so an armed journal can never claim a
+  // commit that did not happen (8-byte store atomicity is enough).
+  std::atomic<std::uint64_t> committed_seq{0};
+  std::atomic<std::uint32_t> state{kWbJournalIdle};
+  std::uint32_t n_entries = 0;
+  std::uint64_t epoch_seq = 0;
+  // Cross-mount drain lock (lease-stamped like segment locks): epochs from
+  // concurrent mounts serialize their arm/commit through this page.  A
+  // stealer finding the journal armed rolls it forward first.
+  std::atomic<std::uint64_t> lock_token{0};
+  std::atomic<std::uint64_t> lock_stamp_ns{0};
+  std::uint8_t pad_[64 - 40];
+  WbJournalEntry entries[kWbJournalCap];
+};
+static_assert(sizeof(WbJournal) <= 4096);
+static_assert(offsetof(WbJournal, entries) == 64);
 
 // ---- shared-DRAM runtime state ----
 

@@ -22,6 +22,16 @@ constexpr int kOpenCreate = 0x4;
 constexpr int kOpenExcl = 0x8;
 constexpr int kOpenTrunc = 0x10;
 constexpr int kOpenAppend = 0x20;
+// O_SYNC / O_DSYNC: every write through this descriptor commits with strict
+// durability regardless of the file's durability class (write_behind.h).
+constexpr int kOpenSync = 0x40;
+
+// Per-file durability class (write_behind.h).  `strict` is the default and
+// today's behavior: data + size stamp are durable before the write returns.
+// `group` stages writes in DRAM and group-commits a mount-wide epoch every
+// T µs / B bytes; `async` stages and writes back opportunistically, with
+// fsync forcing the epoch.
+enum class Durability : std::uint8_t { strict = 0, group = 1, async = 2 };
 
 struct OpenFile {
   // 0 = free slot; 1 = being initialized; otherwise the inode offset.

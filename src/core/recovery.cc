@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/fs.h"
+#include "core/write_behind.h"
 
 namespace simurgh::core {
 
@@ -71,6 +72,15 @@ RecoveryReport FileSystem::recover() {
   // the free lists exactly once (rebuild_free_lists also does this
   // defensively, but the intent belongs here with the other caches).
   blocks_->invalidate_reservations();
+  // Write-behind tier: staged DRAM epochs model page-cache state a crash
+  // loses — discard them with accounting (the relaxed-class contract).  An
+  // epoch journal left ARMED is the opposite case: its data is provably
+  // durable and only its size/mtime stamps were in flight — roll it forward
+  // BEFORE the mark phase so the sweep and the beyond-EOF tail re-zero see
+  // final sizes.  The roll-forward runs even when the tier is disabled on
+  // this mount: the crashed writer may have had it enabled.
+  if (wb_) report.wb_staged_discarded = wb_->discard_staged();
+  if (wb_journal_roll_forward(*dev_)) report.wb_epochs_rolled_forward = 1;
 
   const Superblock& s = sb();
   const std::uint64_t n_blocks = blocks_->n_blocks_total();
@@ -233,6 +243,7 @@ RecoveryReport FileSystem::recover() {
   if (registry_ && !registry_->heartbeat(attachment_))
     registry_->reattach(attachment_);
 
+  if (wb_) wb_->resume();  // restart the persister for post-recovery work
   report.seconds = now_seconds() - t0;
   last_recovery_ = report;
   return report;

@@ -1,0 +1,269 @@
+// Relaxed-durability write-behind tier (ROADMAP "write-behind tier").
+//
+// Per-file durability classes over the strict data path:
+//
+//   strict  today's behavior (default): data + size stamp durable before
+//           the write returns; fsync is a fence.
+//   group   writes land in a DRAM staging buffer and are acked immediately;
+//           a mount-wide epoch is group-committed to NVMM every T µs or B
+//           staged bytes, whichever first.  fsync is ABSORBED into the
+//           epoch cadence (counted, not flushed): the class contract is
+//           durability within one commit interval, not at fsync return.
+//   async   staged, written back opportunistically (a lazy multiple of T);
+//           fsync FORCES the epoch — it seals and awaits exactly the epochs
+//           containing that inode's ranges, so it returns durable.
+//
+// Staging is per-EPOCH per-inode: an epoch owns the dirty ranges staged
+// while it was open, epochs seal in order and a background persister drains
+// them — oldest first — through the same coalesced-persist machinery as the
+// strict path (FileSystem::write_file_bytes: extent allocation + one
+// nt_copy per run), then makes the whole epoch visible atomically via the
+// NVMM epoch journal (layout.h WbJournal): data fence → arm intent record →
+// size/mtime stamps → commit record.  A crash recovers to an exact PREFIX
+// of committed epochs: un-armed epochs are invisible (no size moved; tail
+// bytes beyond EOF are re-zeroed by recovery), an armed epoch is rolled
+// forward (its data is provably durable).
+//
+// Memory is bounded: once staged residency would exceed the cap, the write
+// path flushes that inode's own staged ranges (ordering) and falls back to
+// the strict path, counting a backpressure hit.
+//
+// Residency / ownership:
+//   staged data      mount-private DRAM (lost on crash — that is the class
+//                    contract; discarded with accounting by recover())
+//   epoch journal    NVMM page at kWbJournalOff, shared by all mounts and
+//                    serialized by a lease-stamped lock; an armed journal
+//                    left by a dead peer is rolled forward by the stealer
+//   unmount          drains everything (group AND async) before detach
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/layout.h"
+#include "core/openfile.h"
+
+namespace simurgh::core {
+
+class FileSystem;
+
+// Rolls an armed epoch journal forward on `dev` (recovery, journal-lock
+// steal): applies the recorded size/mtime stamps — the arm record proves
+// the data beneath them is durable — then commits and disarms.  Returns
+// whether an armed epoch was applied.  Safe to re-run (idempotent).
+bool wb_journal_roll_forward(nvmm::Device& dev);
+
+// Staging-buffer chunk: contiguous staged writes extend one chunk in place
+// until it reaches this size, then a new chunk starts.  Sized under glibc's
+// 128 KB mmap threshold so chunks recycle through the malloc arena instead
+// of paying mmap/munmap + page-fault churn on every epoch.
+inline constexpr std::size_t kStageChunkBytes = 64 * 1024;
+
+class WriteBehind {
+ public:
+  struct Config {
+    std::uint64_t interval_us = 100;           // T: group-commit deadline
+    std::uint64_t epoch_bytes = 1ull << 20;    // B: seal on staged bytes
+    std::uint64_t max_staged_bytes = 8ull << 20;  // backpressure threshold
+    unsigned epoch_max_inodes = kWbJournalCap;    // journal entry capacity
+    unsigned async_lazy_factor = 8;  // async-only epochs wait T * this
+    // Drain inline on the sealing thread instead of on the persister
+    // (deterministic persist ordering for the crash-image harness).
+    bool sync_drain = false;
+  };
+
+  // Mirrored into FsStat by FileSystem::fsstat().
+  struct Counters {
+    std::uint64_t fsyncs_absorbed = 0;
+    std::uint64_t group_commits = 0;   // epochs committed
+    std::uint64_t staged_bytes = 0;    // current staging residency
+    std::uint64_t backpressure_hits = 0;
+    std::uint64_t staged_writes = 0;
+    std::uint64_t drained_bytes = 0;
+    std::uint64_t discarded_bytes = 0;  // recover() accounting
+  };
+
+  WriteBehind(FileSystem& fs, const Config& cfg);
+  // Destruction without drain_all() models a crash: the persister stops,
+  // staged DRAM state is simply lost.
+  ~WriteBehind();
+  WriteBehind(const WriteBehind&) = delete;
+  WriteBehind& operator=(const WriteBehind&) = delete;
+
+  // ---- class management ----
+  void set_durability(std::uint64_t ino_off, Durability d);
+  [[nodiscard]] Durability durability_of(std::uint64_t ino_off);
+  // unlink/last-drop: forgets the class binding (the inode offset may be
+  // recycled).  The caller flushes first; any still-staged ranges for the
+  // offset are discarded.
+  void forget(std::uint64_t ino_off);
+  // Data-path gate: true once any file has a non-strict class.  Strict-only
+  // workloads pay exactly this one acquire load per op.
+  [[nodiscard]] bool active() const noexcept {
+    return nonstrict_files_.load(std::memory_order_acquire) != 0;
+  }
+
+  // ---- write path ----
+  // Stages the write and acks it.  Returns false when the caller must take
+  // the strict path: strict class, n == 0, or backpressure (the inode's own
+  // staged ranges are flushed first so ordering is preserved).  `append`
+  // resolves the position against the effective (staged-inclusive) size
+  // under the file lock and reports it via pos_out.
+  bool stage_write(std::uint64_t ino_off, const void* buf, std::size_t n,
+                   std::uint64_t off, bool append, std::uint64_t* pos_out);
+
+  // ---- read path ----
+  // Effective size including staged appends (0 when nothing is staged).
+  [[nodiscard]] std::uint64_t staged_size_of(std::uint64_t ino_off);
+  // Copies staged bytes intersecting [off, off+n) over buf, oldest epoch
+  // first (read-your-writes; newest data wins).
+  void overlay_read(std::uint64_t ino_off, void* buf, std::size_t n,
+                    std::uint64_t off);
+
+  // ---- sync / lifecycle ----
+  // Class-aware fsync: group absorbs (counts), async seals + awaits the
+  // epochs containing the inode, relaxed-class-with-nothing-staged absorbs.
+  // Returns false — without counting anything — when the inode is strict
+  // (or untracked): the caller owes the file a plain fence.  Folding the
+  // class check in here keeps the write+fsync hot loop at one mu_
+  // acquisition for the whole fsync.
+  [[nodiscard]] bool fsync_inode(std::uint64_t ino_off);
+  // Seals + awaits every epoch containing the inode's ranges (backpressure,
+  // truncate, unlink, class downgrade to strict).
+  Status flush_inode(std::uint64_t ino_off);
+  // Seals the open epoch and awaits its commit — what the T-timer does,
+  // callable deterministically (crash harness, unmount).
+  void commit_epoch_now();
+  // unmount: everything staged becomes durable.
+  void drain_all();
+  // recover() on a live mount models a crash for staged DRAM state: stop
+  // the persister and drop every pending epoch, returning the byte count.
+  std::uint64_t discard_staged();
+  // Restarts the persister after recovery.
+  void resume();
+
+  [[nodiscard]] Counters counters();
+  void set_lease_ns(std::uint64_t ns) noexcept {
+    lease_ns_.store(ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  // Test/bench knobs; take effect for subsequently staged epochs.  Guarded
+  // by mu_ so a live persister never races a knob change.
+  void set_interval_us(std::uint64_t us) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cfg_.interval_us = us;
+    cv_.notify_all();
+  }
+  void set_epoch_bytes(std::uint64_t b) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cfg_.epoch_bytes = b;
+  }
+  void set_max_staged_bytes(std::uint64_t b) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cfg_.max_staged_bytes = b;
+  }
+  // Pre-faults `bytes` of staging chunks into the recycle pool (bounded by
+  // max_staged_bytes).  A page's first touch costs a kernel fault — on the
+  // write+fsync hot path that dwarfs the copy itself — so a latency-focused
+  // deployment warms its staging arena up front, the way pinned staging
+  // rings are preallocated on real NVMM systems.
+  void prewarm_chunks(std::uint64_t bytes);
+
+ private:
+  // One staged dirty range (arrival order preserves overwrite semantics).
+  struct Range {
+    std::uint64_t off = 0;
+    std::vector<std::byte> data;
+  };
+  struct StagedFile {
+    std::vector<Range> ranges;
+    std::uint64_t new_size = 0;  // size after this epoch's writes
+    std::uint64_t mtime_ns = 0;
+  };
+  struct Epoch {
+    std::uint64_t seq = 0;  // mount-local, monotonically increasing
+    std::uint64_t bytes = 0;
+    bool sealed = false;
+    bool has_group = false;
+    std::chrono::steady_clock::time_point opened_at{};
+    std::map<std::uint64_t, StagedFile> files;  // ino_off -> staged
+  };
+  struct FileState {
+    Durability cls = Durability::strict;
+    std::uint64_t last_epoch = 0;   // newest epoch seq holding its ranges
+    std::uint64_t staged_size = 0;  // effective size; 0 = nothing staged
+  };
+
+  Epoch& open_epoch_locked();
+  void seal_open_locked();
+  // Chunk pool (mu_): drained staging buffers are kept, not freed — glibc
+  // would trim them back to the OS and every restaged byte would then pay
+  // a fresh page fault (~µs each; the dominant staging cost once the copy
+  // itself is cheap).  Pool residency counts toward max_staged_bytes: the
+  // pool IS the staging arena, just idle.
+  //
+  // The pool is FIFO, deliberately: the persister just READ a drained
+  // chunk's lines (copying them to NVMM), so handing that chunk straight
+  // back (LIFO) makes every producer store pay a cross-core
+  // invalidation.  Cycling through the pool front instead gives the
+  // persister's cached copies time to evict before the chunk is reused.
+  [[nodiscard]] std::vector<std::byte> take_chunk_locked();
+  void recycle_chunk_locked(std::vector<std::byte>&& v);
+  void harvest_chunks_locked(Epoch& e);
+  // Seals (if needed) and commits epochs until committed_seq_ >= want;
+  // inline in sync_drain mode, persister-driven otherwise.
+  void drain_until_locked(std::unique_lock<std::mutex>& lk,
+                          std::uint64_t want);
+  void drain_front_locked(std::unique_lock<std::mutex>& lk);
+  // The crash-atomic drain protocol; runs WITHOUT mu_ (takes file locks).
+  void drain_epoch(Epoch& e);
+  void persister_main();
+  void start_persister();
+  void stop_persister();
+  void lock_journal(WbJournal& j);
+  void unlock_journal(WbJournal& j);
+
+  FileSystem& fs_;
+  Config cfg_;
+  std::atomic<std::uint64_t> lease_ns_{2'000'000'000};
+  std::atomic<std::uint64_t> nonstrict_files_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Epoch>> epochs_;  // front oldest; back may be open
+  std::unordered_map<std::uint64_t, FileState> files_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t committed_seq_ = 0;
+  std::deque<std::vector<std::byte>> chunk_pool_;  // recycled chunks (mu_)
+  std::uint64_t pool_bytes_ = 0;  // sum of pooled capacities (mu_)
+  bool draining_ = false;  // one drain at a time (inline callers + persister)
+  bool stop_ = false;
+
+  // Hot-path counters are plain and mu_-guarded: every update site already
+  // holds the lock, and an atomic RMW here would be a full barrier that
+  // stalls on the staging copy's outstanding stores mid-bookkeeping.
+  std::uint64_t staged_bytes_ = 0;
+  std::uint64_t staged_writes_ = 0;
+  std::uint64_t fsyncs_absorbed_ = 0;
+  std::uint64_t discarded_bytes_ = 0;
+  // Updated off-lock (drain_epoch, backpressure fallback): stay atomic.
+  std::atomic<std::uint64_t> group_commits_{0};
+  std::atomic<std::uint64_t> backpressure_hits_{0};
+  std::atomic<std::uint64_t> drained_bytes_{0};
+
+  std::thread persister_;
+};
+
+}  // namespace simurgh::core

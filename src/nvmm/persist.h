@@ -16,6 +16,23 @@
 // The functions compile down to a few relaxed atomic increments plus, on
 // x86-64, a real sfence/clwb when SIMURGH_REAL_PERSIST is defined (useful
 // when running on genuine pmem).
+//
+// Wall-clock Optane timing model (opt-in, SIMURGH_NVMM_OPTANE=1): with the
+// counters alone a fence costs nothing, so any benchmark contrasting
+// synchronous persistence against DRAM staging (bench_writebehind,
+// bench_data_path) would measure only bookkeeping overheads.  When enabled,
+// fence() busy-waits out the WPQ drain it models: a base media-write latency
+// plus the bytes flushed/streamed by this thread since its last fence, at
+// media write bandwidth.  The anchors are the same ones the virtual-time
+// cost model uses (baselines/costs.h): 500 cycles @ 2.5 GHz = 200 ns write
+// latency, 4.8 B/cycle = 12 GB/s random-4KB write bandwidth.  Override with
+// SIMURGH_NVMM_FENCE_NS / SIMURGH_NVMM_BW_GBPS.  The model charges at the
+// fence (where an sfence actually stalls); the emulated store itself still
+// runs at DRAM speed, so small-transfer costs are approximated from above.
+// Pending bytes are tracked per thread: an sfence orders the issuing
+// thread's stores, and per-thread accounting keeps the primitives free of
+// shared-state contention.  The environment is read once, at the first
+// persist-primitive call in the process.
 #pragma once
 
 #include <atomic>
@@ -42,6 +59,12 @@ struct PersistStats {
 };
 
 PersistStats& persist_stats() noexcept;
+
+// Whether the SIMURGH_NVMM_OPTANE wall-clock timing model is active (the
+// env var is read once).  Device uses this to prefault its mapping: a real
+// NVMM region is DAX-mapped with no demand paging, so when modeling media
+// timing the emulation must not interleave page-fault noise into it.
+[[nodiscard]] bool timing_model_enabled() noexcept;
 
 // Observer for the persistence primitives (crash-image testing, shadow
 // tracing).  At most one tracer is installed process-wide; the callbacks run

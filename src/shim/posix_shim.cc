@@ -36,6 +36,10 @@ int translate_oflags(int oflag) {
   if (oflag & O_EXCL) f |= core::kOpenExcl;
   if (oflag & O_TRUNC) f |= core::kOpenTrunc;
   if (oflag & O_APPEND) f |= core::kOpenAppend;
+  // O_SYNC / O_DSYNC: the application asked for synchronous durability on
+  // this descriptor — writes stay strict no matter the file's durability
+  // class (O_SYNC on glibc includes the O_DSYNC bit; test both).
+  if (oflag & (O_SYNC | O_DSYNC)) f |= core::kOpenSync;
   return f;
 }
 
@@ -285,6 +289,35 @@ int sfs_fstat(int fd, SfsStat* out) {
   if (!st.is_ok()) return fail(st.code());
   fill_stat(*st, out);
   return 0;
+}
+
+namespace {
+bool durability_of_int(int cls, core::Durability* out) {
+  switch (cls) {
+    case SFS_DURABILITY_STRICT: *out = core::Durability::strict; return true;
+    case SFS_DURABILITY_GROUP: *out = core::Durability::group; return true;
+    case SFS_DURABILITY_ASYNC: *out = core::Durability::async; return true;
+    default: return false;
+  }
+}
+}  // namespace
+
+int sfs_set_durability(const char* path, int durability_class) {
+  core::Process* p = proc_or_fail();
+  if (p == nullptr) return -1;
+  core::Durability d;
+  if (!durability_of_int(durability_class, &d)) return fail(Errc::invalid);
+  Status st = p->set_durability(path, d);
+  return st.is_ok() ? 0 : fail(st.code());
+}
+
+int sfs_fset_durability(int fd, int durability_class) {
+  core::Process* p = proc_or_fail();
+  if (p == nullptr) return -1;
+  core::Durability d;
+  if (!durability_of_int(durability_class, &d)) return fail(Errc::invalid);
+  Status st = p->set_durability(fd, d);
+  return st.is_ok() ? 0 : fail(st.code());
 }
 
 }  // namespace simurgh::shim

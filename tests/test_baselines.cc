@@ -291,6 +291,35 @@ TEST(SimurghCostModel, WarmthIsSuccessGatedAndCooledByMutation) {
   EXPECT_EQ(stat_cost("/d/a", true), warm);
 }
 
+// Durability-class ablation knob (write_behind.h cost model): a group-class
+// write+fsync pair charges the staging ack (sim_write_staged + absorbed
+// fsync) instead of the strict nt-store + fence path, so its virtual time
+// must come out strictly cheaper for the same workload.
+TEST(SimurghCostModel, GroupDurabilityIsCheaperThanStrict) {
+  auto run = [](core::Durability d) {
+    sim::SimWorld world;
+    SimurghModelOptions o;
+    o.durability_class = d;
+    o.device_size = 256ull << 20;
+    SimurghBackend be(world, o);
+    sim::SimThread setup(-1);
+    EXPECT_TRUE(be.create(setup, "/f").is_ok());
+    EXPECT_TRUE(be.fallocate(setup, "/f", 1 << 20).is_ok());
+    sim::SimThread t;
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_TRUE(be.write(t, "/f", i * 4096, 4096).is_ok());
+      EXPECT_TRUE(be.fsync(t, "/f").is_ok());
+    }
+    return t.now();
+  };
+  const auto strict = run(core::Durability::strict);
+  const auto group = run(core::Durability::group);
+  EXPECT_LT(group, strict);
+  // The gap must be substantial — the whole point of the tier — not a
+  // rounding artifact of one constant.
+  EXPECT_LT(group * 2, strict);
+}
+
 TEST(SimurghBackend, RelaxedVariantReportsItsName) {
   sim::SimWorld world;
   auto fs = make_backend(Backend::simurgh_relaxed, world);

@@ -172,6 +172,56 @@ TEST_F(ShimTest, FsstatReportsCapacity) {
   EXPECT_GE(st1.live_inodes, 2u);  // root + /big
 }
 
+// Durability classes through the shim (write_behind.h): a plain write on a
+// group-class file is acked from the staging tier, and a subsequent fsync —
+// absorbed into the epoch cadence — still round-trips the data to readers.
+TEST_F(ShimTest, GroupDurabilityWriteFsyncRoundTrips) {
+  const int fd = sfs_open("/relaxed", O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(sfs_set_durability("/relaxed", SFS_DURABILITY_GROUP), 0);
+  const char data[] = "staged but readable";
+  ASSERT_EQ(sfs_write(fd, data, sizeof data - 1),
+            static_cast<ssize_t>(sizeof data - 1));
+  EXPECT_EQ(sfs_fsync(fd), 0);  // absorbed, not waited on
+  const auto st = fs_->fsstat();
+  EXPECT_EQ(st.fsyncs_absorbed, 1u);
+  char buf[32] = {};
+  EXPECT_EQ(sfs_pread(fd, buf, sizeof buf, 0),
+            static_cast<ssize_t>(sizeof data - 1));
+  EXPECT_STREQ(buf, data);
+  SfsStat sb{};
+  ASSERT_EQ(sfs_fstat(fd, &sb), 0);
+  EXPECT_EQ(sb.st_size, sizeof data - 1);
+  EXPECT_EQ(sfs_close(fd), 0);
+}
+
+TEST_F(ShimTest, OSyncDescriptorOverridesDurabilityClass) {
+  const int fd = sfs_open("/osync", O_CREAT | O_RDWR | O_SYNC, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(sfs_fset_durability(fd, SFS_DURABILITY_GROUP), 0);
+  // O_SYNC maps to kOpenSync: this descriptor writes strictly even though
+  // the file's class is group — nothing lands in the staging tier.
+  EXPECT_EQ(sfs_write(fd, "durable", 7), 7);
+  EXPECT_EQ(fs_->fsstat().staged_bytes, 0u);
+  char buf[8] = {};
+  EXPECT_EQ(sfs_pread(fd, buf, sizeof buf, 0), 7);
+  EXPECT_STREQ(buf, "durable");
+  EXPECT_EQ(sfs_close(fd), 0);
+}
+
+TEST_F(ShimTest, SetDurabilityErrnos) {
+  EXPECT_EQ(sfs_set_durability("/nope", SFS_DURABILITY_GROUP), -1);
+  EXPECT_EQ(last_errno(), ENOENT);
+  ASSERT_GE(sfs_open("/plain", O_CREAT | O_WRONLY, 0644), 0);
+  EXPECT_EQ(sfs_set_durability("/plain", 42), -1);
+  EXPECT_EQ(last_errno(), EINVAL);
+  EXPECT_EQ(sfs_fset_durability(999, SFS_DURABILITY_ASYNC), -1);
+  EXPECT_EQ(last_errno(), EBADF);
+  ASSERT_EQ(sfs_mkdir("/adir", 0755), 0);
+  EXPECT_EQ(sfs_set_durability("/adir", SFS_DURABILITY_GROUP), -1);
+  EXPECT_EQ(last_errno(), EISDIR);
+}
+
 TEST_F(ShimTest, ErrnoIsThreadLocal) {
   EXPECT_EQ(sfs_open("/nope", O_RDONLY), -1);
   EXPECT_EQ(last_errno(), ENOENT);
