@@ -572,12 +572,19 @@ Stat Process::stat_of(std::uint64_t ino_off) const {
   st.gid = ino->gid.load(std::memory_order_relaxed);
   st.nlink = ino->nlink.load(std::memory_order_acquire);
   st.size = ino->size.load(std::memory_order_acquire);
-  // Acked staged appends are part of the file's visible size.
-  if (WriteBehind* wb = fs_.write_behind(); wb != nullptr && wb->active())
-    st.size = std::max(st.size, wb->staged_size_of(ino_off));
   st.atime_ns = ino->atime_ns.load(std::memory_order_relaxed);
   st.mtime_ns = ino->mtime_ns.load(std::memory_order_relaxed);
   st.ctime_ns = ino->ctime_ns.load(std::memory_order_relaxed);
+  // Acked staged writes are part of the file's visible size AND mtime — the
+  // drain will stamp exactly these values at commit, so stat must not pair
+  // a staged size with the pre-stage mtime.
+  if (WriteBehind* wb = fs_.write_behind(); wb != nullptr && wb->active()) {
+    std::uint64_t ssize = 0, smtime = 0;
+    if (wb->staged_stat_of(ino_off, &ssize, &smtime)) {
+      st.size = std::max(st.size, ssize);
+      st.mtime_ns = smtime;
+    }
+  }
   return st;
 }
 

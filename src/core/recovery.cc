@@ -80,7 +80,13 @@ RecoveryReport FileSystem::recover() {
   // final sizes.  The roll-forward runs even when the tier is disabled on
   // this mount: the crashed writer may have had it enabled.
   if (wb_) report.wb_staged_discarded = wb_->discard_staged();
-  if (wb_journal_roll_forward(*dev_)) report.wb_epochs_rolled_forward = 1;
+  // Under the journal's lease lock (with the dead-peer steal path): on a
+  // shared device a live peer may be mid-drain, and an unlocked roll-forward
+  // would disarm/commit its armed epoch between its own arm and commit
+  // steps, racing the peer's protocol state.
+  if (wb_journal_roll_forward_locked(*dev_, mount_token(),
+                                     wb_ ? wb_->lease_ns() : kWbLeaseNs))
+    report.wb_epochs_rolled_forward = 1;
 
   const Superblock& s = sb();
   const std::uint64_t n_blocks = blocks_->n_blocks_total();

@@ -126,9 +126,12 @@ WriteBehind::Epoch& WriteBehind::open_epoch_locked() {
 }
 
 void WriteBehind::seal_open_locked() {
+  // Empty epochs seal too: forget() may scrub every staged range out of an
+  // open epoch (flush raced an unlink), and an unsealable empty epoch would
+  // park the persister in a busy loop at its deadline — seal it and let
+  // drain_epoch no-op it so committed_seq_ still advances past its seq.
   if (epochs_.empty()) return;
-  Epoch& back = *epochs_.back();
-  if (!back.sealed && !back.files.empty()) back.sealed = true;
+  epochs_.back()->sealed = true;
 }
 
 std::vector<std::byte> WriteBehind::take_chunk_locked() {
@@ -142,8 +145,8 @@ std::vector<std::byte> WriteBehind::take_chunk_locked() {
 
 void WriteBehind::recycle_chunk_locked(std::vector<std::byte>&& v) {
   if (v.capacity() < kStageChunkBytes ||
-      pool_bytes_ + v.capacity() > cfg_.max_staged_bytes)
-    return;  // small one-offs go back to the allocator's fast path
+      staged_bytes_ + pool_bytes_ + v.capacity() > cfg_.max_staged_bytes)
+    return;  // small one-offs (and a full arena) go back to the allocator
   pool_bytes_ += v.capacity();
   chunk_pool_.push_back(std::move(v));
 }
@@ -155,7 +158,8 @@ void WriteBehind::harvest_chunks_locked(Epoch& e) {
 
 void WriteBehind::prewarm_chunks(std::uint64_t bytes) {
   std::lock_guard<std::mutex> lk(mu_);
-  while (pool_bytes_ + kStageChunkBytes <= cfg_.max_staged_bytes &&
+  while (staged_bytes_ + pool_bytes_ + kStageChunkBytes <=
+             cfg_.max_staged_bytes &&
          bytes >= kStageChunkBytes) {
     std::vector<std::byte> v(kStageChunkBytes);  // value-init touches pages
     v.clear();
@@ -188,6 +192,15 @@ bool WriteBehind::stage_write(std::uint64_t ino_off, const void* buf,
     auto it = files_.find(ino_off);
     if (it == files_.end() || it->second.cls == Durability::strict)
       return false;
+    // Pool residency counts toward the cap (the pool IS the staging arena,
+    // just idle — see the header): shed idle pooled chunks back to the
+    // allocator before declaring backpressure, so resident memory stays
+    // bounded by max_staged_bytes instead of staged + a full pool.
+    while (staged_bytes_ + pool_bytes_ + n > cfg_.max_staged_bytes &&
+           !chunk_pool_.empty()) {
+      pool_bytes_ -= chunk_pool_.front().capacity();
+      chunk_pool_.pop_front();
+    }
     if (staged_bytes_ + n > cfg_.max_staged_bytes) {
       lk.unlock();
       // Bounded memory: flush this inode's own staged ranges first (a
@@ -238,6 +251,7 @@ bool WriteBehind::stage_write(std::uint64_t ino_off, const void* buf,
     e.has_group = e.has_group || cls == Durability::group;
     st.last_epoch = e.seq;
     st.staged_size = std::max(base, off + n);
+    st.mtime_ns = sf.mtime_ns;  // stat overlays this until the drain stamps it
     staged_bytes_ += n;
     ++staged_writes_;
     if (e.bytes >= cfg_.epoch_bytes ||
@@ -271,6 +285,17 @@ std::uint64_t WriteBehind::staged_size_of(std::uint64_t ino_off) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(ino_off);
   return it == files_.end() ? 0 : it->second.staged_size;
+}
+
+bool WriteBehind::staged_stat_of(std::uint64_t ino_off,
+                                 std::uint64_t* size_out,
+                                 std::uint64_t* mtime_out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(ino_off);
+  if (it == files_.end() || it->second.staged_size == 0) return false;
+  *size_out = it->second.staged_size;
+  *mtime_out = it->second.mtime_ns;
+  return true;
 }
 
 void WriteBehind::overlay_read(std::uint64_t ino_off, void* buf,
@@ -377,6 +402,7 @@ void WriteBehind::drain_front_locked(std::unique_lock<std::mutex>& lk) {
 // sealed epochs are immutable, and file locks order us against strict
 // writers / truncate on the same inodes.
 void WriteBehind::drain_epoch(Epoch& e) {
+  if (e.files.empty()) return;  // fully scrubbed by forget(): nothing durable
   nvmm::Device& dev = fs_.dev();
   // 1. Stream every staged range into place through the strict path's
   //    coalesced-persist machinery (extent allocation + nt_copy per run),
@@ -474,8 +500,13 @@ void WriteBehind::drain_epoch(Epoch& e) {
   drained_bytes_.fetch_add(e.bytes, std::memory_order_relaxed);
 }
 
-void WriteBehind::lock_journal(WbJournal& j) {
-  std::uint64_t token = fs_.mount_token();
+namespace {
+
+// The lease-lock acquire loop, shared by the mount-local drain path and the
+// standalone locked roll-forward below.  Returns whether a dead holder's
+// armed epoch was rolled forward as part of a lock steal.
+bool lock_journal_raw(WbJournal& j, nvmm::Device& dev, std::uint64_t token,
+                      std::uint64_t lease_ns) {
   if (token == 0) token = 1;  // format-time drains predate registration
   for (;;) {
     std::uint64_t cur = j.lock_token.load(std::memory_order_acquire);
@@ -483,27 +514,41 @@ void WriteBehind::lock_journal(WbJournal& j) {
       if (j.lock_token.compare_exchange_weak(cur, token,
                                              std::memory_order_acq_rel)) {
         j.lock_stamp_ns.store(wall_ns(), std::memory_order_release);
-        return;
+        return false;
       }
       continue;
     }
     const std::uint64_t stamp =
         j.lock_stamp_ns.load(std::memory_order_acquire);
     const std::uint64_t now = wall_ns();
-    if (stamp != 0 &&
-        now > stamp + lease_ns_.load(std::memory_order_relaxed)) {
+    if (stamp != 0 && now > stamp + lease_ns) {
       // Dead holder: steal the lock, then roll forward any epoch it left
       // armed before draining our own.
       if (j.lock_token.compare_exchange_weak(cur, token,
                                              std::memory_order_acq_rel)) {
         j.lock_stamp_ns.store(now, std::memory_order_release);
-        (void)wb_journal_roll_forward(fs_.dev());
-        return;
+        return wb_journal_roll_forward(dev);
       }
       continue;
     }
     std::this_thread::yield();
   }
+}
+
+}  // namespace
+
+bool wb_journal_roll_forward_locked(nvmm::Device& dev, std::uint64_t token,
+                                    std::uint64_t lease_ns) {
+  WbJournal& j = journal_at(dev);
+  bool applied = lock_journal_raw(j, dev, token, lease_ns);
+  applied = wb_journal_roll_forward(dev) || applied;
+  j.lock_token.store(0, std::memory_order_release);
+  return applied;
+}
+
+void WriteBehind::lock_journal(WbJournal& j) {
+  (void)lock_journal_raw(j, fs_.dev(), fs_.mount_token(),
+                         lease_ns_.load(std::memory_order_relaxed));
 }
 
 void WriteBehind::unlock_journal(WbJournal& j) {
@@ -575,7 +620,12 @@ void WriteBehind::stop_persister() {
 
 std::uint64_t WriteBehind::discard_staged() {
   stop_persister();
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  // The persister is gone, but an inline drainer (async fsync / flush /
+  // unmount) may still be inside drain_epoch with mu_ released, holding a
+  // raw pointer into epochs_ — clearing the deque under it would free the
+  // epoch it is about to finish committing.  Wait for it to retire first.
+  cv_.wait(lk, [this] { return !draining_; });
   std::uint64_t bytes = 0;
   for (const auto& e : epochs_) {
     bytes += e->bytes;
@@ -603,6 +653,7 @@ WriteBehind::Counters WriteBehind::counters() {
   c.fsyncs_absorbed = fsyncs_absorbed_;
   c.group_commits = group_commits_.load(std::memory_order_relaxed);
   c.staged_bytes = staged_bytes_;
+  c.pool_bytes = pool_bytes_;
   c.backpressure_hits =
       backpressure_hits_.load(std::memory_order_relaxed);
   c.staged_writes = staged_writes_;

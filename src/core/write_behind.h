@@ -65,6 +65,17 @@ class FileSystem;
 // whether an armed epoch was applied.  Safe to re-run (idempotent).
 bool wb_journal_roll_forward(nvmm::Device& dev);
 
+// Default journal-lock lease: a holder silent this long is presumed dead
+// and its lock is stolen (armed epoch rolled forward by the stealer).
+inline constexpr std::uint64_t kWbLeaseNs = 2'000'000'000;
+
+// Like wb_journal_roll_forward, but takes the journal's lease lock first
+// (with the dead-holder steal path).  recover() on a shared device must use
+// this: a live peer may be mid-drain, and an unlocked roll-forward would
+// disarm/commit its armed epoch between the peer's own arm and commit steps.
+bool wb_journal_roll_forward_locked(nvmm::Device& dev, std::uint64_t token,
+                                    std::uint64_t lease_ns);
+
 // Staging-buffer chunk: contiguous staged writes extend one chunk in place
 // until it reaches this size, then a new chunk starts.  Sized under glibc's
 // 128 KB mmap threshold so chunks recycle through the malloc arena instead
@@ -89,6 +100,7 @@ class WriteBehind {
     std::uint64_t fsyncs_absorbed = 0;
     std::uint64_t group_commits = 0;   // epochs committed
     std::uint64_t staged_bytes = 0;    // current staging residency
+    std::uint64_t pool_bytes = 0;      // idle recycled-chunk arena residency
     std::uint64_t backpressure_hits = 0;
     std::uint64_t staged_writes = 0;
     std::uint64_t drained_bytes = 0;
@@ -127,6 +139,12 @@ class WriteBehind {
   // ---- read path ----
   // Effective size including staged appends (0 when nothing is staged).
   [[nodiscard]] std::uint64_t staged_size_of(std::uint64_t ino_off);
+  // Effective size AND mtime of the staged state — exactly the values the
+  // drain will stamp at commit, so stat never pairs a staged size with a
+  // stale mtime.  Returns false (outputs untouched) when nothing is staged.
+  [[nodiscard]] bool staged_stat_of(std::uint64_t ino_off,
+                                    std::uint64_t* size_out,
+                                    std::uint64_t* mtime_out);
   // Copies staged bytes intersecting [off, off+n) over buf, oldest epoch
   // first (read-your-writes; newest data wins).
   void overlay_read(std::uint64_t ino_off, void* buf, std::size_t n,
@@ -157,6 +175,9 @@ class WriteBehind {
   [[nodiscard]] Counters counters();
   void set_lease_ns(std::uint64_t ns) noexcept {
     lease_ns_.store(ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lease_ns() const noexcept {
+    return lease_ns_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   // Test/bench knobs; take effect for subsequently staged epochs.  Guarded
@@ -204,6 +225,7 @@ class WriteBehind {
     Durability cls = Durability::strict;
     std::uint64_t last_epoch = 0;   // newest epoch seq holding its ranges
     std::uint64_t staged_size = 0;  // effective size; 0 = nothing staged
+    std::uint64_t mtime_ns = 0;     // mtime of the newest staged write
   };
 
   Epoch& open_epoch_locked();
@@ -237,7 +259,7 @@ class WriteBehind {
 
   FileSystem& fs_;
   Config cfg_;
-  std::atomic<std::uint64_t> lease_ns_{2'000'000'000};
+  std::atomic<std::uint64_t> lease_ns_{kWbLeaseNs};
   std::atomic<std::uint64_t> nonstrict_files_{0};
 
   std::mutex mu_;

@@ -18,6 +18,8 @@
 // are exercised by the overlay unit tests instead.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -328,6 +330,77 @@ TEST_F(WriteBehindTest, UnlinkDiscardsResidualStagedRanges) {
   EXPECT_TRUE(cr.ok()) << cr.summary();
 }
 
+// forget() can scrub every staged range out of the still-OPEN epoch (an
+// unlink whose flush raced a concurrent staged write).  The persister must
+// seal and retire that empty epoch at its deadline and go back to sleep —
+// the regression was an unsealable empty epoch spinning the persister
+// forever with mu_ held, wedging every operation on the mount.
+TEST_F(WriteBehindTest, EmptyOpenEpochDoesNotWedgePersister) {
+  const int fd = open_rw("/f");
+  ASSERT_TRUE(p().set_durability("/f", Durability::group).is_ok());
+  const std::string a = pattern('e', 128);
+  ASSERT_TRUE(p().write(fd, a.data(), a.size()).is_ok());  // opens an epoch
+  const std::uint64_t ino_off = p().stat("/f")->inode;
+  wb_->forget(ino_off);  // scrubs the open epoch's only ranges
+  EXPECT_EQ(wb_->counters().staged_bytes, 0u);
+  // Drop the T-deadline under the epoch's age so the persister hits it now.
+  wb_->set_interval_us(100);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Liveness probe: mu_ must still be available, an empty drain must not
+  // count as a group commit, and staging must keep working.
+  auto c = wb_->counters();
+  EXPECT_EQ(c.group_commits, 0u);
+  const int fd2 = open_rw("/g");
+  ASSERT_TRUE(p().set_durability("/g", Durability::group).is_ok());
+  ASSERT_TRUE(p().write(fd2, a.data(), a.size()).is_ok());
+  wb_->commit_epoch_now();
+  EXPECT_EQ(read_all("/g"), a);
+  ASSERT_TRUE(p().close(fd2).is_ok());
+  ASSERT_TRUE(p().close(fd).is_ok());
+}
+
+// Pool residency counts toward max_staged_bytes: a warm recycle arena must
+// shed chunks as staged residency grows, never stack a full pool on top of
+// a full staging buffer (~2x the configured cap).
+TEST_F(WriteBehindTest, PoolResidencyCountsTowardCap) {
+  const std::uint64_t cap = 2 * core::kStageChunkBytes;
+  wb_->set_max_staged_bytes(cap);
+  wb_->prewarm_chunks(cap);
+  EXPECT_EQ(wb_->counters().pool_bytes, cap);
+  const int fd = open_rw("/f");
+  ASSERT_TRUE(p().set_durability("/f", Durability::group).is_ok());
+  const std::string a = pattern('p', core::kStageChunkBytes + 4096);
+  ASSERT_TRUE(p().write(fd, a.data(), a.size()).is_ok());
+  auto c = wb_->counters();
+  EXPECT_EQ(c.backpressure_hits, 0u);  // the pool shed; no strict fallback
+  EXPECT_EQ(c.staged_writes, 1u);
+  EXPECT_LE(c.staged_bytes + c.pool_bytes, cap);
+  wb_->commit_epoch_now();
+  c = wb_->counters();
+  EXPECT_LE(c.staged_bytes + c.pool_bytes, cap);
+  EXPECT_EQ(read_all("/f"), a);
+  ASSERT_TRUE(p().close(fd).is_ok());
+}
+
+// stat on a staged file must pair the staged size with the staged mtime —
+// the exact values the drain will stamp — not the pre-stage mtime.
+TEST_F(WriteBehindTest, StatSeesStagedMtime) {
+  const int fd = open_rw("/f");
+  ASSERT_TRUE(p().set_durability("/f", Durability::group).is_ok());
+  const std::uint64_t before = p().stat("/f")->mtime_ns;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::string a = pattern('m', 64);
+  ASSERT_TRUE(p().write(fd, a.data(), a.size()).is_ok());
+  const auto staged = p().stat("/f");
+  ASSERT_TRUE(staged.is_ok());
+  EXPECT_EQ(staged->size, 64u);
+  EXPECT_GT(staged->mtime_ns, before);
+  wb_->commit_epoch_now();
+  // The drain stamped the same mtime the overlay reported.
+  EXPECT_EQ(p().stat("/f")->mtime_ns, staged->mtime_ns);
+  ASSERT_TRUE(p().close(fd).is_ok());
+}
+
 // ---- lifecycle: unmount drains, recover() discards with accounting ----
 
 TEST_F(WriteBehindTest, UnmountDrainsEverythingStaged) {
@@ -378,6 +451,56 @@ TEST_F(WriteBehindTest, RecoverDiscardsStagedWithAccounting) {
   wb_->commit_epoch_now();
   EXPECT_EQ(read_all("/f"), base + more);
   ASSERT_TRUE(p().close(fd).is_ok());
+}
+
+// discard_staged() vs an inline drainer: an async fsync drains on the
+// calling thread with mu_ released and a raw pointer into epochs_, so the
+// discard must wait for it to retire before destroying the deque (the
+// regression was a use-after-free asan catches here).
+TEST_F(WriteBehindTest, DiscardWaitsForInlineDrainer) {
+  const int fd = open_rw("/f");
+  ASSERT_TRUE(p().set_durability("/f", Durability::async).is_ok());
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    auto proc = fs_->open_process(1000, 1000);
+    auto wfd = proc->open("/f", kOpenWrite | kOpenAppend);
+    ASSERT_TRUE(wfd.is_ok());
+    const std::string chunk = pattern('w', 256);
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!proc->write(*wfd, chunk.data(), chunk.size()).is_ok()) break;
+      if (!proc->fsync(*wfd).is_ok()) break;  // pending async: inline drain
+    }
+    (void)proc->close(*wfd);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  (void)wb_->discard_staged();  // must not clear epochs_ under the drainer
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  wb_->resume();
+  wb_->drain_all();
+  const core::CheckReport cr = core::check_fs(*fs_);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
+  ASSERT_TRUE(p().close(fd).is_ok());
+}
+
+// recover() must take the journal's lease lock (stealing from a dead
+// holder) before rolling forward: the regression disarmed/committed a
+// peer's armed epoch without the lock, racing a live peer's drain protocol.
+TEST_F(WriteBehindTest, RecoverStealsJournalLockThenRollsForward) {
+  auto& j = *reinterpret_cast<core::WbJournal*>(nvmm_->at(core::kWbJournalOff));
+  j.epoch_seq = j.committed_seq.load(std::memory_order_relaxed) + 1;
+  j.n_entries = 0;
+  j.state.store(core::kWbJournalArmed, std::memory_order_release);
+  // A dead peer's lock: foreign token, lease long expired.
+  j.lock_token.store(0xdeadbeef, std::memory_order_release);
+  j.lock_stamp_ns.store(1, std::memory_order_release);
+  const core::RecoveryReport rr = fs_->recover();
+  EXPECT_EQ(rr.wb_epochs_rolled_forward, 1u);
+  EXPECT_EQ(j.state.load(std::memory_order_acquire), core::kWbJournalIdle);
+  // The steal went through the lock and released it afterwards.
+  EXPECT_EQ(j.lock_token.load(std::memory_order_acquire), 0u);
+  const core::CheckReport cr = core::check_fs(*fs_);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
 }
 
 // ---- fsck: an armed journal must only appear mid-crash ----
