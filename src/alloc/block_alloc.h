@@ -42,7 +42,14 @@ struct SegmentLock {
 // the lock word is CASed on every direct allocation and free, and without
 // the padding two mounts working disjoint segments still ping-pong the
 // line holding both headers.
-struct alignas(64) SegmentHeader {
+//
+// The header doubles as the lock-discipline capability: its embedded
+// SegmentLock words are the runtime lock, and lock_segment()/
+// unlock_segment() below are the only acquire/release points, so
+// alloc_from()/free_into() can state REQUIRES(seg) and the analysis proves
+// no free-list mutation happens outside the segment lock.  The attribute is
+// compile-time only — sizeof stays 64 (static_assert below).
+struct alignas(64) CAPABILITY("segment_lease") SegmentHeader {
   SegmentLock lock;
   nvmm::atomic_pptr<struct FreeRange> free_head;
   std::atomic<std::uint64_t> free_blocks{0};
@@ -227,12 +234,26 @@ class BlockAllocator {
   [[nodiscard]] unsigned segment_of(std::uint64_t block_off) const noexcept;
 
   // Spin-acquire with lease stealing; returns true if the lock was stolen.
-  bool lock_segment(SegmentHeader& seg);
-  void unlock_segment(SegmentHeader& seg) noexcept;
-  bool try_lock_segment(SegmentHeader& seg);
+  // (A lease steal IS an acquisition by the thief: the previous holder died
+  // and will never release, so the capability transfers.)
+  bool lock_segment(SegmentHeader& seg) ACQUIRE(seg);
+  void unlock_segment(SegmentHeader& seg) noexcept RELEASE(seg);
+  bool try_lock_segment(SegmentHeader& seg) TRY_ACQUIRE(true, seg);
 
-  Result<std::uint64_t> alloc_from(SegmentHeader& seg, std::uint64_t n);
-  void free_into(SegmentHeader& seg, std::uint64_t block_off, std::uint64_t n);
+  // Free-list mutation: callers must hold the segment lock.
+  Result<std::uint64_t> alloc_from(SegmentHeader& seg, std::uint64_t n)
+      REQUIRES(seg);
+  void free_into(SegmentHeader& seg, std::uint64_t block_off, std::uint64_t n)
+      REQUIRES(seg);
+
+  // Recovery runs single-threaded before any peer can allocate (the mount
+  // registry serialises it behind the recovering token), so
+  // rebuild_free_lists legitimately rebuilds free lists without taking the
+  // per-segment locks it just reset.  ASSERT_CAPABILITY tells the analysis
+  // this quiescence is equivalent to holding the lock; it emits no code.
+  static void assume_quiescent(SegmentHeader& seg) ASSERT_CAPABILITY(seg) {
+    (void)seg;
+  }
 
   // The pre-reservation allocation path (two-pass segment walk).
   Result<std::uint64_t> alloc_direct(std::uint64_t n_blocks,
@@ -289,6 +310,7 @@ void BlockAllocator::rebuild_free_lists(InUseFn&& in_use) {
       const std::uint64_t seg_idx = run_start / per_seg;
       const std::uint64_t seg_end = (seg_idx + 1) * per_seg;
       const std::uint64_t take = std::min(run_len, seg_end - run_start);
+      assume_quiescent(segs[seg_idx]);  // recovery is single-threaded
       free_into(segs[seg_idx], h.data_off + run_start * kBlockSize, take);
       run_start += take;
       run_len -= take;

@@ -73,6 +73,12 @@ Status ObjectAllocator::grow() {
   SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t seg_off,
                            blocks_->alloc(n_blocks, pool_off_));
   std::memset(dev_->at(seg_off), 0, n_blocks * kBlockSize);
+  // The zeroed object headers must be durable before the head can publish
+  // the segment: these blocks are recycled, and a crash image holding a
+  // published head over unflushed zeros would replay whatever two-bit flags
+  // the previous owner left in them.  The fence in the publish loop below
+  // orders this flush before the head store.
+  nvmm::persist(dev_->at(seg_off), n_blocks * kBlockSize);
   auto* seg = reinterpret_cast<PoolSegment*>(dev_->at(seg_off));
   seg->n_objects = p.objs_per_segment;
   seg->n_blocks = n_blocks;
@@ -168,7 +174,7 @@ Result<std::uint64_t> ObjectAllocator::alloc_shared() {
 
 Result<std::uint64_t> ObjectAllocator::alloc() {
   if (stack_ != nullptr) return alloc_shared();
-  std::lock_guard lock(*cache_mu_);
+  common::MutexLock lock(*cache_mu_);
   for (;;) {
     while (!cache_.empty()) {
       const std::uint64_t off = cache_.back();
@@ -238,7 +244,7 @@ void ObjectAllocator::finish_pending_free(std::uint64_t payload_off) {
     }
     return;
   }
-  std::lock_guard lock(*cache_mu_);
+  common::MutexLock lock(*cache_mu_);
   cache_.push_back(payload_off);
 }
 
@@ -271,7 +277,7 @@ void ObjectAllocator::drop_volatile_cache() {
     stack_->reset();  // peers' stale magazines lose the claim CAS anyway
     return;
   }
-  std::lock_guard lock(*cache_mu_);
+  common::MutexLock lock(*cache_mu_);
   cache_.clear();
 }
 

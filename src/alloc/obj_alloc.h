@@ -32,12 +32,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "alloc/block_alloc.h"
 #include "alloc/shm_state.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace simurgh::alloc {
 
@@ -180,7 +180,7 @@ class ObjectAllocator {
   }
 
   Status grow();
-  void refill_cache();
+  void refill_cache() REQUIRES(*cache_mu_);
   Result<std::uint64_t> alloc_shared();
   bool refill_shared();
 
@@ -190,8 +190,10 @@ class ObjectAllocator {
 
   // Volatile free cache (per-mount, rebuilt on attach/refill).  Heap-held
   // so the allocator stays movable.  Unused once stack_ is attached.
-  std::unique_ptr<std::mutex> cache_mu_ = std::make_unique<std::mutex>();
-  std::vector<std::uint64_t> cache_;
+  // GUARDED_BY dereferences the unique_ptr: the analysis tracks `*cache_mu_`
+  // as the capability expression, which every lock site names too.
+  std::unique_ptr<common::Mutex> cache_mu_ = std::make_unique<common::Mutex>();
+  std::vector<std::uint64_t> cache_ GUARDED_BY(*cache_mu_);
   ObjCacheStack* stack_ = nullptr;
   unsigned home_stripe_ = 0;
   std::uint64_t lease_ns_ = 100'000'000;  // 100 ms

@@ -46,6 +46,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/thread_annotations.h"
+
 namespace simurgh::alloc {
 
 inline std::uint64_t shm_clock_ns() noexcept {
@@ -112,7 +114,15 @@ inline void shm_spin_unlock(std::atomic<std::uint64_t>& lock,
 // declares that mount dead reclaims the slot under the slot lock.  Padded
 // to a cache line: the slot spinlock is CASed on every reserved allocation,
 // and two adjacent threads' slots must not false-share.
-struct alignas(64) ShmReservation {
+//
+// The slot struct itself is the capability (its embedded `lock` word is the
+// spinlock): lock_reservation()/unlock_reservation() below are the only
+// acquire/release points.  The fields stay plain atomics rather than
+// GUARDED_BY members because survivors legitimately read `mount`/`n`
+// lock-free (reserved_unused_blocks() sums, liveness probes) — the lock
+// only serialises *mutation* of a claimed slot.  The attribute adds no
+// bytes (static_assert below still pins the layout).
+struct alignas(64) CAPABILITY("shm_reservation_lease") ShmReservation {
   std::atomic<std::uint64_t> lock{0};           // spinlock owner token
   std::atomic<std::uint64_t> lock_stamp_ns{0};  // lease stamp for steals
   std::atomic<std::uint64_t> mount{0};          // owning mount token
@@ -137,12 +147,19 @@ inline unsigned shm_reserve_home(std::uint64_t mount_token) noexcept {
                                kShmReserveHomes);
 }
 
+// NO_THREAD_SAFETY_ANALYSIS on the bodies: the acquisition happens inside
+// shm_spin_lock(), which operates on raw atomic words (an atomic is not a
+// capability), so the analysis cannot see the acquire/release happen — the
+// ACQUIRE/RELEASE attributes on these wrappers are the ground truth callers
+// are checked against.
 inline void lock_reservation(ShmReservation& r, std::uint64_t self,
-                             std::uint64_t lease_ns) noexcept {
+                             std::uint64_t lease_ns) noexcept
+    ACQUIRE(r) NO_THREAD_SAFETY_ANALYSIS {
   shm_spin_lock(r.lock, r.lock_stamp_ns, self, lease_ns);
 }
 
-inline void unlock_reservation(ShmReservation& r, std::uint64_t self) noexcept {
+inline void unlock_reservation(ShmReservation& r, std::uint64_t self) noexcept
+    RELEASE(r) NO_THREAD_SAFETY_ANALYSIS {
   shm_spin_unlock(r.lock, self);
 }
 
@@ -158,7 +175,13 @@ constexpr std::uint32_t kObjCacheStripeSlots = 512;  // per stripe
 constexpr std::uint32_t kObjCacheSlots =
     kObjCacheStripes * kObjCacheStripeSlots;
 
-struct alignas(64) ObjCacheStripe {
+// The stripe is a capability like ShmReservation, but its lock never
+// escapes: pop_some()/push_some() acquire and release internally (balanced
+// on every path), so no REQUIRES contracts exist for callers to satisfy and
+// the member functions need no acquire/release annotations.  The attribute
+// documents that `n`/`slots` mutation is spinlock-serialised; looks_empty()
+// and looks_full() read `n` lock-free by design (hints, see above).
+struct alignas(64) CAPABILITY("obj_cache_stripe_lease") ObjCacheStripe {
   std::atomic<std::uint64_t> lock{0};
   std::atomic<std::uint64_t> lock_stamp_ns{0};
   std::atomic<std::uint32_t> n{0};

@@ -44,10 +44,16 @@ Result<bool> FileSystem::ensure_allocated(ExtentResolver& res, Inode& ino,
     SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t dev_off,
                              blocks().alloc(run.n_blocks, ino_off));
     // A fresh block the write only partially covers must read back zeros
-    // in its unwritten bytes; interior blocks are fully overwritten.
+    // in its unwritten bytes; interior blocks are fully overwritten.  The
+    // zeros must be *durable* before the size stamp can commit: the block
+    // may be recycled and still hold a dead file's bytes, and the nt_copy
+    // below covers only [off, off+n) — so flush the zeroed lines here (the
+    // data fence preceding the size stamp orders them with the commit).
     for (const std::uint64_t zb : {zero_a, zero_b}) {
-      if (zb >= b && zb < b + run.n_blocks)
+      if (zb >= b && zb < b + run.n_blocks) {
         std::memset(dev().at(dev_off + (zb - b) * kBS), 0, kBS);
+        nvmm::persist(dev().at(dev_off + (zb - b) * kBS), kBS);
+      }
     }
     if (!guard) {
       // First mutation: mark the map epoch odd and stop trusting the

@@ -1045,6 +1045,10 @@ void DirOps::replay_cross_log(Inode& src_dir) {
     scrub_entry(entry_at(new_fe));
     pools_.fentry->finish_pending_free(new_fe);
   }
+  // Disarm, not arm: every cleanup helper above (commit / set_flags /
+  // finish_pending_free) ends in a persist_now, so the replayed state is
+  // durable before the log drops.
+  // pmlint: allow(fence-before-commit) helpers above persist+fence internally
   log.state.store(0, std::memory_order_release);
   nvmm::persist_now(log.state);
 }

@@ -42,6 +42,7 @@
 #include <string_view>
 
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "core/inode.h"
 
 namespace simurgh::core {
@@ -138,7 +139,17 @@ struct RenameLog {
 };
 static_assert(sizeof(RenameLog) == 40);
 
-struct DirBlock {
+// The chain head is the capability for its per-line busy-word locks
+// (thread_annotations.h pattern 2; zero layout impact).  Deliberately
+// block-granular, not line-granular: the analysis has no way to spell "bit
+// `ln` of this block's busy word", and several paths legitimately hold
+// multiple lines of one block at once (lock_pair on one block, the
+// splitter's all-48-lines sweep) — which a block-level SCOPED_CAPABILITY on
+// LineLock would misread as double acquisition.  LineLock therefore stays
+// un-annotated (see its comment for the full justification); the capability
+// here documents the lock's identity for REQUIRES-style reasoning and for
+// pmlint, and runtime enforcement stays with the lease stamps + TSAN.
+struct CAPABILITY("dir_line_lease") DirBlock {
   nvmm::atomic_pptr<DirBlock> next;
   // ---- first block of a chain only ----
   std::atomic<std::uint64_t> busy{0};          // one bit per line
@@ -542,6 +553,17 @@ class EpochGuard {
 // word) — per-bucket lock words once a directory splits.  Stealing an
 // expired lease lets the caller repair the line, implementing the paper's
 // "the next process accessing the same row continues the execution" rule.
+//
+// NOT a SCOPED_CAPABILITY, deliberately (the justification the analyze
+// preset requires): (a) the capability would have to be block-granular
+// (see DirBlock) while the lock is line-granular, so the splitter's
+// all-48-lines sweep and same-block lock_pair reads as double acquisition;
+// (b) every call site holds the lock through std::unique_ptr (MutCtx /
+// PairCtx), and the analysis cannot track a heap-held scoped capability —
+// annotating the constructor ACQUIRE would make every lock_name caller a
+// false "capability leaked" error.  Lock discipline here is enforced at
+// runtime instead: lease stamps + steal_repair, the §7 crash harness, and
+// TSAN; pmlint checks the persist ordering of the mutations made under it.
 class LineLock {
  public:
   LineLock(const DirOps& ops, Inode& dir, unsigned line,

@@ -17,6 +17,11 @@
 // Views are immutable heap snapshots behind std::atomic<std::shared_ptr>,
 // so a probe is one atomic load + two field compares and never observes a
 // torn extent list; a stale view is simply rejected by the epoch compare.
+//
+// Lock discipline: no capabilities declared here on purpose
+// (common/thread_annotations.h) — correctness rests on the epoch-validation
+// protocol over atomics, not on mutual exclusion, so there is nothing for
+// the thread-safety analysis to check; TSAN covers the protocol instead.
 #pragma once
 
 #include <algorithm>

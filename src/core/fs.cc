@@ -30,19 +30,22 @@ FileSystem::FileSystem(nvmm::Device& nvmm, nvmm::Device& shm)
 FileSystem::~FileSystem() { stop_heartbeat_thread(); }
 
 void FileSystem::start_heartbeat_thread() {
-  hb_stop_ = false;
+  {
+    common::MutexLock lk(hb_mutex_);
+    hb_stop_ = false;
+  }
   hb_thread_ = std::thread([this] {
     unsigned round = 0;
-    std::unique_lock<std::mutex> lk(hb_mutex_);
+    common::MutexLock lk(hb_mutex_);
     for (;;) {
       // Re-read the lease each round: tests shrink it mid-run and
       // set_lease_ns() nudges the condition variable so the new cadence
-      // takes effect within one old interval.
+      // takes effect within one old interval.  No wait predicate: a
+      // spurious wake just heartbeats one extra time (harmless), and a
+      // predicate lambda reading the hb_mutex_-guarded fields would look
+      // lockless to the thread-safety analysis.
       const std::uint64_t ns = registry_->lease_ns() / 4 + 1;
-      const std::uint64_t gen = hb_wake_gen_;
-      hb_cv_.wait_for(lk, std::chrono::nanoseconds(ns), [&] {
-        return hb_stop_ || hb_wake_gen_ != gen;
-      });
+      hb_cv_.wait_for(lk, std::chrono::nanoseconds(ns));
       if (hb_stop_) return;
       if (!registry_->heartbeat(attachment_)) registry_->reattach(attachment_);
       // Dead-peer reap, wall-clock-paced (~once per lease) so the data
@@ -61,7 +64,7 @@ void FileSystem::start_heartbeat_thread() {
 void FileSystem::stop_heartbeat_thread() {
   if (!hb_thread_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lk(hb_mutex_);
+    common::MutexLock lk(hb_mutex_);
     hb_stop_ = true;
   }
   hb_cv_.notify_all();
@@ -325,7 +328,7 @@ void FileSystem::poll_coordination_slow(std::uint64_t gen) {
   // mount-private mutex: concurrent op threads that raced onto the slow
   // path wait here, then see cache_gen_seen_ already caught up.
   (void)gen;  // re-read under the mutex; the caller's load may be stale
-  std::lock_guard<std::mutex> lk(coord_mu_);
+  common::MutexLock lk(coord_mu_);
   Superblock& s = sb();
   const std::uint64_t cur = s.cache_gen.load(std::memory_order_acquire);
   if (cur == cache_gen_seen_.load(std::memory_order_relaxed)) return;
@@ -421,7 +424,7 @@ void FileSystem::set_lease_ns(std::uint64_t ns) {
     // Wake the heartbeat thread so the new (possibly much shorter) cadence
     // applies now, not after one interval at the old lease.
     {
-      std::lock_guard<std::mutex> lk(hb_mutex_);
+      common::MutexLock lk(hb_mutex_);
       ++hb_wake_gen_;
     }
     hb_cv_.notify_all();

@@ -18,13 +18,13 @@
 
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "alloc/block_alloc.h"
+#include "common/thread_annotations.h"
 #include "alloc/obj_alloc.h"
 #include "core/dir_block.h"
 #include "core/extent_cache.h"
@@ -345,16 +345,20 @@ class FileSystem {
   std::unique_ptr<MountRegistry> registry_;
   MountRegistry::Attachment attachment_;
   std::thread hb_thread_;
-  std::mutex hb_mutex_;
-  std::condition_variable hb_cv_;
-  bool hb_stop_ = false;           // guarded by hb_mutex_
-  std::uint64_t hb_wake_gen_ = 0;  // guarded by hb_mutex_; bumped to re-pace
+  common::Mutex hb_mutex_;
+  std::condition_variable_any hb_cv_;  // waits on common::MutexLock
+  bool hb_stop_ GUARDED_BY(hb_mutex_) = false;
+  // Bumped to re-pace the heartbeat thread.
+  std::uint64_t hb_wake_gen_ GUARDED_BY(hb_mutex_) = 0;
   // Last superblock cache_gen this mount synchronised its DRAM caches to,
   // plus the per-shard generations consumed at that point.  The slow path
   // (summary moved) serialises on coord_mu_, diffs the shard generations
   // against shard_gen_seen_ and invalidates only the shards that moved.
+  // (The seen-generation fields stay atomic, not GUARDED_BY(coord_mu_):
+  // the lock serialises slow-path *invalidation* work, while the fast path
+  // reads cache_gen_seen_ lock-free on every operation.)
   std::atomic<std::uint64_t> cache_gen_seen_{0};
-  std::mutex coord_mu_;
+  common::Mutex coord_mu_;
   std::atomic<std::uint64_t> shard_gen_seen_[kCacheGenShards] = {};
   std::atomic<std::uint64_t> shard_invalidations_{0};
   std::atomic<std::uint64_t> mount_reclaims_{0};

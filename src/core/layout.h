@@ -27,6 +27,7 @@
 #include "alloc/block_alloc.h"
 #include "alloc/obj_alloc.h"
 #include "alloc/shm_state.h"
+#include "common/thread_annotations.h"
 #include "nvmm/pptr.h"
 
 namespace simurgh::core {
@@ -150,7 +151,12 @@ constexpr unsigned kWbJournalCap = 128;  // distinct inodes per epoch
 constexpr std::uint32_t kWbJournalIdle = 0;
 constexpr std::uint32_t kWbJournalArmed = 1;
 
-struct WbJournal {
+// The journal page is itself the capability its lease lock protects
+// (thread_annotations.h pattern 2): WriteBehind::lock_journal /
+// unlock_journal are ACQUIRE(j)/RELEASE(j), and the arm/commit sequence in
+// drain_epoch runs with the capability held.  The attribute adds no bytes —
+// the static_asserts below still pin the on-media layout.
+struct CAPABILITY("wb_journal_lease") WbJournal {
   // Line 0: the commit record.  committed_seq and state are stamped by
   // separate persist+fence steps so an armed journal can never claim a
   // commit that did not happen (8-byte store atomicity is enough).
@@ -175,7 +181,10 @@ constexpr std::uint64_t kShmMagic = 0x53494d5f53484d31ull;  // "SIM_SHM1"
 
 // Busy-wait reader/writer lock with a lease stamp so survivors can detect a
 // crashed holder (same rule as allocator segment locks).
-struct FileLock {
+// A capability: FileLockTable::lock_shared/lock_exclusive acquire it (with
+// the lease-steal path counting as an acquisition by the thief — exactly
+// the runtime ownership contract).
+struct CAPABILITY("file_lease_lock") FileLock {
   std::atomic<std::uint64_t> inode_off{0};  // key; 0 = empty slot
   std::atomic<std::uint32_t> word{0};       // writer bit 31, readers 0..30
   std::atomic<std::uint64_t> stamp_ns{0};
@@ -197,7 +206,11 @@ static_assert(sizeof(MountSlot) == 64);
 
 constexpr unsigned kMaxMountSlots = 64;
 
-struct ShmHeader {
+// Capability for the embedded registry spin lock: MountRegistry's
+// lock_registry/unlock_registry are ACQUIRE(header())/RELEASE(header()),
+// serialising attach/detach/reap transitions over `mounts` and
+// `dirty_deaths`.
+struct CAPABILITY("mount_registry_lease") ShmHeader {
   std::uint64_t magic = 0;
   std::uint64_t n_locks = 0;  // power of two
   // ---- mount registry ----

@@ -38,6 +38,11 @@
 // check and treated as a miss.  Component names are stored verbatim (up to
 // kCacheNameMax bytes; longer names bypass the cache), so a hit can never
 // alias a different name.
+//
+// Lock discipline: no capabilities declared here on purpose
+// (common/thread_annotations.h) — the per-slot seqlock is the protocol, and
+// a seqlock's reader side holds nothing the thread-safety analysis could
+// model; TSAN plus the sequence check cover it instead.
 #pragma once
 
 #include <atomic>

@@ -5,6 +5,10 @@
 // CAS, so concurrent open()/close() from many threads of one process never
 // take a lock — the paper's "lockless allocation for concurrent
 // multithreaded open/close".
+//
+// Lock discipline: this file intentionally declares no capabilities
+// (common/thread_annotations.h) — every shared field is an atomic whose
+// lock-freedom is the point; there is no mutex for GUARDED_BY to name.
 #pragma once
 
 #include <atomic>

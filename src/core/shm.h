@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/thread_annotations.h"
 #include "core/layout.h"
 
 namespace simurgh::core {
@@ -38,10 +39,10 @@ class FileLockTable {
   // Finds (or claims) the lock slot for `inode_off`.
   FileLock& slot_for(std::uint64_t inode_off);
 
-  void lock_shared(FileLock& l);
-  void unlock_shared(FileLock& l);
-  void lock_exclusive(FileLock& l);
-  void unlock_exclusive(FileLock& l);
+  void lock_shared(FileLock& l) ACQUIRE_SHARED(l);
+  void unlock_shared(FileLock& l) RELEASE_SHARED(l);
+  void lock_exclusive(FileLock& l) ACQUIRE(l);
+  void unlock_exclusive(FileLock& l) RELEASE(l);
 
   void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
 
@@ -167,8 +168,8 @@ class MountRegistry {
   [[nodiscard]] ShmHeader& header() const noexcept {
     return *reinterpret_cast<ShmHeader*>(shm_->base() + off_);
   }
-  void lock_registry(std::uint64_t self) const;
-  void unlock_registry(std::uint64_t self) const;
+  void lock_registry(std::uint64_t self) const ACQUIRE(header());
+  void unlock_registry(std::uint64_t self) const RELEASE(header());
   [[nodiscard]] bool slot_live(const MountSlot& s,
                                std::uint64_t now) const noexcept;
 
@@ -181,12 +182,17 @@ class MountRegistry {
 // unwinding the guards deliberately leave the lock held — survivors must
 // recover it through the lease mechanism, exactly as with a real process
 // death.
-class SharedFileLock {
+class SCOPED_CAPABILITY SharedFileLock {
  public:
-  SharedFileLock(FileLockTable& t, FileLock& l) : t_(t), l_(l) {
+  SharedFileLock(FileLockTable& t, FileLock& l) ACQUIRE_SHARED(l)
+      : t_(t), l_(l) {
     t_.lock_shared(l_);
   }
-  ~SharedFileLock() {
+  // RELEASE unconditionally as far as the analysis is concerned: the
+  // crash-unwinding skip models the holder *dying*, after which no code in
+  // this process touches the guarded file again — survivors reclaim the
+  // lock via its lease, outside any static scope.
+  ~SharedFileLock() RELEASE() {
     if (std::uncaught_exceptions() == 0) t_.unlock_shared(l_);
   }
   SharedFileLock(const SharedFileLock&) = delete;
@@ -197,12 +203,14 @@ class SharedFileLock {
   FileLock& l_;
 };
 
-class ExclusiveFileLock {
+class SCOPED_CAPABILITY ExclusiveFileLock {
  public:
-  ExclusiveFileLock(FileLockTable& t, FileLock& l) : t_(t), l_(l) {
+  ExclusiveFileLock(FileLockTable& t, FileLock& l) ACQUIRE(l)
+      : t_(t), l_(l) {
     t_.lock_exclusive(l_);
   }
-  ~ExclusiveFileLock() {
+  // See ~SharedFileLock on the unconditional RELEASE annotation.
+  ~ExclusiveFileLock() RELEASE() {
     if (std::uncaught_exceptions() == 0) t_.unlock_exclusive(l_);
   }
   ExclusiveFileLock(const ExclusiveFileLock&) = delete;

@@ -74,7 +74,12 @@ FileLock& FileLockTable::slot_for(std::uint64_t inode_off) {
   return ls[0];
 }
 
-void FileLockTable::lock_shared(FileLock& l) {
+// NO_THREAD_SAFETY_ANALYSIS on the lease-lock bodies below: acquisition is
+// a CAS protocol over the lock's raw atomic words (readers/writer counts,
+// lease stamps), which the analysis cannot model — the ACQUIRE/RELEASE
+// attributes on the declarations (shm.h) are the contract callers are
+// checked against.
+void FileLockTable::lock_shared(FileLock& l) NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     std::uint32_t cur = l.word.load(std::memory_order_relaxed);
     if ((cur & kWriterBit) == 0) {
@@ -102,11 +107,11 @@ void FileLockTable::lock_shared(FileLock& l) {
   }
 }
 
-void FileLockTable::unlock_shared(FileLock& l) {
+void FileLockTable::unlock_shared(FileLock& l) NO_THREAD_SAFETY_ANALYSIS {
   l.word.fetch_sub(1, std::memory_order_release);
 }
 
-void FileLockTable::lock_exclusive(FileLock& l) {
+void FileLockTable::lock_exclusive(FileLock& l) NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     std::uint32_t expected = 0;
     if (l.word.compare_exchange_weak(expected, kWriterBit,
@@ -130,7 +135,7 @@ void FileLockTable::lock_exclusive(FileLock& l) {
   }
 }
 
-void FileLockTable::unlock_exclusive(FileLock& l) {
+void FileLockTable::unlock_exclusive(FileLock& l) NO_THREAD_SAFETY_ANALYSIS {
   l.word.store(0, std::memory_order_release);
 }
 
@@ -170,7 +175,8 @@ unsigned FileLockTable::sweep_expired(std::uint64_t* shard_mask) {
 
 // ---- MountRegistry ----
 
-void MountRegistry::lock_registry(std::uint64_t self) const {
+void MountRegistry::lock_registry(std::uint64_t self) const
+    NO_THREAD_SAFETY_ANALYSIS {  // see FileLockTable::lock_shared
   ShmHeader& h = header();
   for (;;) {
     std::uint64_t expected = 0;
@@ -196,7 +202,8 @@ void MountRegistry::lock_registry(std::uint64_t self) const {
   }
 }
 
-void MountRegistry::unlock_registry(std::uint64_t self) const {
+void MountRegistry::unlock_registry(std::uint64_t self) const
+    NO_THREAD_SAFETY_ANALYSIS {  // see FileLockTable::lock_shared
   // CAS, not a blind store: a holder that outlived its lease was stolen
   // from, and a plain store here would release the thief's critical
   // section out from under it.

@@ -45,13 +45,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/layout.h"
 #include "core/openfile.h"
 
@@ -183,16 +183,16 @@ class WriteBehind {
   // Test/bench knobs; take effect for subsequently staged epochs.  Guarded
   // by mu_ so a live persister never races a knob change.
   void set_interval_us(std::uint64_t us) {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     cfg_.interval_us = us;
     cv_.notify_all();
   }
   void set_epoch_bytes(std::uint64_t b) {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     cfg_.epoch_bytes = b;
   }
   void set_max_staged_bytes(std::uint64_t b) {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     cfg_.max_staged_bytes = b;
   }
   // Pre-faults `bytes` of staging chunks into the recycle pool (bounded by
@@ -228,8 +228,8 @@ class WriteBehind {
     std::uint64_t mtime_ns = 0;     // mtime of the newest staged write
   };
 
-  Epoch& open_epoch_locked();
-  void seal_open_locked();
+  Epoch& open_epoch_locked() REQUIRES(mu_);
+  void seal_open_locked() REQUIRES(mu_);
   // Chunk pool (mu_): drained staging buffers are kept, not freed — glibc
   // would trim them back to the OS and every restaged byte would then pay
   // a fresh page fault (~µs each; the dominant staging cost once the copy
@@ -241,45 +241,50 @@ class WriteBehind {
   // back (LIFO) makes every producer store pay a cross-core
   // invalidation.  Cycling through the pool front instead gives the
   // persister's cached copies time to evict before the chunk is reused.
-  [[nodiscard]] std::vector<std::byte> take_chunk_locked();
-  void recycle_chunk_locked(std::vector<std::byte>&& v);
-  void harvest_chunks_locked(Epoch& e);
+  [[nodiscard]] std::vector<std::byte> take_chunk_locked() REQUIRES(mu_);
+  void recycle_chunk_locked(std::vector<std::byte>&& v) REQUIRES(mu_);
+  void harvest_chunks_locked(Epoch& e) REQUIRES(mu_);
   // Seals (if needed) and commits epochs until committed_seq_ >= want;
-  // inline in sync_drain mode, persister-driven otherwise.
-  void drain_until_locked(std::unique_lock<std::mutex>& lk,
-                          std::uint64_t want);
-  void drain_front_locked(std::unique_lock<std::mutex>& lk);
+  // inline in sync_drain mode, persister-driven otherwise.  `lk` is the
+  // caller's scoped lock on mu_ — drain_front_locked drops it around the
+  // NVMM drain.
+  void drain_until_locked(common::MutexLock& lk, std::uint64_t want)
+      REQUIRES(mu_);
+  void drain_front_locked(common::MutexLock& lk) REQUIRES(mu_);
   // The crash-atomic drain protocol; runs WITHOUT mu_ (takes file locks).
-  void drain_epoch(Epoch& e);
+  void drain_epoch(Epoch& e) EXCLUDES(mu_);
   void persister_main();
   void start_persister();
   void stop_persister();
-  void lock_journal(WbJournal& j);
-  void unlock_journal(WbJournal& j);
+  void lock_journal(WbJournal& j) ACQUIRE(j);
+  void unlock_journal(WbJournal& j) RELEASE(j);
 
   FileSystem& fs_;
   Config cfg_;
   std::atomic<std::uint64_t> lease_ns_{kWbLeaseNs};
   std::atomic<std::uint64_t> nonstrict_files_{0};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Epoch>> epochs_;  // front oldest; back may be open
-  std::unordered_map<std::uint64_t, FileState> files_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t committed_seq_ = 0;
-  std::deque<std::vector<std::byte>> chunk_pool_;  // recycled chunks (mu_)
-  std::uint64_t pool_bytes_ = 0;  // sum of pooled capacities (mu_)
-  bool draining_ = false;  // one drain at a time (inline callers + persister)
-  bool stop_ = false;
+  common::Mutex mu_;
+  std::condition_variable_any cv_;  // waits on common::MutexLock
+  // front oldest; back may be open
+  std::deque<std::unique_ptr<Epoch>> epochs_ GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, FileState> files_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::uint64_t committed_seq_ GUARDED_BY(mu_) = 0;
+  // recycled chunks
+  std::deque<std::vector<std::byte>> chunk_pool_ GUARDED_BY(mu_);
+  std::uint64_t pool_bytes_ GUARDED_BY(mu_) = 0;  // sum of pooled capacities
+  // one drain at a time (inline callers + persister)
+  bool draining_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   // Hot-path counters are plain and mu_-guarded: every update site already
   // holds the lock, and an atomic RMW here would be a full barrier that
   // stalls on the staging copy's outstanding stores mid-bookkeeping.
-  std::uint64_t staged_bytes_ = 0;
-  std::uint64_t staged_writes_ = 0;
-  std::uint64_t fsyncs_absorbed_ = 0;
-  std::uint64_t discarded_bytes_ = 0;
+  std::uint64_t staged_bytes_ GUARDED_BY(mu_) = 0;
+  std::uint64_t staged_writes_ GUARDED_BY(mu_) = 0;
+  std::uint64_t fsyncs_absorbed_ GUARDED_BY(mu_) = 0;
+  std::uint64_t discarded_bytes_ GUARDED_BY(mu_) = 0;
   // Updated off-lock (drain_epoch, backpressure fallback): stay atomic.
   std::atomic<std::uint64_t> group_commits_{0};
   std::atomic<std::uint64_t> backpressure_hits_{0};

@@ -50,19 +50,19 @@ void ShadowLog::log_range(const void* p, std::size_t len) {
 }
 
 void ShadowLog::on_persist(const void* p, std::size_t len) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (dev_->contains(p)) ++stats_.persists;
   log_range(p, len);
 }
 
 void ShadowLog::on_nt_store(const void* dst, std::size_t len) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (dev_->contains(dst)) ++stats_.nt_stores;
   log_range(dst, len);
 }
 
 void ShadowLog::on_fence(std::uint64_t epoch) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   ++stats_.fences;
   Window w;
   w.patches = std::move(open_);
@@ -74,7 +74,7 @@ void ShadowLog::on_fence(std::uint64_t epoch) {
 }
 
 void ShadowLog::seal() {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   if (open_.empty()) return;
   Window w;
   w.patches = std::move(open_);
@@ -87,7 +87,7 @@ void ShadowLog::seal() {
 
 void ShadowLog::materialize(std::size_t f, const std::vector<bool>& take,
                             Device& out) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   SIMURGH_CHECK(out.size() >= snapshot_.size());
   SIMURGH_CHECK(f <= windows_.size());
   std::memcpy(out.base(), snapshot_.data(), snapshot_.size());

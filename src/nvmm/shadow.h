@@ -29,10 +29,10 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "nvmm/device.h"
 #include "nvmm/persist.h"
 
@@ -106,19 +106,24 @@ class ShadowLog final : public StoreTracer {
   void materialize_mask(std::size_t f, std::uint64_t mask, Device& out) const;
 
  private:
-  void log_range(const void* p, std::size_t len);
+  void log_range(const void* p, std::size_t len) REQUIRES(mu_);
 
   Device* dev_;
   std::vector<std::byte> snapshot_;
+  // windows_ and stats_ are *mutated* only under mu_ (tracer callbacks,
+  // seal) but deliberately carry no GUARDED_BY: the read-side accessors
+  // (n_windows, window, stats, materialize_mask's pre-lock peek) run on the
+  // single harness thread after tracing stopped, when no writer exists, and
+  // window()/stats() return references a lock could not protect anyway.
   std::vector<Window> windows_;
   // Open flush set: patches since the last fence + per-line index into it.
-  std::vector<Patch> open_;
-  std::unordered_map<std::uint64_t, std::size_t> open_index_;
+  std::vector<Patch> open_ GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::size_t> open_index_ GUARDED_BY(mu_);
   Stats stats_;
   bool installed_ = false;
   // The tracer runs on whichever thread issues a persist; the harness is
   // single-threaded but the lock keeps stray traced persists defined.
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
 };
 
 // Persist-shape meter: counts flushed cache lines and fences without

@@ -23,7 +23,7 @@ Fault Gateway::install_page(Cpl who, std::uint64_t vaddr,
   pte.writable = false;  // code pages are read-only
   pte.ep = true;
   if (Fault f = pt_.map(who, vaddr, pte); f != Fault::none) return f;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   pages_[vaddr / kPageSize] = std::move(entries);
   return Fault::none;
 }
@@ -36,7 +36,7 @@ Fault Gateway::jmpp(std::uint64_t target, void* arg, std::uint64_t* result) {
   //    nop", which the hardware rejects.
   ProtFn* fn = nullptr;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = pages_.find(target / kPageSize);
     if (it == pages_.end()) return Fault::not_executable_protected;
     auto slot = (target % kPageSize) / kEntryStride;

@@ -18,10 +18,10 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "protsec/cyclemodel.h"
 #include "protsec/pagetable.h"
 
@@ -74,9 +74,9 @@ class Gateway {
   CpuState& cpu() const;
 
   PageTable& pt_;
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::unordered_map<std::uint64_t, std::array<ProtFn, kEntriesPerPage>>
-      pages_;
+      pages_ GUARDED_BY(mu_);
 };
 
 }  // namespace simurgh::protsec

@@ -17,7 +17,7 @@ std::string_view fault_name(Fault f) noexcept {
 
 Fault PageTable::map(Cpl who, std::uint64_t vaddr, Pte pte) {
   if (pte.ep && who != Cpl::kernel) return Fault::privileged_bit;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   pte.present = true;
   pages_[page_of(vaddr)] = pte;
   return Fault::none;
@@ -25,7 +25,7 @@ Fault PageTable::map(Cpl who, std::uint64_t vaddr, Pte pte) {
 
 Fault PageTable::set_ep(Cpl who, std::uint64_t vaddr, bool ep) {
   if (who != Cpl::kernel) return Fault::privileged_bit;
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = pages_.find(page_of(vaddr));
   if (it == pages_.end()) return Fault::not_present;
   it->second.ep = ep;
@@ -34,7 +34,7 @@ Fault PageTable::set_ep(Cpl who, std::uint64_t vaddr, bool ep) {
 
 Fault PageTable::remap(Cpl who, std::uint64_t vaddr, Pte pte) {
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = pages_.find(page_of(vaddr));
     // The modified mmap() path: user processes may not replace the mapping
     // of a protected page (§3.2, Step 5).
@@ -45,7 +45,7 @@ Fault PageTable::remap(Cpl who, std::uint64_t vaddr, Pte pte) {
 }
 
 Fault PageTable::check_write(Cpl who, std::uint64_t vaddr) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = pages_.find(page_of(vaddr));
   if (it == pages_.end()) return Fault::not_present;
   const Pte& pte = it->second;
@@ -59,7 +59,7 @@ Fault PageTable::check_write(Cpl who, std::uint64_t vaddr) const {
 }
 
 Fault PageTable::check_jmpp(std::uint64_t target) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = pages_.find(page_of(target));
   if (it == pages_.end() || !it->second.present) return Fault::not_present;
   if (!it->second.ep) return Fault::not_executable_protected;
@@ -68,7 +68,7 @@ Fault PageTable::check_jmpp(std::uint64_t target) const {
 }
 
 Pte PageTable::lookup(std::uint64_t vaddr) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = pages_.find(page_of(vaddr));
   return it == pages_.end() ? Pte{} : it->second;
 }

@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace simurgh::protsec {
 
@@ -70,8 +70,8 @@ class PageTable {
   static std::uint64_t page_of(std::uint64_t vaddr) noexcept {
     return vaddr / kPageSize;
   }
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, Pte> pages_;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::uint64_t, Pte> pages_ GUARDED_BY(mu_);
 };
 
 }  // namespace simurgh::protsec

@@ -6,7 +6,8 @@
 #include <cerrno>
 #include <cstring>
 #include <memory>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace simurgh::shim {
 
@@ -21,7 +22,10 @@ ShimState& state() {
   static ShimState s;
   return s;
 }
-std::mutex attach_mu;
+// Serialises attach()/detach(); reads (attached(), proc_or_fail) are
+// deliberately lock-free — the shim contract is that attach/detach happen
+// while no other shim call is in flight.
+common::Mutex attach_mu;
 
 thread_local int tl_errno = 0;
 
@@ -90,13 +94,13 @@ int errno_of(Errc e) {
 }
 
 void attach(core::FileSystem* fs, std::uint32_t uid, std::uint32_t gid) {
-  std::lock_guard lock(attach_mu);
+  common::MutexLock lock(attach_mu);
   state().fs = fs;
   state().proc = fs->open_process(uid, gid);
 }
 
 void detach() {
-  std::lock_guard lock(attach_mu);
+  common::MutexLock lock(attach_mu);
   state().proc.reset();
   state().fs = nullptr;
 }

@@ -1,0 +1,20 @@
+// pmlint fixture: a plain memset/memcpy into device-mapped memory with no
+// persist nearby is lost on crash.  Expected findings: raw-device-store x2.
+#include <cstring>
+
+namespace fixture {
+
+struct Device {
+  char* at(unsigned long off);
+  char* base();
+};
+
+void scrub_block(Device& dev, unsigned long off) {
+  std::memset(dev.at(off), 0, 4096);  // finding: raw-device-store
+}
+
+void copy_in(Device& dev, const char* src) {
+  std::memcpy(dev.base(), src, 64);  // finding: raw-device-store
+}
+
+}  // namespace fixture

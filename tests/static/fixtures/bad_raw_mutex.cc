@@ -1,0 +1,23 @@
+// pmlint fixture: every raw std:: lock form must be reported — the tree
+// requires common::Mutex / common::MutexLock so the Clang thread-safety
+// analysis sees the acquisition.  Expected findings: raw-mutex x4.
+#include <mutex>
+
+namespace fixture {
+
+struct Counter {
+  std::mutex mu;                       // finding: raw-mutex
+  int n = 0;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu);  // finding: raw-mutex
+    ++n;
+  }
+
+  void bump_deferred() {
+    std::unique_lock lock(mu);         // finding: raw-mutex
+    ++n;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// pmlint fixture: an atomic RMW on a persistent object's flags word with
+// no persist nearby leaves the transition non-durable.
+// Expected findings: rmw-persist x2.
+#include <atomic>
+
+namespace fixture {
+
+struct ObjectHeader {
+  std::atomic<unsigned> flags;
+};
+
+bool claim(ObjectHeader& hdr) {
+  unsigned expected = 0;
+  return hdr.flags.compare_exchange_strong(expected, 3);  // finding
+}
+
+void commit(ObjectHeader& hdr) {
+  hdr.flags.fetch_and(~2u);  // finding
+}
+
+}  // namespace fixture

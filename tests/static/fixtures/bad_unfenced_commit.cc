@@ -1,0 +1,18 @@
+// pmlint fixture: arming a commit word without an earlier fence in the
+// same function lets the commit record land before its payload.
+// Expected findings: fence-before-commit x1.
+#include <atomic>
+
+namespace fixture {
+
+struct RenameLog {
+  std::atomic<unsigned> state;
+  unsigned long payload;
+};
+
+void arm(RenameLog& log, unsigned long payload) {
+  log.payload = payload;
+  log.state.store(1, std::memory_order_release);  // finding: no fence before
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// pmlint fixture: a waiver without a justification is itself a finding —
+// suppressions must say why.  Expected findings: bad-waiver x2 (and the
+// unjustified waiver does NOT suppress, so raw-mutex still fires).
+#include <mutex>
+
+namespace fixture {
+
+// pmlint: allow(raw-mutex)
+std::mutex g_bare_waiver_mu;
+
+// pmlint: allow(not-a-rule) typo'd rule names must be caught too
+int g_unused;
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# clang-tidy gate: runs the curated .clang-tidy checks (bugprone-*,
+# concurrency-*, performance-*) over src/ using the exported
+# compile_commands.json and compares against the committed baseline in
+# tools/clang_tidy_baseline.txt.  Only *new* findings fail the gate —
+# baselined ones are tracked debt, removed from the file as they are fixed.
+#
+# Requires clang-tidy; exits 77 (ctest SKIP_RETURN_CODE) without it.
+#
+# Usage: run_clang_tidy.sh <repo-root> <build-dir>
+set -u
+
+ROOT=${1:?repo root}
+BUILD=${2:?build dir}
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "SKIP: no clang-tidy in PATH"
+  exit 77
+fi
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "SKIP: no compile_commands.json in $BUILD (configure first;" \
+       "CMAKE_EXPORT_COMPILE_COMMANDS is on by default)"
+  exit 77
+fi
+
+BASELINE="$ROOT/tools/clang_tidy_baseline.txt"
+CURRENT=$(mktemp)
+trap 'rm -f "$CURRENT"' EXIT
+
+# Normalise findings to "relative/path:line: check-name" so line-content
+# edits above a finding do not churn the baseline more than necessary.
+find "$ROOT/src" -name '*.cc' -print0 | sort -z |
+  xargs -0 "$TIDY" -p "$BUILD" --quiet 2>/dev/null |
+  grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' |
+  sed -E "s|^$ROOT/||; s|^([^:]+:[0-9]+):[0-9]+: [a-z]+: .*\[(.*)\]$|\1: \2|" |
+  sort -u > "$CURRENT"
+
+NEW=$(comm -23 "$CURRENT" <(grep -v '^#' "$BASELINE" | sort -u))
+if [ -n "$NEW" ]; then
+  echo "clang-tidy findings not in tools/clang_tidy_baseline.txt:"
+  echo "$NEW"
+  echo "Fix them, or (for pre-existing debt only) append them to the" \
+       "baseline with a dated comment."
+  exit 1
+fi
+echo "clang-tidy clean against baseline ($(wc -l < "$CURRENT") findings," \
+     "all baselined or zero)"

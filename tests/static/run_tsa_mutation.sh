@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Mutation test for the thread-safety annotations on real tree code: strip
+# the REQUIRES(mu_) contract off WriteBehind::seal_open_locked and the
+# analyze build MUST break — seal_open_locked's body touches fields
+# GUARDED_BY(mu_), so without the promise the analysis has to object.  If
+# the mutated copy still compiles, the annotations on the write-behind tier
+# have quietly stopped meaning anything.
+#
+# Also compiles the pristine file first (control): the real tree must be
+# clean under -Wthread-safety -Werror, which is the analyze preset's gate.
+#
+# Requires clang++; exits 77 (ctest SKIP_RETURN_CODE) without it.
+#
+# Usage: run_tsa_mutation.sh <src-dir>
+set -u
+
+SRC=${1:?src dir}
+
+CLANG=${CLANGXX:-clang++}
+if ! command -v "$CLANG" >/dev/null 2>&1; then
+  echo "SKIP: no clang++ in PATH (thread-safety analysis is clang-only)"
+  exit 77
+fi
+
+TSA_FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety -Wthread-safety-beta
+           -Werror)
+
+fail=0
+
+if ! "$CLANG" "${TSA_FLAGS[@]}" -I "$SRC" "$SRC/core/write_behind.cc"; then
+  echo "FAIL: pristine write_behind.cc must be -Wthread-safety clean"
+  fail=1
+else
+  echo "ok   pristine write_behind.cc is -Wthread-safety clean"
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+cp -r "$SRC"/. "$TMP/src"
+sed -i '/seal_open_locked/s/REQUIRES(mu_)//' "$TMP/src/core/write_behind.h"
+if ! grep -q 'void seal_open_locked() ;*$' "$TMP/src/core/write_behind.h"; then
+  echo "FAIL: mutation did not apply (seal_open_locked declaration moved?)"
+  fail=1
+fi
+
+if "$CLANG" "${TSA_FLAGS[@]}" -I "$TMP/src" "$TMP/src/core/write_behind.cc" \
+    2>/dev/null; then
+  echo "FAIL: REQUIRES-stripped seal_open_locked still compiles — the" \
+       "annotation is not load-bearing"
+  fail=1
+else
+  echo "ok   stripping REQUIRES off seal_open_locked breaks the build"
+fi
+
+exit $fail

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Negative-compile tests for the Clang thread-safety annotations
+# (common/thread_annotations.h).  Each tsa_fixtures/negative_*.cc commits a
+# lock-discipline violation that -Wthread-safety -Werror must reject; the
+# control must compile clean (otherwise the rejections prove nothing).
+#
+# Requires clang++ — the annotations are deliberately no-ops under GCC, so
+# without clang there is nothing to test: exit 77 (ctest SKIP_RETURN_CODE).
+#
+# Usage: run_tsa_negative.sh <src-dir> <fixtures-dir>
+set -u
+
+SRC=${1:?src dir}
+FIXTURES=${2:?fixtures dir}
+
+CLANG=${CLANGXX:-clang++}
+if ! command -v "$CLANG" >/dev/null 2>&1; then
+  echo "SKIP: no clang++ in PATH (thread-safety analysis is clang-only)"
+  exit 77
+fi
+
+TSA_FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety -Wthread-safety-beta
+           -Werror -I "$SRC")
+
+fail=0
+
+if ! "$CLANG" "${TSA_FLAGS[@]}" "$FIXTURES/control_ok.cc"; then
+  echo "FAIL: control_ok.cc must compile clean under -Wthread-safety"
+  fail=1
+else
+  echo "ok   control_ok.cc compiles clean"
+fi
+
+for neg in "$FIXTURES"/negative_*.cc; do
+  if "$CLANG" "${TSA_FLAGS[@]}" "$neg" 2>/dev/null; then
+    echo "FAIL: $(basename "$neg") compiled — the annotation it violates" \
+         "is not being enforced"
+    fail=1
+  else
+    echo "ok   $(basename "$neg") rejected"
+  fi
+done
+
+exit $fail

@@ -1,0 +1,26 @@
+// Thread-safety-analysis control: correct lock usage over the annotated
+// wrappers must compile clean under clang -Wthread-safety -Werror.  If
+// this file fails, the toolchain (not the negatives) is broken and the
+// negative tests below prove nothing.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    simurgh::common::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() {
+    simurgh::common::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  simurgh::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

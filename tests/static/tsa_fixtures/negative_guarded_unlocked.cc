@@ -1,0 +1,20 @@
+// Thread-safety-analysis negative: writing a GUARDED_BY field without the
+// lock MUST fail to compile under clang -Wthread-safety -Werror.  If this
+// file ever compiles, the capability macros have degraded to no-ops under
+// a compiler that should enforce them.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Account {
+ public:
+  void deposit_racy(int amount) {
+    balance_ += amount;  // error: writing balance_ requires holding mu_
+  }
+
+ private:
+  simurgh::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Thread-safety-analysis negative: calling a REQUIRES function without
+// holding the capability MUST fail to compile under clang -Wthread-safety
+// -Werror.  This is the same shape as WriteBehind::seal_open_locked — the
+// _locked suffix convention is only real because the analysis enforces it.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Journal {
+ public:
+  void append() {
+    seal_locked();  // error: calling seal_locked requires holding mu_
+  }
+
+ private:
+  void seal_locked() REQUIRES(mu_) {}
+
+  simurgh::common::Mutex mu_;
+};
+
+}  // namespace fixture

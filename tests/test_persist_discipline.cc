@@ -1,0 +1,126 @@
+// Regression tests for the NVMM store discipline tools/pmlint enforces:
+// plain stores into device-mapped memory must be flushed before any commit
+// record that promises their durability.  An unflushed memset is invisible
+// to the ShadowLog (exactly as it is lost in a real crash), so both tests
+// audit what actually reached the flush log / the final durable image — if
+// the code under test forgets the persist, the media keeps whatever bytes
+// the block's previous owner left there.
+//
+// These pin the two real bugs the pmlint raw-device-store rule surfaced:
+// the data path's fresh-block boundary zero-fill and the object pool's
+// grow-time segment scrub were both plain memsets with no flush.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "alloc/obj_alloc.h"
+#include "core/fs.h"
+#include "fs_fixture.h"
+#include "nvmm/shadow.h"
+
+namespace simurgh::testing {
+namespace {
+
+// A partial-block write into a freshly allocated block zero-fills the bytes
+// the copy does not cover; those zeros must be durable by the time the size
+// stamp commits.  Blocks are recycled (unlink scrubs lazily, segments move
+// between pools), so "the device started zeroed" is not an excuse: in a
+// crash image every line of the fresh block that no flush covered holds the
+// previous owner's bytes, served back as file content.  The invariant is
+// therefore structural — after a partial write into a fresh block, *every*
+// cache line of that block must appear in the flush log, not just the lines
+// the payload touched.
+TEST_F(FsTest, FreshBlockZeroFillIsDurable) {
+  nvmm::ShadowLog log(*nvmm_);
+  log.start();
+  auto fd = p().open("/fresh", core::kOpenCreate | core::kOpenWrite);
+  ASSERT_TRUE(fd.is_ok());
+  const char payload[] = "fresh";
+  ASSERT_TRUE(p().pwrite(*fd, payload, sizeof payload - 1, 100).is_ok());
+  log.stop();
+  log.seal();
+
+  // Locate the data block: the only 4 KB block whose bytes are the payload
+  // at offset 100 and zeros everywhere else (journal copies of the payload
+  // carry record framing around it, so they never match this shape).
+  constexpr std::uint64_t kBS = 4096;
+  std::uint64_t block = 0;
+  unsigned candidates = 0;
+  for (std::uint64_t off = 0; off + kBS <= nvmm_->size(); off += kBS) {
+    const auto* b = reinterpret_cast<const unsigned char*>(nvmm_->base() + off);
+    if (std::memcmp(b + 100, payload, sizeof payload - 1) != 0) continue;
+    bool clean = true;
+    for (std::uint64_t i = 0; i < kBS && clean; ++i)
+      if (i < 100 || i >= 100 + sizeof payload - 1) clean = b[i] == 0;
+    if (!clean) continue;
+    block = off;
+    ++candidates;
+  }
+  ASSERT_EQ(candidates, 1u) << "could not pin down the file's data block";
+
+  // Every line of the block must have been flushed while traced.  Without
+  // the persist after the zero-fill memset, only the payload's own line
+  // reaches the log and the other 63 stay at the previous owner's bytes in
+  // any crash image.
+  std::set<std::uint64_t> flushed;
+  for (std::size_t w = 0; w < log.n_windows(); ++w)
+    for (const auto& patch : log.window(w).patches)
+      if (patch.off >= block && patch.off < block + kBS)
+        flushed.insert(patch.off);
+  EXPECT_EQ(flushed.size(), kBS / nvmm::kCacheLine)
+      << "unflushed lines in a freshly allocated, partially written block";
+
+  // And the durable image serves zeros for the unwritten bytes.
+  nvmm::Device img(nvmm_->size());
+  log.materialize(log.n_windows(), {}, img);
+  nvmm::Device shm2(kShmSize);
+  auto fs2 = core::FileSystem::mount(img, shm2);
+  auto proc2 = fs2->open_process(1000, 1000);
+  auto rfd = proc2->open("/fresh", core::kOpenRead);
+  ASSERT_TRUE(rfd.is_ok());
+  char buf[128] = {};
+  auto r = proc2->pread(*rfd, buf, 100, 0);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(*r, 100u);
+  for (int i = 0; i < 100; ++i)
+    ASSERT_EQ(buf[i], 0) << "stale byte resurfaced at offset " << i;
+}
+
+// grow() scrubs a recycled block run into a pool segment; the zeroed
+// object headers must be durable before the segment head publishes, or a
+// crash image replays the previous owner's bytes as two-bit flags.
+TEST(PersistDisciplinePool, GrowFlushesZeroedObjectHeaders) {
+  nvmm::Device dev(16ull << 20);
+  // Recycled-media model: the data area durably holds a dead owner's bytes.
+  // Dirty it *before* format — the free-range nodes live inside the free
+  // blocks themselves, so format must write them over the garbage — and
+  // before the log snapshots, so the garbage IS the durable baseline.
+  std::memset(dev.base() + 64 * 1024, 0xab, dev.size() - 64 * 1024);
+  auto blocks = alloc::BlockAllocator::format(dev, 4096, 64 * 1024,
+                                              dev.size() - 64 * 1024, 1);
+  auto pool = alloc::ObjectAllocator::format(dev, blocks, 8192, 120, 64);
+  nvmm::ShadowLog log(dev);
+  log.start();
+  auto r = pool.alloc();  // first alloc grows a segment from dirty blocks
+  log.stop();
+  log.seal();
+  ASSERT_TRUE(r.is_ok());
+
+  nvmm::Device img(dev.size());
+  log.materialize(log.n_windows(), {}, img);
+  auto b2 = alloc::BlockAllocator::attach(img, 4096);
+  auto p2 = alloc::ObjectAllocator::attach(img, b2, 8192);
+  unsigned bad = 0;
+  p2.scan([&](std::uint64_t off, std::uint32_t flags) {
+    if (off == *r)
+      EXPECT_EQ(flags, alloc::kObjValid | alloc::kObjDirty);
+    else if (flags != 0)
+      ++bad;
+  });
+  EXPECT_EQ(bad, 0u) << "unflushed garbage flags in a published segment";
+}
+
+}  // namespace
+}  // namespace simurgh::testing

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-shot static-analysis runner: everything `ctest -L static` gates, plus
+# the clang analyze build when a clang toolchain is present.  Run it from
+# anywhere; it configures build/ if needed.  Exit 0 means every applicable
+# gate passed (clang-only gates report SKIP on GCC-only hosts).
+#
+#   tools/verify_static.sh            # full sweep
+#   tools/verify_static.sh --fast     # pmlint only (no configure, <1s)
+set -u
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+if [ "${1:-}" = "--fast" ]; then
+  exec python3 "$ROOT/tools/pmlint/pmlint.py" --root "$ROOT"
+fi
+
+fail=0
+
+# 1. pmlint zero-findings baseline + its own negatives.
+run python3 "$ROOT/tools/pmlint/pmlint.py" --root "$ROOT" || fail=1
+run python3 "$ROOT/tests/static/check_pmlint_fixtures.py" \
+    "$ROOT/tools/pmlint/pmlint.py" "$ROOT/tests/static/fixtures" || fail=1
+
+# 2. Thread-safety analysis: negative compiles + the seal_open_locked
+#    mutation (skip = 77 on hosts without clang).
+run bash "$ROOT/tests/static/run_tsa_negative.sh" "$ROOT/src" \
+    "$ROOT/tests/static/tsa_fixtures"
+rc=$?; [ $rc -ne 0 ] && [ $rc -ne 77 ] && fail=1
+run bash "$ROOT/tests/static/run_tsa_mutation.sh" "$ROOT/src"
+rc=$?; [ $rc -ne 0 ] && [ $rc -ne 77 ] && fail=1
+
+# 3. Full-tree analyze build under clang, when available.
+if command -v clang++ >/dev/null 2>&1; then
+  run cmake --preset analyze || fail=1
+  run cmake --build --preset analyze -j "$(nproc)" || fail=1
+else
+  echo "SKIP: analyze preset (no clang++)"
+fi
+
+# 4. clang-tidy against the committed baseline (needs a configured build
+#    for compile_commands.json; configure quietly if missing).
+if [ ! -f "$ROOT/build/compile_commands.json" ]; then
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+fi
+run bash "$ROOT/tests/static/run_clang_tidy.sh" "$ROOT" "$ROOT/build"
+rc=$?; [ $rc -ne 0 ] && [ $rc -ne 77 ] && fail=1
+
+if [ $fail -ne 0 ]; then
+  echo "verify_static: FAILED"
+  exit 1
+fi
+echo "verify_static: all applicable gates passed"
