@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "core/fs.h"
 
 using namespace simurgh;
@@ -312,8 +313,9 @@ int main() {
 
   std::FILE* out = std::fopen("BENCH_datapath.json", "w");
   if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    bench_env_fields(out);
     std::fprintf(out,
-                 "{\n"
                  "  \"bench\": \"data_path\",\n"
                  "  \"block_bytes\": 4096,\n"
                  "  \"ops\": %llu,\n"

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "core/dir_block.h"
 #include "core/fs.h"
 
@@ -273,8 +274,9 @@ int main() {
 
   std::FILE* out = std::fopen("BENCH_dirscale.json", "w");
   if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    bench_env_fields(out);
     std::fprintf(out,
-                 "{\n"
                  "  \"bench\": \"dirscale\",\n"
                  "  \"workload\": \"N hard links into one directory, then "
                  "random uncached stats; split (bucketed fan-out, default "

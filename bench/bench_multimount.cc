@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "core/fs.h"
 
 using namespace simurgh;
@@ -182,8 +183,9 @@ int main() {
 
   std::FILE* out = std::fopen("BENCH_multimount.json", "w");
   if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    bench_env_fields(out);
     std::fprintf(out,
-                 "{\n"
                  "  \"bench\": \"multimount\",\n"
                  "  \"workload\": \"create+write4k+stat+unlink churn, one "
                  "thread per mount\",\n"

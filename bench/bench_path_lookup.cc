@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "core/fs.h"
 
 using namespace simurgh;
@@ -185,9 +186,10 @@ int main() {
 
   std::FILE* out = std::fopen("BENCH_pathwalk.json", "w");
   if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    bench_env_fields(out);
     std::fprintf(
         out,
-        "{\n"
         "  \"bench\": \"path_lookup\",\n"
         "  \"tree\": {\"depth\": 8, \"files\": 64},\n"
         "  \"warm_ns_per_op_uncached\": %.1f,\n"

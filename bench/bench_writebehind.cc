@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "core/fs.h"
 #include "core/write_behind.h"
 
@@ -250,8 +251,9 @@ int main() {
 
   std::FILE* out = std::fopen("BENCH_writebehind.json", "w");
   if (out != nullptr) {
+    std::fprintf(out, "{\n");
+    bench_env_fields(out);
     std::fprintf(out,
-                 "{\n"
                  "  \"bench\": \"writebehind\",\n"
                  "  \"optane_model\": true,\n"
                  "  \"interval_us\": 100,\n"

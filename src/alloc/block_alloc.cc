@@ -246,6 +246,18 @@ Result<std::uint64_t> BlockAllocator::alloc_direct(std::uint64_t n_blocks,
   return Errc::no_space;
 }
 
+Result<std::uint64_t> BlockAllocator::carve(std::uint64_t n_blocks,
+                                            std::uint64_t hint) {
+  if (CarveProxy* p = carve_proxy_->load(std::memory_order_acquire)) {
+    auto r = p->carve(n_blocks, hint);
+    // ok and no_space are the arbiter's answer; anything else (busy while
+    // the service endpoint shuts down, io after an owner crash with no seat
+    // takeable) degrades to the direct path — unarbitrated but crash-safe.
+    if (r.is_ok() || r.status().code() == Errc::no_space) return r;
+  }
+  return alloc_direct(n_blocks, hint);
+}
+
 Result<std::uint64_t> BlockAllocator::alloc_reserved(std::uint64_t n,
                                                      std::uint64_t hint) {
   ReserveRegistry& reg = *reserve_;
@@ -299,11 +311,11 @@ Result<std::uint64_t> BlockAllocator::alloc_reserved(std::uint64_t n,
     if (got_n == 0) {
       const std::uint64_t chunk = std::max(
           reg.chunk_blocks.load(std::memory_order_relaxed), n);
-      auto c = alloc_direct(chunk, hint);
+      auto c = carve(chunk, hint);
       if (!c.is_ok()) {
         // Near-full device: fall back to exactly what was asked for —
         // nothing left over to reserve.
-        return alloc_direct(n, hint);
+        return carve(n, hint);
       }
       got_off = c.value();
       got_n = chunk;
@@ -437,10 +449,10 @@ Result<std::uint64_t> BlockAllocator::alloc_reserved_shm(std::uint64_t n,
   unlock_reservation(*res, self);
   const std::uint64_t chunk =
       std::max(reserve_->chunk_blocks.load(std::memory_order_relaxed), n);
-  auto c = alloc_direct(chunk, hint);
+  auto c = carve(chunk, hint);
   if (!c.is_ok()) {
     // Near-full device: fall back to exactly what was asked for.
-    return alloc_direct(n, hint);
+    return carve(n, hint);
   }
   lock_reservation(*res, self, lease_ns_);
   if (res->mount.load(std::memory_order_relaxed) == mount_token_ &&

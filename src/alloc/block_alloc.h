@@ -89,6 +89,23 @@ struct BlockAllocStats {
   std::atomic<std::uint64_t> reserve_slot_probes{0};
 };
 
+// Arbitration hook for reservation-chunk carves (service mode, DESIGN.md
+// §13).  When installed, every refill chunk the allocator would have carved
+// with its own segment locks is requested through the proxy instead — on a
+// service-mode client that routes a kCarve to the owner mount, so the owner
+// arbitrates block grants the same way it arbitrates namespace mutations.
+// The proxy returning busy (service shutting down / owner unreachable with
+// no seat to take) makes the allocator fall back to the direct path: a
+// grant the owner never saw is still crash-safe (recovery's
+// rebuild_free_lists sweep), just unarbitrated.
+class CarveProxy {
+ public:
+  virtual ~CarveProxy() = default;
+  // Grants `n_blocks` contiguous blocks; returns the run's device offset.
+  virtual Result<std::uint64_t> carve(std::uint64_t n_blocks,
+                                      std::uint64_t hint) = 0;
+};
+
 // Per-allocator DRAM reservation state (definition in block_alloc.cc).
 // Reservations are *volatile*: a chunk is carved out of a segment's
 // persistent free list by one ordinary allocation, then handed out to its
@@ -129,6 +146,20 @@ class BlockAllocator {
   void set_lease_ns(std::uint64_t ns) noexcept { lease_ns_ = ns; }
 
   BlockAllocStats& stats() noexcept { return *stats_; }
+
+  // Installs (or, with nullptr, removes) the carve arbitration proxy.  The
+  // pointer must outlive every allocation made while it is installed —
+  // FileSystem clears it before tearing the service endpoint down.
+  void set_carve_proxy(CarveProxy* proxy) noexcept {
+    carve_proxy_->store(proxy, std::memory_order_release);
+  }
+  // Owner-side execution of an arbitrated carve: a plain direct allocation,
+  // public so the service dispatcher can grant without re-entering the
+  // proxy (which would route the request back to itself).
+  Result<std::uint64_t> carve_grant(std::uint64_t n_blocks,
+                                    std::uint64_t hint) {
+    return alloc_direct(n_blocks, hint);
+  }
 
   // ---- thread-local block reservations (data-path fast lane) ----
   //
@@ -258,6 +289,9 @@ class BlockAllocator {
   // The pre-reservation allocation path (two-pass segment walk).
   Result<std::uint64_t> alloc_direct(std::uint64_t n_blocks,
                                      std::uint64_t hint);
+  // Reservation refill: through the carve proxy when installed (service
+  // mode), alloc_direct otherwise.
+  Result<std::uint64_t> carve(std::uint64_t n_blocks, std::uint64_t hint);
   Result<std::uint64_t> alloc_reserved(std::uint64_t n_blocks,
                                        std::uint64_t hint);
   Result<std::uint64_t> alloc_reserved_shm(std::uint64_t n_blocks,
@@ -274,6 +308,9 @@ class BlockAllocator {
   std::uint64_t lease_ns_ = 100'000'000;  // 100 ms
   // Heap-held so the allocator stays movable (atomics pin the struct).
   std::unique_ptr<BlockAllocStats> stats_;
+  // Heap-held for the same movability reason; read on every refill carve.
+  std::unique_ptr<std::atomic<CarveProxy*>> carve_proxy_ =
+      std::make_unique<std::atomic<CarveProxy*>>(nullptr);
   // Shared with thread-local slots so an exiting thread never touches a
   // destroyed registry (it just drops its reference; the remainder is
   // adopted or drained later).  In shared-state mode the registry only

@@ -1,8 +1,9 @@
 // Hash functions used across the file-system layers.
 //
 // Directory blocks hash file names (fnv1a64); allocators and the harness mix
-// integers (splitmix64).  Both are deterministic across runs and platforms so
-// that on-media layouts and benchmark workloads are reproducible.
+// integers (splitmix64); the integrity layer checksums data blocks (crc32c).
+// All are deterministic across runs and platforms so that on-media layouts
+// and benchmark workloads are reproducible.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +31,89 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+namespace detail {
+
+// Slice-by-8 lookup tables for the Castagnoli polynomial (0x82f63b78,
+// reflected).  Built once on first use; the hardware path below produces
+// bit-identical results, so images checksummed on one host verify on any
+// other.
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+  Crc32cTables() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (unsigned j = 1; j < 8; ++j)
+        t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xffu];
+  }
+};
+
+inline std::uint32_t crc32c_sw(const void* data, std::size_t n,
+                               std::uint32_t crc) noexcept {
+  static const Crc32cTables tbl;
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    w ^= crc;  // little-endian: low 4 bytes fold in the running crc
+    crc = tbl.t[7][w & 0xff] ^ tbl.t[6][(w >> 8) & 0xff] ^
+          tbl.t[5][(w >> 16) & 0xff] ^ tbl.t[4][(w >> 24) & 0xff] ^
+          tbl.t[3][(w >> 32) & 0xff] ^ tbl.t[2][(w >> 40) & 0xff] ^
+          tbl.t[1][(w >> 48) & 0xff] ^ tbl.t[0][(w >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = tbl.t[0][(crc ^ *p) & 0xff] ^ (crc >> 8);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+#if defined(__x86_64__)
+inline std::uint32_t crc32c_hw(const void* data, std::size_t n,
+                               std::uint32_t crc) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    asm("crc32q %1, %0" : "+r"(c) : "rm"(w));
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(c);
+  while (n > 0) {
+    asm("crc32b %1, %0" : "+r"(crc) : "qm"(*p));
+    ++p;
+    --n;
+  }
+  return crc;
+}
+#endif
+
+}  // namespace detail
+
+// CRC32C (Castagnoli) of a byte range.  On the always-hit write path of the
+// integrity layer (data.cc stamps every written 4 KB block), so the x86
+// crc32 instruction is used when the CPU has it — detected at runtime via
+// inline asm rather than -msse4.2, which would taint the whole translation
+// unit's code generation.
+inline std::uint32_t crc32c(const void* data, std::size_t n,
+                            std::uint32_t seed = 0) noexcept {
+  const std::uint32_t crc = ~seed;
+#if defined(__x86_64__)
+  static const bool hw = __builtin_cpu_supports("sse4.2");
+  if (hw) return ~detail::crc32c_hw(data, n, crc);
+#endif
+  return ~detail::crc32c_sw(data, n, crc);
 }
 
 }  // namespace simurgh

@@ -23,6 +23,7 @@ enum BlockOwner : std::uint8_t {
   kOwnerSymlinkData,
   kOwnerFreeList,
   kOwnerReservation,
+  kOwnerCrcTable,
 };
 
 const char* owner_name(std::uint8_t o) noexcept {
@@ -32,6 +33,7 @@ const char* owner_name(std::uint8_t o) noexcept {
     case kOwnerSymlinkData: return "symlink target";
     case kOwnerFreeList: return "free list";
     case kOwnerReservation: return "thread reservation";
+    case kOwnerCrcTable: return "crc table";
     default: return "nothing";
   }
 }
@@ -164,6 +166,10 @@ class Checker {
           .for_each_segment([&](std::uint64_t seg_off, std::uint64_t n) {
             claim(seg_off, n, kOwnerPoolSegment, "pool segment");
           });
+    const Superblock& sb = fs_.sb();
+    if (sb.crc_table_blocks != 0)
+      claim(sb.crc_table_off, sb.crc_table_blocks, kOwnerCrcTable,
+            "crc table");
   }
 
   void walk_namespace() {
@@ -365,6 +371,19 @@ class Checker {
       claim(e.dev_off, e.n_blocks, kOwnerFileData, "file extent");
       runs.emplace_back(e.file_block, e.n_blocks);
       r_.data_blocks_in_use += e.n_blocks;
+      // Integrity pass: every data block with a recorded checksum must
+      // match its stored CRC32C (entry 0 == "none recorded" is skipped
+      // inside verify()).
+      if (fs_.crc().attached()) {
+        for (std::uint64_t b = 0; b < e.n_blocks; ++b) {
+          const std::uint64_t blk = e.dev_off + b * alloc::kBlockSize;
+          if (!fs_.crc().verify(blk)) {
+            fail("inode @", ino_off, ": CRC mismatch at data block @", blk,
+                 " (file block ", e.file_block + b, ")");
+            ++r_.crc_mismatches;
+          }
+        }
+      }
     });
     std::sort(runs.begin(), runs.end());
     for (std::size_t i = 1; i < runs.size(); ++i)

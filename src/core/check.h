@@ -53,6 +53,7 @@ struct CheckReport {
   std::uint64_t extent_blocks = 0;
   std::uint64_t data_blocks_in_use = 0;
   std::uint64_t free_blocks = 0;
+  std::uint64_t crc_mismatches = 0;
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
   // First `max_errors` violations joined for assertion messages.

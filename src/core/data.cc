@@ -43,6 +43,10 @@ Result<bool> FileSystem::ensure_allocated(ExtentResolver& res, Inode& ino,
     // Allocate the whole missing run contiguously.
     SIMURGH_ASSIGN_OR_RETURN(const std::uint64_t dev_off,
                              blocks().alloc(run.n_blocks, ino_off));
+    // Reset the run's checksum entries: a recycled block's stale entry must
+    // not indict its new owner's bytes, and fallocate'd blocks stay
+    // "no checksum recorded" until actually written.
+    crc_.clear(dev_off, run.n_blocks);
     // A fresh block the write only partially covers must read back zeros
     // in its unwritten bytes; interior blocks are fully overwritten.  The
     // zeros must be *durable* before the size stamp can commit: the block
@@ -102,6 +106,23 @@ Status FileSystem::write_file_bytes(Inode& ino, std::uint64_t ino_off,
     nvmm::nt_copy(dev().at(run.dev_off) + in_block, src + done, chunk);
     done += chunk;
   }
+  // Re-derive the checksum of every touched block (integrity.h).  Under the
+  // caller's exclusive file lock entry and bytes move together; the entries
+  // ride the caller's commit fence so data and checksum become durable as
+  // one.  (Relaxed-writes mode waives the lock and with it checksum
+  // coherence — documented as incompatible with verify_reads.)
+  if (crc_.attached()) {
+    std::uint64_t fb = first;
+    while (fb < last) {
+      const ExtentResolver::Run run = res.run_at(fb, last - fb);
+      SIMURGH_CHECK(run.dev_off != 0);
+      const std::uint64_t take =
+          std::min<std::uint64_t>(run.n_blocks, last - fb);
+      for (std::uint64_t i = 0; i < take; ++i)
+        crc_.stamp(run.dev_off + i * kBS);
+      fb += take;
+    }
+  }
   return Status::ok();
 }
 
@@ -143,6 +164,18 @@ Result<std::size_t> Process::do_read(Inode& ino, std::uint64_t ino_off,
     if (run.dev_off == 0) {
       std::memset(out + done, 0, chunk);  // hole
     } else {
+      if (fs_.verify_reads()) {
+        // Validate every device block this chunk touches BEFORE copying —
+        // a flipped bit is reported as io, never silently returned.  The
+        // shared lock excludes writers, so an entry can't be mid-update.
+        const std::uint64_t vlast = (in_block + chunk - 1) / kBS;
+        for (std::uint64_t vb = 0; vb <= vlast; ++vb) {
+          if (!fs_.crc().verify(run.dev_off + vb * kBS)) {
+            fs_.note_crc_failure();
+            return Errc::io;
+          }
+        }
+      }
       std::memcpy(out + done, fs_.dev().at(run.dev_off) + in_block, chunk);
     }
     done += chunk;
@@ -337,6 +370,8 @@ Status Process::truncate_inode(std::uint64_t ino_off, std::uint64_t size) {
       if (dev_off != 0) {
         std::memset(fs_.dev().at(dev_off) + size % kBS, 0, kBS - size % kBS);
         nvmm::persist(fs_.dev().at(dev_off) + size % kBS, kBS - size % kBS);
+        // The kept block's bytes changed; its checksum entry follows.
+        fs_.crc().stamp(dev_off);
       }
     }
     {

@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -28,6 +29,7 @@
 #include "alloc/obj_alloc.h"
 #include "core/dir_block.h"
 #include "core/extent_cache.h"
+#include "core/integrity.h"
 #include "core/layout.h"
 #include "core/lookup_cache.h"
 #include "core/openfile.h"
@@ -113,6 +115,22 @@ struct FsStat {
   std::uint64_t group_commits = 0;      // epochs group-committed to NVMM
   std::uint64_t staged_bytes = 0;       // current DRAM staging residency
   std::uint64_t writeback_backpressure_hits = 0;  // cap-forced strict falls
+  // Metadata-service mode (this mount's view; see core/svc_ring.h).  On a
+  // client mount in service mode, every namespace/allocation mutation adds
+  // to svc_requests and svc_local_fastpath stays zero — the pair proves no
+  // mutation bypassed arbitration.  The owner's own mutations count as
+  // svc_local_fastpath (it IS the arbiter).  svc_served counts requests
+  // THIS mount dispatched while owner; svc_failovers is the ring-wide
+  // ownership-change count.
+  std::uint64_t svc_requests = 0;
+  std::uint64_t svc_local_fastpath = 0;
+  std::uint64_t svc_served = 0;
+  std::uint64_t svc_failovers = 0;
+  // Integrity layer (this mount's view; see core/integrity.h, core/scrub.h).
+  std::uint64_t crc_verify_failures = 0;  // verify_reads mismatches returned
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_blocks = 0;
+  std::uint64_t scrub_errors = 0;
 };
 
 // What a survivor's dead-peer reclaim recovered (reap_dead_mounts()).
@@ -144,6 +162,9 @@ struct RecoveryReport {
 
 class Process;
 class WriteBehind;
+class MetaService;
+class Scrubber;
+enum class SvcOp : std::uint32_t;
 
 class FileSystem {
  public:
@@ -241,6 +262,32 @@ class FileSystem {
   // inode's staged ranges first.  No-op success when the tier is disabled.
   Status apply_durability(std::uint64_t ino_off, Durability d);
 
+  // ---- metadata-service mode (core/svc_ring.h) ----
+  // Opt-in: attaches this mount to the shm request ring (electing it owner
+  // when the seat is empty) and routes every namespace/allocation mutation
+  // of its processes through the owner from then on.  Reads/writes keep the
+  // direct NVMM path.  Errc::no_space when the shm device cannot hold the
+  // ring.
+  Status enable_service_mode();
+  [[nodiscard]] MetaService* meta_service() noexcept { return meta_.get(); }
+  // True once enable_service_mode() succeeded on this mount.
+  [[nodiscard]] bool service_mode() const noexcept;
+
+  // ---- integrity layer (core/integrity.h, core/scrub.h) ----
+  [[nodiscard]] CrcTable& crc() noexcept { return crc_; }
+  // verify_reads mode: do_read recomputes each touched block's CRC32C and
+  // fails with Errc::io on a mismatch.  Also honours SIMURGH_VERIFY_READS=1
+  // at format/mount.  Incompatible with relaxed writes (unlocked writers
+  // legitimately leave entry and bytes out of step mid-write).
+  void set_verify_reads(bool on) noexcept { verify_reads_ = on; }
+  [[nodiscard]] bool verify_reads() const noexcept { return verify_reads_; }
+  void note_crc_failure() noexcept {
+    crc_verify_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Background checksum scrubber; present after format/mount, idle until
+  // started (or driven synchronously via run_pass in tests).
+  [[nodiscard]] Scrubber& scrubber() noexcept { return *scrub_; }
+
   // ---- data-path plumbing shared with the write-behind drain ----
   // Fills every hole in [first_block, +n_blocks); freshly allocated blocks
   // numbered zero_a / zero_b (partial write edges; ~0 = none) are zeroed.
@@ -320,6 +367,8 @@ class FileSystem {
 
  private:
   friend class Process;
+  friend class MetaService;
+  friend class Scrubber;
   FileSystem(nvmm::Device& nvmm, nvmm::Device& shm);
   void attach_components(bool formatted, const FormatOptions& opts);
   void register_protected_functions();
@@ -391,6 +440,26 @@ class FileSystem {
   std::unique_ptr<protsec::Gateway> gateway_;
   std::unique_ptr<protsec::Bootstrap> bootstrap_;
   protsec::ProtectedLibraryHandle prot_handle_;
+
+  // ---- integrity layer ----
+  // Attached at format (which carves the table) and at mount (superblock
+  // residency); never detached while mounted.
+  CrcTable crc_;
+  bool verify_reads_ = false;
+  std::atomic<std::uint64_t> crc_verify_failures_{0};
+  std::unique_ptr<Scrubber> scrub_;  // created by format()/mount()
+  // Scrubber construction + SIMURGH_VERIFY_READS; called by format()/mount().
+  void make_integrity();
+
+  // ---- metadata-service mode ----
+  // Null until enable_service_mode().  Declared BEFORE wb_ deliberately:
+  // the write-behind persister may carve block reservations through the
+  // service proxy during its own destruction, so the MetaService object
+  // must outlive wb_ (its server thread, which calls INTO wb_, is joined
+  // explicitly at the top of ~FileSystem/unmount before either dies).
+  std::unique_ptr<MetaService> meta_;
+  std::atomic<std::uint64_t> svc_requests_{0};
+  std::atomic<std::uint64_t> svc_local_fastpath_{0};
 
   // Honours SIMURGH_WRITEBEHIND[_INTERVAL_US|_EPOCH_BYTES|_STAGE_BYTES|
   // _SYNC_DRAIN]; called by format()/mount().
@@ -464,11 +533,29 @@ class Process {
 
  private:
   friend class FileSystem;
+  friend class MetaService;
+
+  // Service-mode arbitration (core/svc_ring.h): when this mount is a
+  // client, forwards the mutation to the owner and returns its status;
+  // disengaged optional = execute locally (service off, owner fast path, or
+  // this Process IS the server-side worker).
+  std::optional<Status> route_meta(SvcOp op, std::string_view p1,
+                                   std::string_view p2, std::uint64_t a0,
+                                   std::uint64_t a1,
+                                   std::uint64_t* r0 = nullptr);
 
   // Shared implementation pieces.
   Result<std::uint64_t> create_file(const ResolveResult& where,
                                     std::uint32_t mode, std::uint32_t type,
                                     std::string_view symlink_target = {});
+  // Resolve + permission-check + create a regular file at `path` (open's
+  // O_CREAT step); shared by the local path and the service-mode server.
+  Result<std::uint64_t> create_path(std::string_view path,
+                                    std::uint32_t mode);
+  // Resolve + permission-check the target of set_durability(path); returns
+  // the inode offset so service-mode clients can apply the class to their
+  // own write-behind tier after arbitration.
+  Result<std::uint64_t> durability_target(std::string_view path);
   Status drop_inode(std::uint64_t inode_off);
   Result<std::size_t> do_read(Inode& ino, std::uint64_t ino_off, void* buf,
                               std::size_t n, std::uint64_t off);
@@ -485,6 +572,10 @@ class Process {
   FileSystem& fs_;
   Credentials cred_;
   OpenFileMap fds_;
+  // Set on the stack Process the service-mode server dispatches through:
+  // its mutations execute locally (it already IS the arbiter) instead of
+  // re-routing into the ring.
+  bool svc_worker_ = false;
 };
 
 // Wall-clock timestamp helper shared by the FS code.

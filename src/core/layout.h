@@ -33,7 +33,7 @@
 namespace simurgh::core {
 
 constexpr std::uint64_t kSuperblockMagic = 0x53494d5552474831ull;  // SIMURGH1
-constexpr std::uint32_t kLayoutVersion = 1;
+constexpr std::uint32_t kLayoutVersion = 2;
 
 constexpr std::uint64_t kSuperblockOff = 0;
 constexpr std::uint64_t kBlockAllocOff = 4096;
@@ -91,6 +91,12 @@ struct Superblock {
   std::uint64_t device_size = 0;
   std::uint64_t data_off = 0;
   std::uint64_t n_cores = 0;  // segments = 2 * n_cores at format time
+  // Integrity layer (core/integrity.h, layout version 2): device offset and
+  // length (4 KB blocks) of the per-block CRC32C table, carved from the
+  // data area at format time.  One 4-byte entry per data-area block; an
+  // entry of 0 means "no checksum recorded" and every verifier skips it.
+  std::uint64_t crc_table_off = 0;
+  std::uint64_t crc_table_blocks = 0;
   alloc::PoolHeader pools[kNumPools];
   nvmm::atomic_pptr<struct Inode> root;
   // Generation source for directory mutation epochs (volatile semantics,

@@ -140,6 +140,18 @@ RecoveryReport FileSystem::recover() {
           mark_blocks(e.dev_off, e.n_blocks);
           report.data_blocks_in_use += e.n_blocks;
         });
+        // Re-derive the file's block checksums (integrity.h): an in-place
+        // overwrite torn by the crash legitimately leaves bytes and entry
+        // out of step, and the invariant must hold before any verifier
+        // (verify_reads, scrubber, fsck) runs.  Done before the tail
+        // re-zero below so the re-zeroed block is stamped over its final
+        // bytes by the explicit stamp there.
+        if (crc_.attached()) {
+          map.for_each([&](const Extent& e) {
+            for (std::uint64_t b = 0; b < e.n_blocks; ++b)
+              crc_.stamp(e.dev_off + b * alloc::kBlockSize);
+          });
+        }
         // A crash between a truncate's size commit and its tail zeroing can
         // leave stale bytes beyond EOF in the final kept block; re-zero so
         // later growth exposes zeros (the runtime guarantee).
@@ -157,6 +169,7 @@ RecoveryReport FileSystem::recover() {
               std::memset(p, 0, n);
               nvmm::persist(p, n);
               nvmm::fence();
+              crc_.stamp(blk);  // the kept block's bytes just changed
             }
           }
         }
@@ -221,6 +234,9 @@ RecoveryReport FileSystem::recover() {
     p->for_each_segment([&](std::uint64_t seg_off, std::uint64_t count) {
       mark_blocks(seg_off, count);
     });
+  // The integrity table is a permanent data-area resident (layout v2).
+  if (s.crc_table_blocks != 0)
+    mark_blocks(s.crc_table_off, s.crc_table_blocks);
   blocks_->rebuild_free_lists([&](std::uint64_t dev_off) {
     beat(16384);  // per data block
     const std::uint64_t idx = (dev_off - data_off) / alloc::kBlockSize;

@@ -1,0 +1,190 @@
+// Per-file integrity tests (DESIGN.md §13): the CRC32C residency table,
+// verify_reads mode, the background scrubber, and fsck's CRC pass.  The
+// acceptance bar is 100% detection: every deliberately flipped bit in live
+// file data is caught by all three verifiers.  Corruption is injected on a
+// LIVE mount — a remount would run recovery, which legitimately re-derives
+// every reachable block's checksum and would mask the injection.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/check.h"
+#include "core/scrub.h"
+#include "fs_fixture.h"
+
+namespace simurgh::testing {
+namespace {
+
+using core::kOpenCreate;
+using core::kOpenRead;
+using core::kOpenWrite;
+
+class IntegrityTest : public FsTest {
+ protected:
+  // Device offset of `path`'s logical block `fb` (0 if a hole).
+  std::uint64_t block_of(const std::string& path, std::uint64_t fb) {
+    const auto st = p().stat(path);
+    EXPECT_TRUE(st.is_ok());
+    core::Inode* ino = fs_->inode_at(st->inode);
+    core::ExtentMap map(fs_->dev(), fs_->pool(core::kPoolExtent), *ino,
+                        st->inode);
+    return map.find(fb);
+  }
+
+  // Flip one byte of the block at `dev_off` behind the FS's back.
+  void corrupt(std::uint64_t dev_off, std::uint64_t byte = 100) {
+    auto* b = reinterpret_cast<unsigned char*>(fs_->dev().at(dev_off));
+    b[byte] ^= 0x5a;
+  }
+
+  int make_file(const std::string& path, const std::string& data) {
+    auto fd = p().open(path, kOpenCreate | kOpenRead | kOpenWrite);
+    EXPECT_TRUE(fd.is_ok());
+    EXPECT_TRUE(p().pwrite(*fd, data.data(), data.size(), 0).is_ok());
+    return *fd;
+  }
+};
+
+TEST_F(IntegrityTest, FormatCarvesAndAttachesTheCrcTable) {
+  EXPECT_TRUE(fs_->crc().attached());
+  EXPECT_NE(fs_->sb().crc_table_off, 0u);
+  EXPECT_NE(fs_->sb().crc_table_blocks, 0u);
+}
+
+TEST_F(IntegrityTest, WritesStampAndCleanReadsVerify) {
+  const int fd = make_file("/clean", std::string(3 * 4096 + 17, 'c'));
+  fs_->set_verify_reads(true);
+  std::vector<char> buf(3 * 4096 + 17);
+  ASSERT_TRUE(p().pread(fd, buf.data(), buf.size(), 0).is_ok());
+  EXPECT_EQ(fs_->fsstat().crc_verify_failures, 0u);
+  // Stamped entries are non-zero for every written block.
+  for (std::uint64_t fb = 0; fb < 4; ++fb)
+    EXPECT_NE(fs_->crc().entry(block_of("/clean", fb)), 0u) << fb;
+}
+
+TEST_F(IntegrityTest, VerifyReadsDetectsABitFlip) {
+  const int fd = make_file("/flip", std::string(2 * 4096, 'f'));
+  corrupt(block_of("/flip", 1));
+  fs_->set_verify_reads(true);
+  std::vector<char> buf(2 * 4096);
+  const auto r = p().pread(fd, buf.data(), buf.size(), 0);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::io);
+  EXPECT_GE(fs_->fsstat().crc_verify_failures, 1u);
+  // The clean block is still readable on its own.
+  EXPECT_TRUE(p().pread(fd, buf.data(), 4096, 0).is_ok());
+}
+
+TEST_F(IntegrityTest, ScrubberDetectsEveryInjectedCorruption) {
+  // A handful of files; flip one byte in a known subset of their blocks.
+  constexpr int kFiles = 6;
+  constexpr int kBlocksPerFile = 4;
+  for (int f = 0; f < kFiles; ++f)
+    make_file("/s" + std::to_string(f),
+              std::string(kBlocksPerFile * 4096, static_cast<char>('a' + f)));
+  std::uint64_t injected = 0;
+  for (int f = 0; f < kFiles; f += 2) {  // corrupt every other file
+    corrupt(block_of("/s" + std::to_string(f), f % kBlocksPerFile));
+    ++injected;
+  }
+  const core::Scrubber::PassReport r = fs_->scrubber().run_pass();
+  EXPECT_EQ(r.errors, injected);  // 100% detection, no false positives
+  EXPECT_GE(r.files, static_cast<std::uint64_t>(kFiles));
+  const auto msgs = fs_->scrubber().take_errors();
+  EXPECT_EQ(msgs.size(), injected);
+  const core::FsStat st = fs_->fsstat();
+  EXPECT_GE(st.scrub_passes, 1u);
+  EXPECT_EQ(st.scrub_errors, injected);
+}
+
+TEST_F(IntegrityTest, BackgroundScrubberLoopFindsCorruption) {
+  make_file("/bg", std::string(4096, 'b'));
+  corrupt(block_of("/bg", 0));
+  fs_->scrubber().start(/*pass_interval_ms=*/1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fs_->scrubber().errors() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  fs_->scrubber().stop();
+  EXPECT_GE(fs_->scrubber().errors(), 1u);
+  EXPECT_GE(fs_->scrubber().passes(), 1u);
+}
+
+TEST_F(IntegrityTest, FsckCrcPassDetectsEveryInjectedCorruption) {
+  make_file("/fsck1", std::string(4 * 4096, '1'));
+  make_file("/fsck2", std::string(4 * 4096, '2'));
+  corrupt(block_of("/fsck1", 2));
+  corrupt(block_of("/fsck2", 0), 4000);
+  const core::CheckReport cr = core::check_fs(*fs_);
+  EXPECT_FALSE(cr.ok());
+  EXPECT_EQ(cr.crc_mismatches, 2u);
+}
+
+TEST_F(IntegrityTest, FsckIsCleanWithoutCorruption) {
+  make_file("/ok", std::string(8 * 4096 + 99, 'o'));
+  const core::CheckReport cr = core::check_fs(*fs_);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
+  EXPECT_EQ(cr.crc_mismatches, 0u);
+}
+
+TEST_F(IntegrityTest, OverwriteRestampsTheBlock) {
+  const int fd = make_file("/ow", std::string(4096, 'x'));
+  const std::uint64_t blk = block_of("/ow", 0);
+  const std::uint32_t before = fs_->crc().entry(blk);
+  std::string next(4096, 'y');
+  ASSERT_TRUE(p().pwrite(fd, next.data(), next.size(), 0).is_ok());
+  const std::uint32_t after = fs_->crc().entry(blk);
+  EXPECT_NE(before, after);
+  fs_->set_verify_reads(true);
+  std::vector<char> buf(4096);
+  EXPECT_TRUE(p().pread(fd, buf.data(), buf.size(), 0).is_ok());
+}
+
+TEST_F(IntegrityTest, TruncateTailRezeroKeepsChecksumCoherent) {
+  const int fd = make_file("/tr", std::string(2 * 4096, 't'));
+  ASSERT_TRUE(p().ftruncate(fd, 4096 + 100).is_ok());
+  fs_->set_verify_reads(true);
+  std::vector<char> buf(4096 + 100);
+  EXPECT_TRUE(p().pread(fd, buf.data(), buf.size(), 0).is_ok());
+  const core::CheckReport cr = core::check_fs(*fs_);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
+}
+
+TEST_F(IntegrityTest, RecoveryRederivesChecksumsAfterCrash) {
+  make_file("/crash", std::string(6 * 4096 + 5, 'r'));
+  // No clean unmount: the remount runs full recovery, which must re-stamp
+  // every reachable file block so all three verifiers come back clean.
+  remount_after_crash();
+  fs_->set_verify_reads(true);
+  const int fd = *p().open("/crash", kOpenRead);
+  std::vector<char> buf(6 * 4096 + 5);
+  EXPECT_TRUE(p().pread(fd, buf.data(), buf.size(), 0).is_ok());
+  EXPECT_EQ(fs_->fsstat().crc_verify_failures, 0u);
+  EXPECT_EQ(fs_->scrubber().run_pass().errors, 0u);
+  const core::CheckReport cr = core::check_fs(*fs_);
+  EXPECT_TRUE(cr.ok()) << cr.summary();
+  EXPECT_EQ(cr.crc_mismatches, 0u);
+}
+
+TEST_F(IntegrityTest, RecycledBlocksDoNotInheritStaleChecksums) {
+  // Delete a stamped file, then create a new one.  Whether or not the
+  // allocator hands back the same run, ensure_allocated clears every entry
+  // it grants, so a new owner's bytes are never checked against a stale
+  // CRC left by the block's previous life.
+  const int fd = make_file("/old", std::string(4096, 'o'));
+  ASSERT_TRUE(p().close(fd).is_ok());
+  ASSERT_TRUE(p().unlink("/old").is_ok());
+  const int nf = make_file("/new", std::string(4096, 'n'));
+  fs_->set_verify_reads(true);
+  std::vector<char> buf(4096);
+  EXPECT_TRUE(p().pread(nf, buf.data(), buf.size(), 0).is_ok());
+  EXPECT_EQ(fs_->fsstat().crc_verify_failures, 0u);
+}
+
+}  // namespace
+}  // namespace simurgh::testing

@@ -146,6 +146,17 @@ TEST_F(WriteBehindTest, SetDurabilityErrors) {
             Errc::permission);
 }
 
+TEST_F(WriteBehindTest, SetDurabilityOnDirectoryFdReportsIsDir) {
+  ASSERT_TRUE(p().mkdir("/dird").is_ok());
+  auto dfd = p().open("/dird", kOpenRead);
+  ASSERT_TRUE(dfd.is_ok());
+  // The fd form must report what the object IS before how it was opened:
+  // a read-only directory fd yields is_dir (matching the path form), not
+  // bad_fd for the missing write bit.
+  EXPECT_EQ(p().set_durability(*dfd, Durability::group).code(), Errc::is_dir);
+  ASSERT_TRUE(p().close(*dfd).is_ok());
+}
+
 // ---- telemetry pinning: the scripted sequence of satellite 3 ----
 
 TEST_F(WriteBehindTest, GroupSequencePinsCounters) {
